@@ -1,0 +1,341 @@
+package parowl
+
+// Benchmarks regenerating each table and figure of the paper at reduced
+// scale (testing.B needs sub-second iterations; cmd/benchfig produces the
+// full series). One benchmark per table/figure, plus ablations of the
+// design choices DESIGN.md calls out: basic vs optimized mode (Sec. IV
+// pruning), round-robin vs work-sharing scheduling, and the plug-in
+// reasoners against each other and the sequential baselines.
+//
+// Run: go test -bench=. -benchmem
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"parowl/internal/core"
+	"parowl/internal/el"
+	"parowl/internal/ontogen"
+	"parowl/internal/reasoner"
+	"parowl/internal/schedsim"
+	"parowl/internal/tableau"
+)
+
+// benchCorpus generates a scaled corpus once per benchmark.
+func benchCorpus(b *testing.B, name string, scale int) *TBox {
+	b.Helper()
+	p, ok := ontogen.ByName(name)
+	if !ok {
+		b.Fatalf("unknown profile %s", name)
+	}
+	if scale > 1 {
+		p = ontogen.Mini(p, scale)
+	}
+	tb, err := p.Generate(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tb
+}
+
+// BenchmarkTable4Generate measures generating the largest Table IV corpus
+// (EMAP, 13 735 concepts) and computing its metrics row.
+func BenchmarkTable4Generate(b *testing.B) {
+	p, _ := ontogen.ByName("EMAP#EMAP")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tb, err := p.Generate(int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		m := ComputeMetrics(tb)
+		if m.Concepts != 13735 {
+			b.Fatalf("bad corpus: %v", m)
+		}
+	}
+}
+
+// BenchmarkTable5Generate measures the QCR-heavy bridg profile.
+func BenchmarkTable5Generate(b *testing.B) {
+	p, _ := ontogen.ByName("bridg.biomedical_domain")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tb, err := p.Generate(int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if m := ComputeMetrics(tb); m.QCRs != 967 {
+			b.Fatalf("bad corpus: %v", m)
+		}
+	}
+}
+
+// benchSpeedupPoint runs one (ontology, w) sample of a figure: classify
+// with a w-worker pool against the oracle and replay in virtual time.
+func benchSpeedupPoint(b *testing.B, profile string, scale, w int, cost reasoner.CostModel) {
+	b.Helper()
+	tb := benchCorpus(b, profile, scale)
+	oracle := reasoner.NewOracle(tb, reasoner.OracleOptions{SubsCost: cost})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Classify(tb, core.Options{
+			Reasoner: oracle, Workers: w, CollectTrace: true, Seed: int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := schedsim.Simulate(res.Trace, w, schedsim.DefaultOverhead, core.RoundRobin)
+		if r.Speedup <= 0 {
+			b.Fatal("no speedup computed")
+		}
+	}
+}
+
+func uniformMS(seed uint64) reasoner.CostModel {
+	return reasoner.UniformCost(time.Millisecond, 0.2, seed)
+}
+
+// BenchmarkFig9aSpeedup: small-ontology sample point (obo.PREVIOUS, w=32,
+// the paper's observed peak region).
+func BenchmarkFig9aSpeedup(b *testing.B) {
+	benchSpeedupPoint(b, "obo.PREVIOUS", 8, 32, uniformMS(1))
+}
+
+// BenchmarkFig9bSpeedup: medium ontology (WBbt) at w=64.
+func BenchmarkFig9bSpeedup(b *testing.B) {
+	benchSpeedupPoint(b, "WBbt.obo", 16, 64, uniformMS(1))
+}
+
+// BenchmarkFig9cSpeedup: large ontology (EMAP) at w=140.
+func BenchmarkFig9cSpeedup(b *testing.B) {
+	benchSpeedupPoint(b, "EMAP#EMAP", 16, 140, uniformMS(1))
+}
+
+// BenchmarkFig10aSpeedup: moderate-QCR corpus (ncitations) at w=80.
+func BenchmarkFig10aSpeedup(b *testing.B) {
+	benchSpeedupPoint(b, "ncitations_functional", 8, 80, uniformMS(1))
+}
+
+// BenchmarkFig10bSpeedup: bridg with its heavy-tailed cost model at w=80
+// (the plateau sample).
+func BenchmarkFig10bSpeedup(b *testing.B) {
+	p, _ := ontogen.ByName("bridg.biomedical_domain")
+	p = ontogen.Mini(p, 4)
+	n := float64(p.Concepts)
+	benchSpeedupPoint(b, "bridg.biomedical_domain", 4, 80,
+		reasoner.HeavyTailCost(time.Millisecond, 4/(n*n), n*n/2, 1))
+}
+
+// BenchmarkFig11Cycles: the load-balancing measurement — 10 random
+// division cycles with full tracing on the ncitations profile.
+func BenchmarkFig11Cycles(b *testing.B) {
+	tb := benchCorpus(b, "ncitations_functional", 4)
+	oracle := reasoner.NewOracle(tb, reasoner.OracleOptions{SubsCost: uniformMS(1)})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Classify(tb, core.Options{
+			Reasoner: oracle, Workers: 10, RandomCycles: 10, CollectTrace: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Trace.PossibleRatio(9) <= 0 {
+			b.Fatal("no possible-ratio progression")
+		}
+	}
+}
+
+// BenchmarkClassifyWorkers measures real wall-clock classification with
+// the EL plug-in at increasing pool sizes (genuine parallel speedup on
+// multi-core machines; on one core it measures pool overhead).
+func BenchmarkClassifyWorkers(b *testing.B) {
+	tb := benchCorpus(b, "WBbt.obo", 32)
+	elr, err := el.New(tb, el.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	elr.Saturate()
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("w=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Classify(tb, core.Options{Reasoner: elr, Workers: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkModeAblation compares the published Section III algorithm
+// (basic) against the Section IV optimized mode on the same corpus: the
+// optimization's pruned pairs translate into fewer reasoner calls.
+func BenchmarkModeAblation(b *testing.B) {
+	tb := benchCorpus(b, "obo.PREVIOUS", 8)
+	oracle := reasoner.NewOracle(tb, reasoner.OracleOptions{})
+	for _, mode := range []core.Mode{core.Basic, core.Optimized} {
+		b.Run(mode.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			var tests int64
+			for i := 0; i < b.N; i++ {
+				res, err := core.Classify(tb, core.Options{Reasoner: oracle, Workers: 4, Mode: mode})
+				if err != nil {
+					b.Fatal(err)
+				}
+				tests = res.Stats.SubsTests
+			}
+			b.ReportMetric(float64(tests), "tests/run")
+		})
+	}
+}
+
+// BenchmarkSchedulingAblation compares round-robin (the paper's policy)
+// against work-sharing dispatch.
+func BenchmarkSchedulingAblation(b *testing.B) {
+	tb := benchCorpus(b, "obo.PREVIOUS", 8)
+	oracle := reasoner.NewOracle(tb, reasoner.OracleOptions{})
+	for _, sched := range []core.Scheduling{core.RoundRobin, core.WorkSharing} {
+		b.Run(sched.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Classify(tb, core.Options{
+					Reasoner: oracle, Workers: 4, Scheduling: sched,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTableauSubsumption measures single subsumption tests on a
+// QCR-bearing corpus — the unit of work the paper's plug-in (HermiT)
+// performs.
+func BenchmarkTableauSubsumption(b *testing.B) {
+	tb := benchCorpus(b, "bridg.biomedical_domain", 8)
+	tab := tableau.New(tb, tableau.Options{})
+	named := tb.NamedConcepts()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sup := named[i%len(named)]
+		sub := named[(i*7+3)%len(named)]
+		if _, err := tab.Subsumes(sup, sub); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkELSaturation measures one-shot concurrent saturation of a
+// Table IV corpus (the ELK-style competitor).
+func BenchmarkELSaturation(b *testing.B) {
+	tb := benchCorpus(b, "WBbt.obo", 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := el.New(tb, el.Options{Workers: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		r.Saturate()
+	}
+}
+
+// BenchmarkSequentialBaselines compares the two sequential comparators:
+// brute force and enhanced traversal (fewer tests, more coordination).
+func BenchmarkSequentialBaselines(b *testing.B) {
+	tb := benchCorpus(b, "obo.PREVIOUS", 16)
+	oracle := reasoner.NewOracle(tb, reasoner.OracleOptions{})
+	b.Run("bruteforce", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.SequentialBruteForce(tb, oracle); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("traversal", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.EnhancedTraversal(tb, oracle); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkModelMergingAblation compares plain tableau classification
+// against the pseudo-model-merging variant on a Table V mini corpus: most
+// tests are non-subsumptions that merging answers without a tableau run.
+func BenchmarkModelMergingAblation(b *testing.B) {
+	tb := benchCorpus(b, "nskisimple_functional", 16)
+	for _, mm := range []bool{false, true} {
+		name := "plain"
+		if mm {
+			name = "modelmerging"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r := tableau.New(tb, tableau.Options{ModelMerging: mm})
+				if _, err := core.Classify(tb, core.Options{Reasoner: r, Workers: 2}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkELKStyleVsFramework compares direct saturation-based
+// classification (ELK's approach, complete only for EL) against the
+// paper's pairwise-testing framework using the same saturation as its
+// plug-in — the trade-off the paper's introduction discusses: the
+// framework supports any logic through its plug-in at the cost of
+// pairwise testing.
+func BenchmarkELKStyleVsFramework(b *testing.B) {
+	tb := benchCorpus(b, "WBbt.obo", 32)
+	b.Run("elk-direct", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r, err := el.New(tb, el.Options{Workers: 4})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := r.Classify(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("framework", func(b *testing.B) {
+		r, err := el.New(tb, el.Options{Workers: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		r.Saturate()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Classify(tb, core.Options{Reasoner: r, Workers: 4}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkOracleLookup measures the oracle plug-in's per-test cost (the
+// floor under every scheduling experiment).
+func BenchmarkOracleLookup(b *testing.B) {
+	tb := benchCorpus(b, "ncitations_functional", 4)
+	oracle := reasoner.NewOracle(tb, reasoner.OracleOptions{})
+	named := tb.NamedConcepts()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := oracle.Subsumes(named[i%len(named)], named[(i+1)%len(named)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

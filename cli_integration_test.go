@@ -1,0 +1,113 @@
+package parowl_test
+
+// End-to-end CLI coverage: each command is built once (cached by the Go
+// toolchain) and exercised against generated corpora through its real
+// flag surface.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runCmd builds and runs a command from ./cmd with the given arguments.
+func runCmd(t *testing.T, name string, args ...string) (string, error) {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), name)
+	build := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building %s: %v\n%s", name, err, out)
+	}
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	return string(out), err
+}
+
+func TestCLIOwlclassProfile(t *testing.T) {
+	out, err := runCmd(t, "owlclass", "-profile", "obo.PREVIOUS", "-scale", "30", "-workers", "2", "-stats")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range []string{"subs tests:", "classes:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCLIOwlclassFileAndDot(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "mini.obo")
+	src := "[Term]\nid: A\n\n[Term]\nid: B\nis_a: A\n\n[Term]\nid: C\nis_a: B\n"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runCmd(t, "owlclass", path)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "⊤") || !strings.Contains(out, "  A") {
+		t.Errorf("taxonomy output wrong:\n%s", out)
+	}
+	dot, err := runCmd(t, "owlclass", "-dot", path)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, dot)
+	}
+	if !strings.HasPrefix(dot, "digraph taxonomy {") {
+		t.Errorf("dot output wrong:\n%s", dot)
+	}
+}
+
+func TestCLIOntogenAndTaxdiff(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.obo")
+	newPath := filepath.Join(dir, "new.obo")
+	if out, err := runCmd(t, "ontogen", "-profile", "WBbt.obo", "-scale", "100", "-seed", "1", "-o", oldPath); err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if out, err := runCmd(t, "ontogen", "-profile", "WBbt.obo", "-scale", "100", "-seed", "2", "-o", newPath); err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	// Identical inputs: exit 0 and "identical".
+	same, err := runCmd(t, "taxdiff", oldPath, oldPath)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, same)
+	}
+	if !strings.Contains(same, "identical") {
+		t.Errorf("taxdiff output: %s", same)
+	}
+	// Different inputs: exit 1 and a report.
+	diff, err := runCmd(t, "taxdiff", oldPath, newPath)
+	if err == nil {
+		t.Fatal("taxdiff exit 0 on different ontologies")
+	}
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 1 {
+		t.Fatalf("taxdiff err = %v\n%s", err, diff)
+	}
+	if !strings.Contains(diff, "subsumptions") {
+		t.Errorf("taxdiff report: %s", diff)
+	}
+}
+
+func TestCLIBenchfigTables(t *testing.T) {
+	out, err := runCmd(t, "benchfig", "-exp", "table5")
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "bridg.biomedical_domain") || !strings.Contains(out, "967") {
+		t.Errorf("table5 output wrong:\n%s", out)
+	}
+}
+
+func TestCLIOwlclassErrors(t *testing.T) {
+	if out, err := runCmd(t, "owlclass", "-profile", "nope"); err == nil {
+		t.Errorf("unknown profile accepted:\n%s", out)
+	}
+	if out, err := runCmd(t, "owlclass"); err == nil {
+		t.Errorf("no-argument call accepted:\n%s", out)
+	}
+	if out, err := runCmd(t, "owlclass", "-reasoner", "bogus", "-profile", "obo.PREVIOUS", "-scale", "50"); err == nil {
+		t.Errorf("bogus reasoner accepted:\n%s", out)
+	}
+}

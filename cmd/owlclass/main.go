@@ -1,0 +1,181 @@
+// Command owlclass classifies an OWL ontology in parallel and prints its
+// taxonomy, statistics, or per-cycle trace.
+//
+//	owlclass [flags] ontology.(obo|ofn|owl)
+//	owlclass -profile EMAP#EMAP -workers 8 -stats
+//
+// With -profile, a synthetic corpus from the paper's Tables IV/V is
+// generated instead of reading a file.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"parowl"
+)
+
+var (
+	workers  = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	cycles   = flag.Int("cycles", 2, "random-division cycles")
+	seed     = flag.Int64("seed", 1, "shuffle / generation seed")
+	mode     = flag.String("mode", "optimized", "optimized | basic")
+	sched    = flag.String("sched", "roundrobin", "roundrobin | worksharing")
+	plugin   = flag.String("reasoner", "auto", "auto | tableau | tableau-mm | el")
+	profile  = flag.String("profile", "", "generate this Table IV/V profile instead of reading a file")
+	scale    = flag.Int("scale", 1, "shrink the generated profile by this factor")
+	stats    = flag.Bool("stats", false, "print test statistics instead of the taxonomy")
+	trace    = flag.Bool("trace", false, "print the per-cycle trace")
+	dot      = flag.Bool("dot", false, "print the taxonomy in Graphviz DOT format")
+	summary  = flag.Bool("summary", false, "print a one-line taxonomy summary")
+	told     = flag.Bool("told", false, "answer told subsumptions without reasoner calls")
+	adaptive = flag.Bool("adaptive", false, "stop random-division cycles adaptively")
+	timeout  = flag.Duration("timeout", 0, "abort classification after this duration (0 = none)")
+	moduleOf = flag.String("module", "", "extract the ⊥-locality module for this comma-separated concept list before classifying")
+	metrics  = flag.Bool("metrics", false, "print the ontology metrics row and exit")
+	baseline = flag.String("baseline", "", "also run a baseline and compare: brute | traversal")
+)
+
+func main() {
+	flag.Parse()
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "owlclass:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	tbox, err := load()
+	if err != nil {
+		return err
+	}
+	if *moduleOf != "" {
+		seeds := strings.Split(*moduleOf, ",")
+		m, err := parowl.ExtractModule(tbox, seeds)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "module: %d of %d concepts, %d of %d axioms\n",
+			m.NumNamed(), tbox.NumNamed(), len(m.Axioms()), len(tbox.Axioms()))
+		tbox = m
+	}
+	if *metrics {
+		fmt.Println(parowl.ComputeMetrics(tbox))
+		return nil
+	}
+	opts := parowl.Options{
+		Workers:          *workers,
+		RandomCycles:     *cycles,
+		Seed:             *seed,
+		CollectTrace:     *trace,
+		UseToldSubsumers: *told,
+		AdaptiveCycles:   *adaptive,
+	}
+	switch *mode {
+	case "optimized":
+		opts.Mode = parowl.ModeOptimized
+	case "basic":
+		opts.Mode = parowl.ModeBasic
+	default:
+		return fmt.Errorf("unknown -mode %q", *mode)
+	}
+	switch *sched {
+	case "roundrobin":
+		opts.Scheduling = parowl.RoundRobin
+	case "worksharing":
+		opts.Scheduling = parowl.WorkSharing
+	default:
+		return fmt.Errorf("unknown -sched %q", *sched)
+	}
+	switch *plugin {
+	case "auto":
+	case "tableau":
+		opts.Reasoner = parowl.NewTableauReasoner(tbox)
+	case "tableau-mm":
+		opts.Reasoner = parowl.NewTableauReasonerMM(tbox)
+	case "el":
+		r, err := parowl.NewELReasoner(tbox)
+		if err != nil {
+			return err
+		}
+		opts.Reasoner = r
+	default:
+		return fmt.Errorf("unknown -reasoner %q", *plugin)
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	start := time.Now()
+	res, err := parowl.ClassifyContext(ctx, tbox, opts)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	if *baseline != "" {
+		var want *parowl.Taxonomy
+		switch *baseline {
+		case "brute":
+			want, err = parowl.ClassifySequential(tbox, opts.Reasoner)
+		case "traversal":
+			want, err = parowl.ClassifyEnhancedTraversal(tbox, opts.Reasoner)
+		default:
+			err = fmt.Errorf("unknown -baseline %q", *baseline)
+		}
+		if err != nil {
+			return err
+		}
+		if res.Taxonomy.Equal(want) {
+			fmt.Fprintf(os.Stderr, "baseline %s: taxonomies identical\n", *baseline)
+		} else {
+			return fmt.Errorf("baseline %s: taxonomies differ", *baseline)
+		}
+	}
+
+	switch {
+	case *trace:
+		fmt.Print(res.Trace.String())
+	case *dot:
+		fmt.Print(res.Taxonomy.DOT())
+	case *summary:
+		fmt.Println(res.Taxonomy.Summarize())
+	case *stats:
+		fmt.Printf("ontology:    %s (%d concepts)\n", tbox.Name, tbox.NumNamed())
+		fmt.Printf("elapsed:     %v\n", elapsed)
+		fmt.Printf("classes:     %d taxonomy nodes\n", res.Taxonomy.NumClasses())
+		fmt.Printf("subs tests:  %d\n", res.Stats.SubsTests)
+		fmt.Printf("sat tests:   %d\n", res.Stats.SatTests)
+		fmt.Printf("pruned:      %d pairs resolved without testing\n", res.Stats.Pruned)
+		if res.Stats.ToldHits > 0 {
+			fmt.Printf("told hits:   %d tests answered from asserted axioms\n", res.Stats.ToldHits)
+		}
+	default:
+		fmt.Print(res.Taxonomy.Render())
+	}
+	return nil
+}
+
+func load() (*parowl.TBox, error) {
+	if *profile != "" {
+		p, ok := parowl.ProfileByName(*profile)
+		if !ok {
+			return nil, fmt.Errorf("unknown profile %q (see cmd/benchfig for the 14 names)", *profile)
+		}
+		if *scale > 1 {
+			p = parowl.MiniProfile(p, *scale)
+		}
+		return parowl.Generate(p, *seed)
+	}
+	if flag.NArg() != 1 {
+		return nil, fmt.Errorf("usage: owlclass [flags] ontology.(obo|ofn|owl) — or -profile NAME")
+	}
+	return parowl.LoadFile(flag.Arg(0))
+}

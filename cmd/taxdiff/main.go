@@ -1,0 +1,60 @@
+// Command taxdiff classifies two ontology files and reports the semantic
+// differences between their taxonomies: added/removed entailed
+// subsumptions, unsatisfiability changes, and vocabulary changes. It is
+// the regression check ontology maintainers run before releasing an
+// edited ontology.
+//
+//	taxdiff old.obo new.obo
+//
+// Exit status: 0 when identical, 1 when different, 2 on error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"parowl"
+)
+
+var workers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: taxdiff [flags] old.(obo|ofn|omn) new.(obo|ofn|omn)")
+		os.Exit(2)
+	}
+	diff, err := run(flag.Arg(0), flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "taxdiff:", err)
+		os.Exit(2)
+	}
+	fmt.Print(diff.String())
+	if !diff.Empty() {
+		os.Exit(1)
+	}
+}
+
+func run(oldPath, newPath string) (*parowl.TaxonomyDiff, error) {
+	classifyFile := func(path string) (*parowl.Taxonomy, error) {
+		tb, err := parowl.LoadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		res, err := parowl.Classify(tb, parowl.Options{Workers: *workers})
+		if err != nil {
+			return nil, fmt.Errorf("classifying %s: %w", path, err)
+		}
+		return res.Taxonomy, nil
+	}
+	oldTax, err := classifyFile(oldPath)
+	if err != nil {
+		return nil, err
+	}
+	newTax, err := classifyFile(newPath)
+	if err != nil {
+		return nil, err
+	}
+	return parowl.CompareTaxonomies(oldTax, newTax), nil
+}

@@ -1,0 +1,110 @@
+package parowl_test
+
+import (
+	"fmt"
+	"log"
+
+	"parowl"
+)
+
+// ExampleClassify builds a tiny ontology programmatically and classifies
+// it with the default options.
+func ExampleClassify() {
+	tb := parowl.NewTBox("pets")
+	animal := tb.Declare("Animal")
+	dog := tb.Declare("Dog")
+	puppy := tb.Declare("Puppy")
+	tb.SubClassOf(dog, animal)
+	tb.SubClassOf(puppy, dog)
+
+	res, err := parowl.Classify(tb, parowl.Options{Workers: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Taxonomy.Render())
+	// Output:
+	// ⊤
+	//   Animal
+	//     Dog
+	//       Puppy
+}
+
+// ExampleClassify_equivalence shows equivalence detection: a defined
+// concept collapses into the class it is equivalent to.
+func ExampleClassify_equivalence() {
+	tb := parowl.NewTBox("eq")
+	f := tb.Factory
+	human := tb.Declare("Human")
+	person := tb.Declare("Person")
+	tb.EquivalentClasses(person, human)
+	tb.SubClassOf(tb.Declare("Pilot"), f.And(human, person))
+
+	res, err := parowl.Classify(tb, parowl.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Taxonomy.Render())
+	// Output:
+	// ⊤
+	//   Human ≡ Person
+	//     Pilot
+}
+
+// ExampleTaxonomy_IsAncestor queries entailed subsumption on the result.
+func ExampleTaxonomy_IsAncestor() {
+	tb := parowl.NewTBox("q")
+	f := tb.Factory
+	bird := tb.Declare("Bird")
+	penguin := tb.Declare("Penguin")
+	fish := tb.Declare("Fish")
+	eats := f.Role("eats")
+	tb.EquivalentClasses(penguin, f.And(bird, f.Some(eats, fish)))
+
+	res, err := parowl.Classify(tb, parowl.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Taxonomy.IsAncestor(bird, penguin))
+	fmt.Println(res.Taxonomy.IsAncestor(penguin, bird))
+	// Output:
+	// true
+	// false
+}
+
+// ExampleCompareTaxonomies diffs the classifications of two ontology
+// versions — the regression check for ontology edits.
+func ExampleCompareTaxonomies() {
+	build := func(extra bool) *parowl.Taxonomy {
+		tb := parowl.NewTBox("v")
+		a, b, c := tb.Declare("A"), tb.Declare("B"), tb.Declare("C")
+		tb.SubClassOf(b, a)
+		tb.SubClassOf(c, a)
+		if extra {
+			tb.SubClassOf(c, b) // the edit: C moves under B
+		}
+		res, err := parowl.Classify(tb, parowl.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res.Taxonomy
+	}
+	diff := parowl.CompareTaxonomies(build(false), build(true))
+	fmt.Print(diff)
+	// Output:
+	// added subsumptions (1):
+	//   C ⊑ B
+}
+
+// ExampleGenerate reproduces a corpus row from the paper's Table V and
+// verifies its metric counts.
+func ExampleGenerate() {
+	profile, _ := parowl.ProfileByName("bridg.biomedical_domain")
+	tb, err := parowl.Generate(profile, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := parowl.ComputeMetrics(tb)
+	fmt.Println(m.Concepts, m.Axioms, m.QCRs)
+	// Output:
+	// 320 6347 967
+}

@@ -1,0 +1,3 @@
+module parowl
+
+go 1.23

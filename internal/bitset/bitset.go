@@ -1,0 +1,207 @@
+// Package bitset provides fixed-size bit sets in two flavours: a plain
+// single-goroutine Set and a lock-free Atomic set whose individual bit
+// operations are safe for concurrent use.
+//
+// The Atomic variant backs the shared P (possible subsumees), K (known
+// subsumees) and tested structures of the parallel classifier, where the
+// paper requires "atomic global data structures" so that worker threads can
+// update shared state without races (Quan & Haarslev, ICPP 2017, Sec. IV).
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// wordsFor returns the number of 64-bit words needed for n bits.
+func wordsFor(n int) int {
+	if n < 0 {
+		panic(fmt.Sprintf("bitset: negative size %d", n))
+	}
+	return (n + wordBits - 1) / wordBits
+}
+
+// Set is a fixed-capacity bit set. It is not safe for concurrent use; use
+// Atomic for shared state.
+type Set struct {
+	n     int
+	words []uint64
+}
+
+// New returns a Set able to hold bits 0..n-1, all initially clear.
+func New(n int) *Set {
+	return &Set{n: n, words: make([]uint64, wordsFor(n))}
+}
+
+// Len returns the capacity of the set in bits.
+func (s *Set) Len() int { return s.n }
+
+func (s *Set) check(i int) {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("bitset: index %d out of range [0,%d)", i, s.n))
+	}
+}
+
+// Set sets bit i.
+func (s *Set) Set(i int) {
+	s.check(i)
+	s.words[i/wordBits] |= 1 << (uint(i) % wordBits)
+}
+
+// Clear clears bit i.
+func (s *Set) Clear(i int) {
+	s.check(i)
+	s.words[i/wordBits] &^= 1 << (uint(i) % wordBits)
+}
+
+// Test reports whether bit i is set.
+func (s *Set) Test(i int) bool {
+	s.check(i)
+	return s.words[i/wordBits]&(1<<(uint(i)%wordBits)) != 0
+}
+
+// Count returns the number of set bits.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// IsEmpty reports whether no bit is set.
+func (s *Set) IsEmpty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// FillAll sets every bit in [0, Len).
+func (s *Set) FillAll() {
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	s.trimTail()
+}
+
+// ClearAll clears every bit.
+func (s *Set) ClearAll() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// trimTail zeroes the bits beyond n in the last word so Count stays exact.
+func (s *Set) trimTail() {
+	if rem := s.n % wordBits; rem != 0 && len(s.words) > 0 {
+		s.words[len(s.words)-1] &= (1 << uint(rem)) - 1
+	}
+}
+
+// Clone returns an independent copy of s.
+func (s *Set) Clone() *Set {
+	c := &Set{n: s.n, words: make([]uint64, len(s.words))}
+	copy(c.words, s.words)
+	return c
+}
+
+// Union sets s to s ∪ o. Both sets must have the same capacity.
+func (s *Set) Union(o *Set) {
+	s.sameLen(o)
+	for i, w := range o.words {
+		s.words[i] |= w
+	}
+}
+
+// Intersect sets s to s ∩ o. Both sets must have the same capacity.
+func (s *Set) Intersect(o *Set) {
+	s.sameLen(o)
+	for i, w := range o.words {
+		s.words[i] &= w
+	}
+}
+
+// Subtract sets s to s \ o. Both sets must have the same capacity.
+func (s *Set) Subtract(o *Set) {
+	s.sameLen(o)
+	for i, w := range o.words {
+		s.words[i] &^= w
+	}
+}
+
+// ContainsAll reports whether o ⊆ s.
+func (s *Set) ContainsAll(o *Set) bool {
+	s.sameLen(o)
+	for i, w := range o.words {
+		if w&^s.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether s and o hold exactly the same bits.
+func (s *Set) Equal(o *Set) bool {
+	if s.n != o.n {
+		return false
+	}
+	for i, w := range o.words {
+		if s.words[i] != w {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Set) sameLen(o *Set) {
+	if s.n != o.n {
+		panic(fmt.Sprintf("bitset: size mismatch %d vs %d", s.n, o.n))
+	}
+}
+
+// ForEach calls fn for every set bit in ascending order. If fn returns
+// false, iteration stops early.
+func (s *Set) ForEach(fn func(i int) bool) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !fn(wi*wordBits + b) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// Members returns the indices of all set bits in ascending order.
+func (s *Set) Members() []int {
+	out := make([]int, 0, s.Count())
+	s.ForEach(func(i int) bool {
+		out = append(out, i)
+		return true
+	})
+	return out
+}
+
+// String renders the set as {i, j, ...} for debugging.
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(i int) bool {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&b, "%d", i)
+		return true
+	})
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,329 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"parowl/internal/dl"
+	"parowl/internal/reasoner"
+	"parowl/internal/taxonomy"
+)
+
+// Mode selects between the paper's two algorithm variants.
+type Mode int
+
+// Classification modes.
+const (
+	// Optimized is Section IV: single-sided pair storage, symmetric
+	// subsumption tests, and K-based pruning (Algorithm 5).
+	Optimized Mode = iota
+	// Basic is Section III as published: directional P sets and
+	// single-direction tests (Algorithms 1-4), no pruning.
+	Basic
+)
+
+func (m Mode) String() string {
+	if m == Basic {
+		return "basic"
+	}
+	return "optimized"
+}
+
+// Options configures a classification run. The zero value (plus a
+// Reasoner) is a sensible default: optimized mode, round-robin
+// scheduling, GOMAXPROCS workers, two random-division cycles.
+type Options struct {
+	// Reasoner is the plug-in deciding sat?/subs?; required.
+	Reasoner reasoner.Interface
+	// Workers is the pool size w; 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// RandomCycles is the number of random-division cycles before the
+	// group-division phase; 0 means 2. (Fig. 11 uses 10.)
+	RandomCycles int
+	// Seed drives the random shuffles; runs with equal seeds dispatch
+	// identical groups. The final taxonomy is seed-independent.
+	Seed int64
+	// Mode selects Optimized (default) or Basic.
+	Mode Mode
+	// Scheduling selects RoundRobin (default, the paper's policy) or
+	// WorkSharing.
+	Scheduling Scheduling
+	// CollectTrace records per-cycle statistics and task durations.
+	CollectTrace bool
+	// AdaptiveCycles enables the paper's proposed future-work load
+	// balancing between the two phases: random-division cycles continue
+	// (up to RandomCycles, or 64 when RandomCycles is 0) only while each
+	// cycle still removes at least MinCycleGain of the initial possible
+	// pairs, instead of running a fixed count.
+	AdaptiveCycles bool
+	// MinCycleGain is the adaptive threshold as a fraction of
+	// InitialPossible; 0 means 0.05 (5%).
+	MinCycleGain float64
+	// MaxGroupSize splits phase-2 groups G_X larger than this into
+	// several tasks, improving load balance when the remaining possible
+	// sets are heterogeneous (the paper's Sec. V-C observation that the
+	// group-division phase balances worse than random division). 0 keeps
+	// the paper's one-task-per-concept dispatch.
+	MaxGroupSize int
+	// UseToldSubsumers answers subsumption tests whose truth follows
+	// from the told (asserted) named hierarchy without calling the
+	// reasoner plug-in — a standard classifier optimization the paper
+	// deliberately leaves out ("without enhanced optimizations", Sec. V),
+	// provided here as an ablation. Sound for any plug-in: told axioms
+	// are entailed.
+	UseToldSubsumers bool
+}
+
+// Stats summarizes reasoner usage of one run.
+type Stats struct {
+	SatTests  int64 // sat?() plug-in calls
+	SubsTests int64 // subs?() plug-in calls
+	Pruned    int64 // pairs resolved without a plug-in call (Sec. IV)
+	ToldHits  int64 // positive tests answered from the told hierarchy
+}
+
+// Result is a completed classification.
+type Result struct {
+	Taxonomy *taxonomy.Taxonomy
+	Stats    Stats
+	// Trace is non-nil when Options.CollectTrace was set.
+	Trace *Trace
+}
+
+// ErrNoReasoner is returned when Options.Reasoner is nil.
+var ErrNoReasoner = errors.New("core: Options.Reasoner is required")
+
+// Classify runs parallel TBox classification (Algorithm 1,
+// parallelTBoxClassification) and returns the taxonomy of all named
+// concepts.
+func Classify(t *dl.TBox, opts Options) (*Result, error) {
+	return ClassifyContext(context.Background(), t, opts)
+}
+
+// ClassifyContext is Classify with cancellation: when ctx is cancelled
+// the workers stop claiming work, in-flight reasoner calls finish, and
+// the context error is returned.
+func ClassifyContext(ctx context.Context, t *dl.TBox, opts Options) (*Result, error) {
+	if opts.Reasoner == nil {
+		return nil, ErrNoReasoner
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	cycles := opts.RandomCycles
+	if cycles <= 0 {
+		cycles = 2
+		if opts.AdaptiveCycles {
+			cycles = 64
+		}
+	}
+	minGain := opts.MinCycleGain
+	if minGain <= 0 {
+		minGain = 0.05
+	}
+	t.Freeze()
+
+	start := time.Now()
+	s := newState(t, opts.Reasoner, opts.Mode == Optimized)
+	s.maxGroupSize = opts.MaxGroupSize
+	if opts.UseToldSubsumers {
+		s.buildTold()
+	}
+	if ctx.Done() != nil {
+		stopWatch := make(chan struct{})
+		defer close(stopWatch)
+		go func() {
+			select {
+			case <-ctx.Done():
+				s.fail(ctx.Err())
+			case <-stopWatch:
+			}
+		}()
+	}
+	var trace *Trace
+	if opts.CollectTrace {
+		trace = &Trace{Workers: workers, InitialPossible: s.remainingPossible()}
+	}
+	p := newPool(workers, opts.Scheduling)
+	p.onPanic = func(r any) {
+		s.fail(fmt.Errorf("reasoner plug-in panicked: %v", r))
+	}
+	defer p.close()
+
+	rng := rand.New(rand.NewSource(opts.Seed))
+	initial := s.remainingPossible()
+	for cycle := 1; cycle <= cycles && !s.failed(); cycle++ {
+		before := s.remainingPossible()
+		s.runRandomCycle(p, rng, workers, cycle, trace)
+		if opts.AdaptiveCycles && initial > 0 {
+			gain := float64(before-s.remainingPossible()) / float64(initial)
+			if gain < minGain {
+				break // the group-division phase finishes the rest
+			}
+		}
+	}
+	for iter := 1; !s.failed(); iter++ {
+		if !s.runGroupCycle(p, iter, trace) {
+			break
+		}
+	}
+	if err := s.errOrNil(); err != nil {
+		return nil, fmt.Errorf("core: classification failed: %w", err)
+	}
+	if rem := s.remainingPossible(); rem != 0 {
+		return nil, fmt.Errorf("core: internal error: %d possible pairs left after group phase", rem)
+	}
+
+	tax, err := s.buildTaxonomy(p, trace)
+	if err != nil {
+		return nil, err
+	}
+	if trace != nil {
+		trace.WallElapsed = time.Since(start)
+	}
+	return &Result{
+		Taxonomy: tax,
+		Stats: Stats{
+			SatTests:  s.satTests.Load(),
+			SubsTests: s.subsTests.Load(),
+			Pruned:    s.pruned.Load(),
+			ToldHits:  s.toldHits.Load(),
+		},
+		Trace: trace,
+	}, nil
+}
+
+// counterSnapshot captures the reasoner counters to compute per-cycle
+// deltas.
+type counterSnapshot struct{ sat, subs, pruned, told int64 }
+
+func (s *state) snapshot() counterSnapshot {
+	return counterSnapshot{s.satTests.Load(), s.subsTests.Load(), s.pruned.Load(), s.toldHits.Load()}
+}
+
+func (s *state) record(trace *Trace, phase Phase, index int, before counterSnapshot, durs, loads []time.Duration) {
+	if trace == nil {
+		return
+	}
+	now := s.snapshot()
+	trace.Cycles = append(trace.Cycles, &Cycle{
+		Phase:             phase,
+		Index:             index,
+		Tasks:             durs,
+		WorkerLoads:       loads,
+		SubsTests:         now.subs - before.subs,
+		SatTests:          now.sat - before.sat,
+		Pruned:            now.pruned - before.pruned,
+		ToldHits:          now.told - before.told,
+		RemainingPossible: s.remainingPossible(),
+	})
+}
+
+// runRandomCycle is one cycle of phase 1 (Algorithm 1's randomDivision +
+// Algorithm 2): shuffle all concepts, split into w equal groups, and test
+// all pairs within each group.
+func (s *state) runRandomCycle(p *pool, rng *rand.Rand, workers, cycle int, trace *Trace) {
+	before := s.snapshot()
+	perm := rng.Perm(s.n)
+	for _, g := range splitGroups(perm, workers) {
+		g := g
+		p.submit(func() time.Duration { return s.randomDivisionSubsTest(g) })
+	}
+	durs, loads := p.barrier()
+	s.record(trace, PhaseRandom, cycle, before, durs, loads)
+}
+
+// splitGroups partitions seq into at most w contiguous groups of nearly
+// equal size (the paper's n/w partitions).
+func splitGroups(seq []int, w int) [][]int {
+	if w < 1 {
+		w = 1
+	}
+	n := len(seq)
+	if w > n {
+		w = n
+	}
+	out := make([][]int, 0, w)
+	for i := 0; i < w; i++ {
+		lo, hi := i*n/w, (i+1)*n/w
+		if lo < hi {
+			out = append(out, seq[lo:hi])
+		}
+	}
+	return out
+}
+
+// randomDivisionSubsTest is Algorithm 2: test the pairs inside one random
+// group. In basic mode the pairs are directed by sequence position
+// (Example 3.1); in optimized mode each unordered pair is tested
+// symmetrically with pruning (Example 4.1).
+func (s *state) randomDivisionSubsTest(g []int) time.Duration {
+	var cost time.Duration
+	for i := 0; i < len(g) && !s.failed(); i++ {
+		for j := i + 1; j < len(g) && !s.failed(); j++ {
+			if s.optimized {
+				cost += s.resolvePair(g[i], g[j])
+			} else {
+				cost += s.resolveBasic(g[i], g[j])
+			}
+		}
+	}
+	return cost
+}
+
+// runGroupCycle is one pass of phase 2 (Algorithm 3): every concept X
+// with P_X ≠ ∅ contributes a group G_X = P_X, dispatched round-robin.
+// It reports whether any group was dispatched.
+func (s *state) runGroupCycle(p *pool, iter int, trace *Trace) bool {
+	before := s.snapshot()
+	submitted := false
+	for x := 0; x < s.n; x++ {
+		g := s.P[x].Members()
+		if len(g) == 0 {
+			continue
+		}
+		submitted = true
+		chunks := [][]int{g}
+		if s.maxGroupSize > 0 && len(g) > s.maxGroupSize {
+			chunks = nil
+			for lo := 0; lo < len(g); lo += s.maxGroupSize {
+				hi := lo + s.maxGroupSize
+				if hi > len(g) {
+					hi = len(g)
+				}
+				chunks = append(chunks, g[lo:hi])
+			}
+		}
+		for _, chunk := range chunks {
+			x, chunk := x, chunk
+			p.submit(func() time.Duration { return s.groupDivisionSubsTest(x, chunk) })
+		}
+	}
+	if !submitted {
+		return false
+	}
+	durs, loads := p.barrier()
+	s.record(trace, PhaseGroup, iter, before, durs, loads)
+	return true
+}
+
+// groupDivisionSubsTest is Algorithm 3 for one group G_X.
+func (s *state) groupDivisionSubsTest(x int, g []int) time.Duration {
+	var cost time.Duration
+	for _, y := range g {
+		if s.failed() {
+			break
+		}
+		if s.optimized {
+			cost += s.resolvePair(x, y)
+		} else {
+			cost += s.resolveBasic(x, y)
+		}
+	}
+	return cost
+}

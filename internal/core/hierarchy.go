@@ -1,0 +1,163 @@
+package core
+
+import (
+	"time"
+
+	"parowl/internal/bitset"
+	"parowl/internal/taxonomy"
+)
+
+// buildTaxonomy is phase 3 (Sec. III-B, Algorithm 4): once P is empty,
+// the K sets contain the discovered subsumptions. Equivalence classes are
+// contracted, then a partial hierarchy H_X — the direct subsumees of X —
+// is computed for every class in parallel (the divide step), and the
+// conquer step merges them into the final taxonomy.
+//
+// Algorithm 4 reduces K_X by deleting every Z ∈ K_Y for Y ∈ K_X. With the
+// Section IV pruning active, K is already partially reduced, so a
+// one-step lookahead could miss indirect subsumees reachable in two or
+// more K-steps; the reduction here therefore removes everything reachable
+// from a K-child through the K-graph, which is exactly the transitive
+// reduction the paper's example computes.
+func (s *state) buildTaxonomy(p *pool, trace *Trace) (*taxonomy.Taxonomy, error) {
+	before := s.snapshot()
+	n := s.n
+
+	// Contract equivalence classes: mutual K membership (Algorithm 4's
+	// setEquivalentConcept). Unsatisfiable concepts go to ⊥ and take no
+	// further part.
+	canon := make([]int, n)
+	for i := range canon {
+		canon[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		for canon[i] != i {
+			canon[i] = canon[canon[i]]
+			i = canon[i]
+		}
+		return i
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra > rb {
+			ra, rb = rb, ra
+		}
+		if ra != rb {
+			canon[rb] = ra
+		}
+	}
+	unsat := func(x int) bool { return s.satState[x].Load() == satNo }
+	for x := 0; x < n; x++ {
+		if unsat(x) {
+			continue
+		}
+		s.K[x].ForEach(func(y int) bool {
+			if !unsat(y) && s.K[y].Test(x) {
+				union(x, y)
+			}
+			return true
+		})
+	}
+
+	// Contracted K-graph over canonical representatives.
+	members := make([][]int, n)
+	for m := 0; m < n; m++ {
+		if !unsat(m) {
+			r := find(m)
+			members[r] = append(members[r], m)
+		}
+	}
+	kc := make([]*bitset.Set, n)
+	for x := 0; x < n; x++ {
+		if unsat(x) || find(x) != x {
+			continue
+		}
+		acc := bitset.New(n)
+		for _, member := range members[x] {
+			s.K[member].ForEach(func(y int) bool {
+				if unsat(y) {
+					return true
+				}
+				if cy := find(y); cy != x {
+					acc.Set(cy)
+				}
+				return true
+			})
+		}
+		kc[x] = acc
+	}
+
+	// Divide: one parallel task per class computes H_X, the direct
+	// children, by discarding every child reachable from another child.
+	direct := make([][]int, n)
+	for x := 0; x < n; x++ {
+		if kc[x] == nil || kc[x].IsEmpty() {
+			continue
+		}
+		x := x
+		p.submit(func() time.Duration {
+			start := time.Now()
+			direct[x] = s.partialHierarchy(x, kc)
+			return time.Since(start)
+		})
+	}
+	durs, loads := p.barrier()
+	s.record(trace, PhaseHierarchy, 1, before, durs, loads)
+	if err := s.errOrNil(); err != nil {
+		return nil, err
+	}
+
+	// Conquer: merge the partial hierarchies top-down into the taxonomy.
+	b := taxonomy.NewBuilder(s.tbox.Factory)
+	for x := 0; x < n; x++ {
+		b.AddConcept(s.named[x])
+		if unsat(x) {
+			b.MarkUnsatisfiable(s.named[x])
+			continue
+		}
+		if cx := find(x); cx != x {
+			b.MarkEquivalent(s.named[cx], s.named[x])
+		}
+	}
+	for x := 0; x < n; x++ {
+		for _, child := range direct[x] {
+			b.AddEdge(s.named[x], s.named[child])
+		}
+	}
+	return b.Build()
+}
+
+// partialHierarchy computes H_X: the members of K_X (contracted) that are
+// not reachable from another member through the contracted K-graph.
+func (s *state) partialHierarchy(x int, kc []*bitset.Set) []int {
+	children := kc[x].Members()
+	if len(children) <= 1 {
+		return children
+	}
+	// Union of everything strictly below each child.
+	below := bitset.New(s.n)
+	var dfs func(y int)
+	dfs = func(y int) {
+		if kc[y] == nil {
+			return
+		}
+		kc[y].ForEach(func(z int) bool {
+			if !below.Test(z) {
+				below.Set(z)
+				dfs(z)
+			}
+			return true
+		})
+	}
+	for _, y := range children {
+		dfs(y)
+	}
+	out := children[:0]
+	for _, y := range children {
+		if !below.Test(y) {
+			out = append(out, y)
+		}
+	}
+	return out
+}

@@ -1,0 +1,306 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"parowl/internal/dl"
+
+	"parowl/internal/reasoner"
+)
+
+// TestAdaptiveCyclesStopEarly: with a high gain threshold, the adaptive
+// controller must cut the random phase short; the result stays correct.
+func TestAdaptiveCyclesStopEarly(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tb := randomTaxonomyTBox(rng, 30)
+	oracle := reasoner.NewOracle(tb, reasoner.OracleOptions{})
+
+	fixed, err := Classify(tb, Options{
+		Reasoner: oracle, Workers: 4, RandomCycles: 12, CollectTrace: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptive, err := Classify(tb, Options{
+		Reasoner: oracle, Workers: 4, RandomCycles: 12, CollectTrace: true,
+		AdaptiveCycles: true, MinCycleGain: 0.25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !adaptive.Taxonomy.Equal(fixed.Taxonomy) {
+		t.Fatal("adaptive run produced a different taxonomy")
+	}
+	count := func(tr *Trace) int {
+		n := 0
+		for _, c := range tr.Cycles {
+			if c.Phase == PhaseRandom {
+				n++
+			}
+		}
+		return n
+	}
+	if fc, ac := count(fixed.Trace), count(adaptive.Trace); ac >= fc {
+		t.Errorf("adaptive ran %d random cycles, fixed ran %d — no early stop", ac, fc)
+	}
+}
+
+// TestAdaptiveCyclesDefaultBound: AdaptiveCycles with RandomCycles 0 must
+// terminate (bounded at 64) even with a tiny threshold.
+func TestAdaptiveCyclesDefaultBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	tb := randomTaxonomyTBox(rng, 10)
+	oracle := reasoner.NewOracle(tb, reasoner.OracleOptions{})
+	res, err := Classify(tb, Options{
+		Reasoner: oracle, Workers: 2, AdaptiveCycles: true,
+		MinCycleGain: 1e-12, CollectTrace: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	random := 0
+	for _, c := range res.Trace.Cycles {
+		if c.Phase == PhaseRandom {
+			random++
+		}
+	}
+	if random > 64 {
+		t.Errorf("adaptive ran %d random cycles, bound is 64", random)
+	}
+}
+
+// TestToldSubsumersAblation: same taxonomy, strictly fewer plug-in calls
+// on a told-heavy corpus, with the shortcut hits accounted.
+func TestToldSubsumersAblation(t *testing.T) {
+	tb := chainTBox(14) // every subsumption is told: maximal shortcut value
+	oracle := reasoner.NewOracle(tb, reasoner.OracleOptions{})
+	plain, err := Classify(tb, Options{Reasoner: oracle, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	told, err := Classify(tb, Options{Reasoner: oracle, Workers: 3, UseToldSubsumers: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !told.Taxonomy.Equal(plain.Taxonomy) {
+		t.Fatal("told-subsumer run produced a different taxonomy")
+	}
+	if told.Stats.ToldHits == 0 {
+		t.Error("no told hits on a pure chain")
+	}
+	if told.Stats.SubsTests >= plain.Stats.SubsTests {
+		t.Errorf("told run used %d tests, plain %d — no reduction",
+			told.Stats.SubsTests, plain.Stats.SubsTests)
+	}
+}
+
+// TestToldSubsumersCorrectAcrossRandomOntologies property-checks that the
+// shortcut never changes results.
+func TestToldSubsumersCorrectAcrossRandomOntologies(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		tb := randomTaxonomyTBox(rng, 4+rng.Intn(12))
+		r := tableauFactory(tb)
+		plain, err := Classify(tb, Options{Reasoner: r, Workers: 3, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		told, err := Classify(tb, Options{Reasoner: r, Workers: 3, Seed: seed, UseToldSubsumers: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !told.Taxonomy.Equal(plain.Taxonomy) {
+			t.Fatalf("seed %d: told shortcut changed the taxonomy", seed)
+		}
+	}
+}
+
+// TestWorkerLoadsRecorded: the trace must carry per-worker loads whose sum
+// matches the cycle runtime, and a sane imbalance factor.
+func TestWorkerLoadsRecorded(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	tb := randomTaxonomyTBox(rng, 25)
+	oracle := reasoner.NewOracle(tb, reasoner.OracleOptions{
+		SubsCost: reasoner.UniformCost(1000, 0.1, 1),
+	})
+	res, err := Classify(tb, Options{Reasoner: oracle, Workers: 4, CollectTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range res.Trace.Cycles {
+		if len(c.Tasks) == 0 {
+			continue
+		}
+		if len(c.WorkerLoads) != 4 {
+			t.Fatalf("cycle %d: %d worker loads, want 4", i, len(c.WorkerLoads))
+		}
+		var sum, runtime int64
+		for _, l := range c.WorkerLoads {
+			sum += int64(l)
+		}
+		runtime = int64(c.Runtime())
+		if sum != runtime {
+			t.Errorf("cycle %d: worker loads sum %d != runtime %d", i, sum, runtime)
+		}
+		if im := c.Imbalance(); im < 1.0-1e-9 && im != 0 {
+			t.Errorf("cycle %d: imbalance %.3f < 1", i, im)
+		}
+	}
+}
+
+// TestImbalanceComputation checks the metric directly.
+func TestImbalanceComputation(t *testing.T) {
+	c := &Cycle{WorkerLoads: []time.Duration{100, 100, 100, 100}}
+	if im := c.Imbalance(); im < 0.999 || im > 1.001 {
+		t.Errorf("balanced imbalance = %.3f, want 1", im)
+	}
+	c = &Cycle{WorkerLoads: []time.Duration{400, 0, 0, 0}}
+	if im := c.Imbalance(); im < 3.999 || im > 4.001 {
+		t.Errorf("single-straggler imbalance = %.3f, want 4", im)
+	}
+	if im := (&Cycle{}).Imbalance(); im != 0 {
+		t.Errorf("empty imbalance = %.3f", im)
+	}
+}
+
+type panickyReasoner struct {
+	after int
+	calls atomic.Int64
+}
+
+func (p *panickyReasoner) IsSatisfiable(*dl.Concept) (bool, error) { return true, nil }
+func (p *panickyReasoner) Subsumes(_, _ *dl.Concept) (bool, error) {
+	if p.calls.Add(1) > int64(p.after) {
+		panic("injected plug-in panic")
+	}
+	return false, nil
+}
+
+// TestPluginPanicRecovered: a panicking plug-in must produce a clean
+// error, not a crashed process or a deadlocked barrier.
+func TestPluginPanicRecovered(t *testing.T) {
+	for _, after := range []int{0, 3, 11} {
+		tb := chainTBox(8)
+		_, err := Classify(tb, Options{Reasoner: &panickyReasoner{after: after}, Workers: 4})
+		if err == nil {
+			t.Fatalf("after=%d: no error from panicking plug-in", after)
+		}
+		if !strings.Contains(err.Error(), "panicked") {
+			t.Fatalf("after=%d: unexpected error %v", after, err)
+		}
+	}
+}
+
+// TestToldDisjointShortcut: asserted disjointness between satisfiable
+// branches answers the cross-branch tests negatively without the plug-in.
+func TestToldDisjointShortcut(t *testing.T) {
+	tb := dl.NewTBox("disjtold")
+	a, b := tb.Declare("A"), tb.Declare("B")
+	var below []*dl.Concept
+	for i := 0; i < 5; i++ {
+		ca := tb.Declare(fmt.Sprintf("A%d", i))
+		cb := tb.Declare(fmt.Sprintf("B%d", i))
+		tb.SubClassOf(ca, a)
+		tb.SubClassOf(cb, b)
+		below = append(below, ca, cb)
+	}
+	tb.DisjointClasses(a, b)
+	r := tableauFactory(tb)
+	plain, err := Classify(tb, Options{Reasoner: r, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	told, err := Classify(tb, Options{Reasoner: r, Workers: 2, UseToldSubsumers: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !told.Taxonomy.Equal(plain.Taxonomy) {
+		t.Fatal("told-disjoint shortcut changed the taxonomy")
+	}
+	// Every A-branch × B-branch pair (both directions) plus the told
+	// positives are answered without the reasoner.
+	if told.Stats.ToldHits < 50 {
+		t.Errorf("told hits = %d, expected the cross-branch tests covered", told.Stats.ToldHits)
+	}
+	if told.Stats.SubsTests >= plain.Stats.SubsTests {
+		t.Errorf("no test reduction: %d vs %d", told.Stats.SubsTests, plain.Stats.SubsTests)
+	}
+	_ = below
+}
+
+// slowReasoner answers correctly but takes a while per call.
+type slowReasoner struct{ d time.Duration }
+
+func (s slowReasoner) IsSatisfiable(*dl.Concept) (bool, error) { return true, nil }
+func (s slowReasoner) Subsumes(_, _ *dl.Concept) (bool, error) {
+	time.Sleep(s.d)
+	return false, nil
+}
+
+// TestClassifyContextCancel: cancelling the context aborts the run with
+// the context error, well before the uncancelled run would finish.
+func TestClassifyContextCancel(t *testing.T) {
+	tb := chainTBox(40) // ~1600 pairs × 1ms would be seconds of work
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := ClassifyContext(ctx, tb, Options{Reasoner: slowReasoner{time.Millisecond}, Workers: 2})
+	if err == nil {
+		t.Fatal("no error from cancelled classification")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("cancellation took %v", elapsed)
+	}
+}
+
+// TestClassifyContextCompletes: an uncancelled context changes nothing.
+func TestClassifyContextCompletes(t *testing.T) {
+	tb := chainTBox(6)
+	res, err := ClassifyContext(context.Background(), tb, Options{Reasoner: tableauFactory(tb), Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Taxonomy == nil {
+		t.Fatal("nil taxonomy")
+	}
+}
+
+// TestMaxGroupSizeCorrectAndBalanced: splitting phase-2 groups must not
+// change the taxonomy and must produce more, smaller tasks.
+func TestMaxGroupSizeCorrectAndBalanced(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	tb := randomTaxonomyTBox(rng, 30)
+	oracle := reasoner.NewOracle(tb, reasoner.OracleOptions{})
+	plain, err := Classify(tb, Options{Reasoner: oracle, Workers: 4, RandomCycles: 1, CollectTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	split, err := Classify(tb, Options{Reasoner: oracle, Workers: 4, RandomCycles: 1, CollectTrace: true, MaxGroupSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !split.Taxonomy.Equal(plain.Taxonomy) {
+		t.Fatal("group splitting changed the taxonomy")
+	}
+	tasks := func(tr *Trace) int {
+		for _, c := range tr.Cycles {
+			if c.Phase == PhaseGroup {
+				return len(c.Tasks)
+			}
+		}
+		return 0
+	}
+	if pt, st := tasks(plain.Trace), tasks(split.Trace); st <= pt {
+		t.Errorf("split tasks %d <= plain tasks %d", st, pt)
+	}
+}

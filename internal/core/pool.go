@@ -1,0 +1,197 @@
+package core
+
+import (
+	"sync"
+	"time"
+)
+
+// Scheduling selects how tasks are assigned to the worker pool.
+type Scheduling int
+
+// Scheduling policies.
+const (
+	// RoundRobin assigns task i to worker i mod w, the paper's stated
+	// policy for the group-division phase ("we apply round-robin
+	// scheduling to ensure a good use of all threads").
+	RoundRobin Scheduling = iota
+	// WorkSharing feeds all workers from one shared queue: an idle worker
+	// takes the next task. Benchmarked as an ablation of the paper's
+	// choice.
+	WorkSharing
+)
+
+func (s Scheduling) String() string {
+	if s == WorkSharing {
+		return "worksharing"
+	}
+	return "roundrobin"
+}
+
+// task is one unit of pool work; it returns its charged duration.
+type task func() time.Duration
+
+// pool is the fixed worker pool of Algorithm 1 (createWorkerPool). It is
+// created once per classification run and reused across phases; each
+// phase submits a batch of tasks and waits on the barrier.
+//
+// Under RoundRobin each worker owns a queue and a wake channel, so a
+// wakeup can never be consumed by a worker whose queue is empty; under
+// WorkSharing all workers drain queue 0 and share wake channel 0.
+type pool struct {
+	workers    int
+	scheduling Scheduling
+
+	mu     sync.Mutex
+	queues [][]task
+	next   int             // round-robin cursor
+	durs   []time.Duration // indexed by dispatch order
+	busy   []time.Duration // charged load per worker, this batch
+
+	inflight sync.WaitGroup
+	wake     []chan struct{}
+	quit     chan struct{}
+	done     sync.WaitGroup
+
+	// onPanic receives recovered task panics; without it a panicking
+	// plug-in would kill the process or deadlock the barrier.
+	onPanic func(any)
+}
+
+// newPool starts w workers.
+func newPool(w int, sched Scheduling) *pool {
+	if w < 1 {
+		w = 1
+	}
+	p := &pool{
+		workers:    w,
+		scheduling: sched,
+		queues:     make([][]task, w),
+		busy:       make([]time.Duration, w),
+		wake:       make([]chan struct{}, w),
+		quit:       make(chan struct{}),
+	}
+	for i := range p.wake {
+		p.wake[i] = make(chan struct{}, 1)
+	}
+	p.done.Add(w)
+	for i := 0; i < w; i++ {
+		go p.worker(i)
+	}
+	return p
+}
+
+// slotFor returns the queue a new task goes to and the wake channel to
+// signal.
+func (p *pool) slotFor() int {
+	if p.scheduling == WorkSharing {
+		return 0
+	}
+	slot := p.next % p.workers
+	p.next++
+	return slot
+}
+
+// submit enqueues one task for the barrier of the current batch. Task
+// durations are recorded in dispatch order so the virtual-time scheduler
+// can replay the exact round-robin assignment (task i → worker i mod w).
+func (p *pool) submit(t task) {
+	p.inflight.Add(1)
+	p.mu.Lock()
+	slot := p.slotFor()
+	idx := len(p.durs)
+	p.durs = append(p.durs, 0)
+	wrapped := func() time.Duration {
+		d := t()
+		p.mu.Lock()
+		p.durs[idx] = d
+		p.mu.Unlock()
+		return d
+	}
+	p.queues[slot] = append(p.queues[slot], wrapped)
+	p.mu.Unlock()
+	if p.scheduling == WorkSharing {
+		// Any worker may take it: nudge them all (non-blocking).
+		for i := range p.wake {
+			select {
+			case p.wake[i] <- struct{}{}:
+			default:
+			}
+		}
+		return
+	}
+	select {
+	case p.wake[slot] <- struct{}{}:
+	default:
+	}
+}
+
+// barrier waits for every submitted task to finish and returns the task
+// durations in dispatch order together with the per-worker charged loads
+// of the batch (the paper's Sec. V-C load-balancing measurement).
+func (p *pool) barrier() ([]time.Duration, []time.Duration) {
+	p.inflight.Wait()
+	p.mu.Lock()
+	durs := p.durs
+	p.durs = nil
+	p.next = 0
+	busy := p.busy
+	p.busy = make([]time.Duration, p.workers)
+	p.mu.Unlock()
+	return durs, busy
+}
+
+// close stops the workers; call only after a final barrier.
+func (p *pool) close() {
+	close(p.quit)
+	p.done.Wait()
+}
+
+// take pops a task for worker id.
+func (p *pool) take(id int) (task, bool) {
+	if p.scheduling == WorkSharing {
+		id = 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	q := p.queues[id]
+	if len(q) == 0 {
+		return nil, false
+	}
+	t := q[0]
+	p.queues[id] = q[1:]
+	return t, true
+}
+
+func (p *pool) worker(id int) {
+	defer p.done.Done()
+	wake := p.wake[id]
+	for {
+		t, ok := p.take(id)
+		if !ok {
+			select {
+			case <-wake:
+				continue
+			case <-p.quit:
+				return
+			}
+		}
+		p.runTask(id, t)
+	}
+}
+
+// runTask executes one task, converting panics into onPanic callbacks so
+// the barrier always completes.
+func (p *pool) runTask(id int, t task) {
+	defer p.inflight.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			if p.onPanic != nil {
+				p.onPanic(r)
+			}
+		}
+	}()
+	d := t()
+	p.mu.Lock()
+	p.busy[id] += d
+	p.mu.Unlock()
+}

@@ -1,0 +1,86 @@
+package core
+
+import "time"
+
+// order returns the pair in canonical (smaller, larger) index order; the
+// paper stores each possible pair once, at the smaller index (Sec. IV,
+// Definition 2).
+func order(u, v int) (int, int) {
+	if u > v {
+		return v, u
+	}
+	return u, v
+}
+
+// claimPair atomically claims the unordered pair {u, v}; only one worker
+// ever wins a given pair. The claim is the atomic clear of the pair's
+// single P bit (stored at the smaller index): clearing doubles as the
+// paper's tested() bookkeeping without a separate n×n matrix.
+func (s *state) claimPair(u, v int) bool {
+	a, b := order(u, v)
+	return s.P[a].Clear(b)
+}
+
+// resolvePair decides the unordered pair {u, v} in optimized mode
+// (Algorithm 5, pruneNonPossible): claim, satisfiability checks
+// (Situation 1), symmetric subsumption tests (Situation 2.2), and
+// K-based pruning (Situations 2.3.1 and 2.3.2). It returns the charged
+// reasoner cost.
+func (s *state) resolvePair(u, v int) time.Duration {
+	if u == v || s.failed() {
+		return 0
+	}
+	a, b := order(u, v)
+	if !s.claimPair(a, b) {
+		return 0 // Situation 2.1: already tested
+	}
+	if !s.sat(a) || !s.sat(b) || s.failed() {
+		return 0 // Situation 1: sat() already emptied the relevant P entries
+	}
+	r1, c1 := s.testDirected(a, b) // subs?(a, b): b ⊑ a
+	if s.failed() {
+		return c1
+	}
+	r2, c2 := s.testDirected(b, a) // subs?(b, a): a ⊑ b
+	if s.failed() {
+		return c1 + c2
+	}
+	switch {
+	case r1 && r2:
+		// Situation 2.2: a ≡ b, recorded as mutual K membership.
+	case r1:
+		s.pruneAfter(a, b) // Situation 2.3 with b ⊑ a
+	case r2:
+		s.pruneAfter(b, a) // Situation 2.3 with a ⊑ b
+	default:
+		// Situation 2.4: no subsumption either way — the counterexamples
+		// of Figs. 6-8 show no sound pruning exists here, so P and K are
+		// left unchanged.
+	}
+	return c1 + c2
+}
+
+// pruneAfter applies Situations 2.3.1 and 2.3.2 after establishing
+// sub ⊑ sup (strictly, since the reverse test failed): every y ∈ K_sub is
+// also a subsumee of sup but not a direct one, so
+//
+//   - y is deleted from P_sup and K_sup without a subsumption test
+//     (2.3.1), and
+//   - sup is deleted from P_y (2.3.2) — with single-sided pair storage
+//     both deletions collapse into clearing the one pair {sup, y}.
+//
+// The reverse direction sup ⊑ y is also resolved (false): it would imply
+// sup ⊑ sub, contradicting the failed reverse test. The K-reachability
+// chain sup → sub → y preserves the positive fact for phase 3.
+func (s *state) pruneAfter(sup, sub int) {
+	s.K[sub].ForEach(func(y int) bool {
+		if y == sup || y == sub {
+			return true
+		}
+		s.K[sup].Clear(y)
+		if s.claimPair(sup, y) {
+			s.pruned.Add(1)
+		}
+		return true
+	})
+}

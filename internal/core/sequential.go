@@ -1,0 +1,49 @@
+package core
+
+import (
+	"fmt"
+
+	"parowl/internal/dl"
+	"parowl/internal/reasoner"
+	"parowl/internal/taxonomy"
+)
+
+// SequentialBruteForce classifies the TBox by testing every ordered pair
+// of named concepts with the plug-in reasoner, sequentially. It is the
+// w = 1 reference point of the paper's speedup metric and the ground
+// truth the test suite compares every parallel configuration against.
+func SequentialBruteForce(t *dl.TBox, r reasoner.Interface) (*taxonomy.Taxonomy, error) {
+	t.Freeze()
+	named := t.NamedConcepts()
+	unsat := make(map[*dl.Concept]bool)
+	for _, c := range named {
+		ok, err := r.IsSatisfiable(c)
+		if err != nil {
+			return nil, fmt.Errorf("core: sat?(%v): %w", c, err)
+		}
+		if !ok {
+			unsat[c] = true
+		}
+	}
+	subs := make(map[*dl.Concept]map[*dl.Concept]bool, len(named))
+	for _, sub := range named {
+		row := map[*dl.Concept]bool{sub: true}
+		subs[sub] = row
+		if unsat[sub] {
+			continue
+		}
+		for _, sup := range named {
+			if sup == sub || unsat[sup] {
+				continue
+			}
+			ok, err := r.Subsumes(sup, sub)
+			if err != nil {
+				return nil, fmt.Errorf("core: subs?(%v, %v): %w", sup, sub, err)
+			}
+			if ok {
+				row[sup] = true
+			}
+		}
+	}
+	return taxonomy.FromSubsumers(t.Factory, subs, unsat)
+}

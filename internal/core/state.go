@@ -1,0 +1,333 @@
+// Package core implements the paper's contribution: a thread-level
+// parallel shared-memory architecture for OWL TBox classification
+// (Quan & Haarslev, ICPP 2017, Sections III-IV).
+//
+// Classification runs in three parallel phases over shared atomic data
+// structures P (possible subsumees) and K (known subsumees):
+//
+//  1. Random division (Algorithm 2): the named concepts are shuffled and
+//     partitioned into w equal groups; each worker tests all pairs inside
+//     its group.
+//  2. Group division (Algorithm 3): for every concept X with P_X ≠ ∅ a
+//     group G_X = P_X is dispatched round-robin to the worker pool until
+//     P drains.
+//  3. Concept hierarchy (Algorithm 4): partial hierarchies H_X are built
+//     in parallel by reducing each K_X to the direct subsumees, then the
+//     conquer step merges them into the final taxonomy.
+//
+// The optimized mode (Section IV, Algorithm 5) tests each pair
+// symmetrically and uses known subsumees to prune untested possibilities
+// from P without calling the reasoner.
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"parowl/internal/bitset"
+	"parowl/internal/dl"
+	"parowl/internal/reasoner"
+)
+
+// Satisfiability states, memoized per concept.
+const (
+	satUnknown int32 = iota
+	satYes
+	satNo
+)
+
+// state is the shared-memory core of a classification run: the paper's
+// "global atomic data structures". All hot-path mutation is lock-free
+// (bitset CAS); the trace collector uses a mutex off the hot path.
+type state struct {
+	tbox  *dl.TBox
+	named []*dl.Concept // N_O with ⊤ appended as the last element
+	index map[*dl.Concept]int
+	n     int // len(named), including ⊤
+	top   int // index of ⊤
+
+	r reasoner.Interface
+
+	// P[x] bit y: subsumption between x and y still unresolved. In basic
+	// mode the bit means "y is a possible subsumee of x" and both (x,y)
+	// and (y,x) bits exist; in optimized mode the pair is stored only at
+	// the smaller index (paper Sec. IV, Definition 2).
+	P []*bitset.Atomic
+	// K[x] bit y: y is a known subsumee of x (y ⊑ x, y ≠ x).
+	K []*bitset.Atomic
+	// tested bit (x,y): subs?(x,y) — "is y ⊑ x" — has been decided
+	// (tested or inferred). TestAndSet is the paper's tested() predicate.
+	// Only allocated in basic mode: optimized mode claims pairs by
+	// atomically clearing their single P bit, which both implements
+	// tested() and halves the shared-state footprint (P stores each pair
+	// once, and no n×n matrix exists).
+	tested *bitset.Matrix
+
+	satState []atomic.Int32
+
+	optimized bool
+	// maxGroupSize caps phase-2 task sizes (0 = unbounded, the paper's
+	// dispatch).
+	maxGroupSize int
+
+	// told[x] is the reflexive-transitive closure of x's told named
+	// subsumers (nil unless Options.UseToldSubsumers): if told[y] has x,
+	// then y ⊑ x follows from asserted axioms and needs no reasoner call.
+	told []*bitset.Set
+	// disjPairs holds asserted named disjointness pairs; together with
+	// told they justify negative answers (told-disjoint satisfiable
+	// concepts cannot subsume one another).
+	disjPairs [][2]int
+
+	// counters for statistics
+	satTests  atomic.Int64
+	subsTests atomic.Int64
+	pruned    atomic.Int64 // pairs resolved without a reasoner call
+	toldHits  atomic.Int64 // tests answered from the told closure
+
+	failure atomic.Pointer[classError]
+}
+
+// buildTold computes the told-subsumer closure from the asserted named
+// hierarchy (SubClassOf/EquivalentClasses edges between names, including
+// named conjuncts on the right side). Read-only after construction.
+func (s *state) buildTold() {
+	n := s.n
+	parents := make([][]int, n)
+	addEdge := func(sub, sup *dl.Concept) {
+		si, ok := s.index[sub]
+		if !ok {
+			return
+		}
+		switch sup.Op {
+		case dl.OpName, dl.OpTop:
+			if pi, ok := s.index[sup]; ok {
+				parents[si] = append(parents[si], pi)
+			}
+		case dl.OpAnd:
+			for _, arg := range sup.Args {
+				if arg.Op == dl.OpName {
+					if pi, ok := s.index[arg]; ok {
+						parents[si] = append(parents[si], pi)
+					}
+				}
+			}
+		}
+	}
+	for _, ax := range s.tbox.AsGCIs() {
+		addEdge(ax.Sub, ax.Sup)
+	}
+	for _, ax := range s.tbox.Axioms() {
+		if ax.Kind == dl.AxDisjoint && ax.Sub.Op == dl.OpName && ax.Sup.Op == dl.OpName {
+			a, aok := s.index[ax.Sub]
+			b, bok := s.index[ax.Sup]
+			if aok && bok {
+				s.disjPairs = append(s.disjPairs, [2]int{a, b})
+			}
+		}
+	}
+	s.told = make([]*bitset.Set, n)
+	var visit func(i int, acc *bitset.Set)
+	visit = func(i int, acc *bitset.Set) {
+		if acc.Test(i) {
+			return
+		}
+		acc.Set(i)
+		for _, p := range parents[i] {
+			visit(p, acc)
+		}
+	}
+	for i := 0; i < n; i++ {
+		acc := bitset.New(n)
+		visit(i, acc)
+		acc.Set(s.top) // everything is below ⊤
+		s.told[i] = acc
+	}
+}
+
+type classError struct{ err error }
+
+// newState initializes P and K per the paper: P_X starts as all other
+// concepts, K_X empty. ⊤ participates as a regular node so that concepts
+// equivalent to ⊤ are discovered (paper Example 3.2 reports A ≡ ⊤), but
+// the trivially true tests X ⊑ ⊤ are pre-seeded into K_⊤.
+func newState(t *dl.TBox, r reasoner.Interface, optimized bool) *state {
+	named := t.NamedConcepts()
+	n := len(named) + 1
+	s := &state{
+		tbox:      t,
+		named:     make([]*dl.Concept, 0, n),
+		index:     make(map[*dl.Concept]int, n),
+		n:         n,
+		top:       n - 1,
+		r:         r,
+		P:         make([]*bitset.Atomic, n),
+		K:         make([]*bitset.Atomic, n),
+		satState:  make([]atomic.Int32, n),
+		optimized: optimized,
+	}
+	if !optimized {
+		s.tested = bitset.NewMatrix(n, n)
+	}
+	s.named = append(s.named, named...)
+	s.named = append(s.named, t.Factory.Top())
+	for i, c := range s.named {
+		s.index[c] = i
+	}
+	for i := 0; i < n; i++ {
+		s.P[i] = bitset.NewAtomic(n)
+		s.K[i] = bitset.NewAtomic(n)
+	}
+	if optimized {
+		// Pair (x,y) lives at the smaller index: P_x = {y | y > x}.
+		for x := 0; x < n; x++ {
+			for y := x + 1; y < n; y++ {
+				s.P[x].Set(y)
+			}
+		}
+	} else {
+		for x := 0; x < n; x++ {
+			s.P[x].FillAll()
+			s.P[x].Clear(x)
+		}
+	}
+	// X ⊑ ⊤ is trivially true for every X: seed K_⊤, and in basic mode
+	// resolve the directed entry (⊤, X) up front. The opposite direction
+	// ⊤ ⊑ X (equivalence to ⊤, see paper Example 3.2's A ≡ ⊤) stays in P
+	// and is decided by a test: in basic mode it is the pair entry
+	// (X, ⊤), in optimized mode the single stored pair {X, ⊤} keeps both
+	// directions alive.
+	s.satState[s.top].Store(satYes)
+	for x := 0; x < n-1; x++ {
+		s.K[s.top].Set(x)
+		if !s.optimized {
+			s.tested.Set(s.top, x)
+			s.P[s.top].Clear(x)
+		}
+	}
+	return s
+}
+
+// fail records the first error and poisons the run.
+func (s *state) fail(err error) {
+	s.failure.CompareAndSwap(nil, &classError{err})
+}
+
+// failed reports whether the run is poisoned.
+func (s *state) failed() bool { return s.failure.Load() != nil }
+
+func (s *state) errOrNil() error {
+	if f := s.failure.Load(); f != nil {
+		return f.err
+	}
+	return nil
+}
+
+// sat memoizes sat?(x). On discovering an unsatisfiable concept it empties
+// P_x and removes x from every other P (Algorithm 2's unsat handling):
+// x ≡ ⊥, so no subsumption test involving x is ever needed.
+func (s *state) sat(x int) bool {
+	switch s.satState[x].Load() {
+	case satYes:
+		return true
+	case satNo:
+		return false
+	}
+	ok, err := s.r.IsSatisfiable(s.named[x])
+	s.satTests.Add(1)
+	if err != nil {
+		s.fail(err)
+		return false
+	}
+	if ok {
+		s.satState[x].Store(satYes)
+		return true
+	}
+	if s.satState[x].CompareAndSwap(satUnknown, satNo) {
+		s.P[x].ClearAll()
+		for y := 0; y < s.n; y++ {
+			if y != x {
+				s.P[y].Clear(x)
+			}
+		}
+	}
+	return false
+}
+
+// remainingPossible is |R_O| = Σ|P_X| (paper Definition 1/3), counting
+// unresolved pairs (each pair counts once in optimized mode, twice in
+// basic mode, matching the paper's InitialPossible bookkeeping).
+func (s *state) remainingPossible() int64 {
+	var total int64
+	for _, p := range s.P {
+		total += int64(p.Count())
+	}
+	return total
+}
+
+// testDirected runs subs?(x, y) — is y ⊑ x — through the plug-in,
+// recording the result in K/P and returning the verdict. The caller must
+// have claimed the tested bit. Returns the test's charged cost.
+func (s *state) testDirected(x, y int) (bool, time.Duration) {
+	if s.told != nil {
+		if s.told[y].Test(x) {
+			// y ⊑ x is asserted (transitively): no reasoner call needed.
+			s.toldHits.Add(1)
+			s.K[x].Set(y)
+			return true, 0
+		}
+		// Told disjointness refutes subsumption: if ancestors of x and y
+		// are asserted disjoint, y ⊑ x would make y unsatisfiable — but
+		// the caller already established sat?(y).
+		for _, pr := range s.disjPairs {
+			if (s.told[x].Test(pr[0]) && s.told[y].Test(pr[1])) ||
+				(s.told[x].Test(pr[1]) && s.told[y].Test(pr[0])) {
+				s.toldHits.Add(1)
+				return false, 0
+			}
+		}
+	}
+	start := time.Now()
+	res, err := s.r.Subsumes(s.named[x], s.named[y])
+	s.subsTests.Add(1)
+	if err != nil {
+		s.fail(err)
+		return false, 0
+	}
+	var cost time.Duration
+	if v, ok := s.r.(reasoner.Virtual); ok {
+		cost = v.VirtualSubsCost(s.named[x], s.named[y], res)
+	} else {
+		cost = time.Since(start)
+	}
+	if res {
+		s.K[x].Set(y)
+	}
+	return res, cost
+}
+
+// resolveBasic performs the basic-mode directed test of Algorithm 2 /
+// Algorithm 3: claim the pair, check satisfiability, test, update P.
+// It returns the charged cost.
+func (s *state) resolveBasic(x, y int) time.Duration {
+	if x == y || s.failed() {
+		return 0
+	}
+	if s.tested.TestAndSet(x, y) {
+		return 0
+	}
+	if !s.sat(x) || !s.sat(y) {
+		return 0
+	}
+	res, cost := s.testDirected(x, y)
+	_ = res
+	s.P[x].Clear(y)
+	return cost
+}
+
+// mutex-guarded trace sink; see trace.go.
+type traceSink struct {
+	mu    sync.Mutex
+	trace *Trace
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Phase identifies which classification phase produced a cycle or task.
+type Phase string
+
+// Phases of the classification pipeline.
+const (
+	PhaseRandom    Phase = "random"    // phase 1: random division
+	PhaseGroup     Phase = "group"     // phase 2: group division
+	PhaseHierarchy Phase = "hierarchy" // phase 3: divide-and-conquer taxonomy
+)
+
+// Cycle records one division cycle: the tasks dispatched (with their
+// charged costs, virtual or measured), the reasoner-call counters, and the
+// remaining-possible count after the barrier. Figure 11's Possible and
+// runtime ratios are computed from these records, and the virtual-time
+// scheduler (internal/schedsim) replays the task durations on w simulated
+// workers to produce the speedup curves of Figures 9 and 10.
+type Cycle struct {
+	Phase Phase
+	Index int // cycle number within its phase, starting at 1
+
+	// Tasks holds one duration per dispatched task (a group), in
+	// dispatch order — the round-robin assignment maps task i to worker
+	// i mod w.
+	Tasks []time.Duration
+
+	// WorkerLoads is the charged load each pool worker carried during
+	// the cycle (index = worker id); the paper's Sec. V-C load-balancing
+	// analysis compares these across the two phases.
+	WorkerLoads []time.Duration
+
+	// SubsTests and SatTests count reasoner calls during this cycle;
+	// Pruned counts pairs resolved without a call. ToldHits counts tests
+	// answered from the told-subsumer closure (optional optimization).
+	SubsTests int64
+	SatTests  int64
+	Pruned    int64
+	ToldHits  int64
+
+	// RemainingPossible is |R_O| after the cycle's barrier.
+	RemainingPossible int64
+}
+
+// Runtime returns the cycle's summed task durations — the paper's
+// "runtime" (sum of runtimes of all threads) restricted to this cycle.
+func (c *Cycle) Runtime() time.Duration {
+	var total time.Duration
+	for _, t := range c.Tasks {
+		total += t
+	}
+	return total
+}
+
+// Imbalance is max worker load divided by mean worker load for the cycle
+// (1.0 = perfectly balanced; large values mean stragglers). Workers that
+// received no task still count toward the mean.
+func (c *Cycle) Imbalance() float64 {
+	if len(c.WorkerLoads) == 0 {
+		return 0
+	}
+	var sum, max time.Duration
+	for _, l := range c.WorkerLoads {
+		sum += l
+		if l > max {
+			max = l
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	mean := float64(sum) / float64(len(c.WorkerLoads))
+	return float64(max) / mean
+}
+
+// Trace is the full instrumentation record of one classification run.
+type Trace struct {
+	InitialPossible int64
+	Cycles          []*Cycle
+
+	// Workers is the pool size the run used.
+	Workers int
+	// WallElapsed is the measured wall-clock duration of the whole run.
+	WallElapsed time.Duration
+}
+
+// TotalRuntime sums all task durations across all cycles (the paper's
+// "runtime": the sum of the runtimes of all threads).
+func (t *Trace) TotalRuntime() time.Duration {
+	var total time.Duration
+	for _, c := range t.Cycles {
+		total += c.Runtime()
+	}
+	return total
+}
+
+// TotalSubsTests counts reasoner subsumption calls across the run.
+func (t *Trace) TotalSubsTests() int64 {
+	var n int64
+	for _, c := range t.Cycles {
+		n += c.SubsTests
+	}
+	return n
+}
+
+// TotalPruned counts pairs resolved without a reasoner call.
+func (t *Trace) TotalPruned() int64 {
+	var n int64
+	for _, c := range t.Cycles {
+		n += c.Pruned
+	}
+	return n
+}
+
+// PossibleRatio computes the paper's Definition 3 for the cycle at
+// position i (0-based over all cycles):
+//
+//	Possible = (InitialPossible − RemainingPossible_i) / InitialPossible
+//
+// expressed in percent, as plotted in Fig. 11.
+func (t *Trace) PossibleRatio(i int) float64 {
+	if t.InitialPossible == 0 {
+		return 0
+	}
+	rem := t.Cycles[i].RemainingPossible
+	return 100 * float64(t.InitialPossible-rem) / float64(t.InitialPossible)
+}
+
+// RuntimeRatio computes the accumulated cycle runtime through cycle i
+// divided by the total runtime, in percent (Fig. 11's second series).
+func (t *Trace) RuntimeRatio(i int) float64 {
+	total := t.TotalRuntime()
+	if total == 0 {
+		return 0
+	}
+	var acc time.Duration
+	for j := 0; j <= i && j < len(t.Cycles); j++ {
+		acc += t.Cycles[j].Runtime()
+	}
+	return 100 * float64(acc) / float64(total)
+}
+
+// String renders a per-cycle summary table.
+func (t *Trace) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "initial possible: %d, workers: %d\n", t.InitialPossible, t.Workers)
+	for i, c := range t.Cycles {
+		fmt.Fprintf(&b, "cycle %2d %-9s tasks=%-4d tests=%-6d pruned=%-6d remaining=%-8d possible=%5.1f%% runtime=%5.1f%% imbalance=%.2f\n",
+			i+1, c.Phase, len(c.Tasks), c.SubsTests, c.Pruned, c.RemainingPossible,
+			t.PossibleRatio(i), t.RuntimeRatio(i), c.Imbalance())
+	}
+	return b.String()
+}

@@ -1,0 +1,124 @@
+package dl
+
+import "fmt"
+
+// Metrics summarizes an ontology with the columns used in the paper's
+// Tables IV and V: concept count, axiom count, SubClassOf count, QCR count,
+// ∃/∀ occurrence counts, Equivalent and Disjoint axiom counts, and the
+// detected expressivity name.
+type Metrics struct {
+	Name         string
+	Concepts     int
+	Axioms       int
+	SubClassOf   int
+	QCRs         int // qualified cardinality restrictions (≥/≤ with filler ≠ ⊤)
+	Cards        int // unqualified cardinality restrictions (filler = ⊤)
+	Somes        int
+	Alls         int
+	Equivalent   int
+	Disjoint     int
+	Expressivity string
+}
+
+// String renders one metrics row.
+func (m Metrics) String() string {
+	return fmt.Sprintf("%s: concepts=%d axioms=%d subClassOf=%d qcrs=%d somes=%d alls=%d equiv=%d disjoint=%d dl=%s",
+		m.Name, m.Concepts, m.Axioms, m.SubClassOf, m.QCRs, m.Somes, m.Alls, m.Equivalent, m.Disjoint, m.Expressivity)
+}
+
+// ComputeMetrics walks the TBox and fills a Metrics row.
+func ComputeMetrics(t *TBox) Metrics {
+	m := Metrics{Name: t.Name, Concepts: t.NumNamed(), Axioms: len(t.axioms)}
+	feat := &features{}
+	countExpr := func(c *Concept) {
+		walkConcept(c, &m, feat)
+	}
+	for _, a := range t.axioms {
+		switch a.Kind {
+		case AxSubClassOf:
+			m.SubClassOf++
+			countExpr(a.Sub)
+			countExpr(a.Sup)
+		case AxEquivalent:
+			m.Equivalent++
+			countExpr(a.Sub)
+			countExpr(a.Sup)
+		case AxDisjoint:
+			m.Disjoint++
+			countExpr(a.Sub)
+			countExpr(a.Sup)
+		case AxSubRole:
+			feat.roleHierarchy = true
+		case AxTransitiveRole:
+			feat.transitive = true
+		}
+	}
+	m.Expressivity = feat.name()
+	return m
+}
+
+type features struct {
+	negation, union, universal bool
+	qcr, card                  bool
+	roleHierarchy, transitive  bool
+}
+
+// walkConcept counts syntactic constructor occurrences (every occurrence
+// counts, as ontology editors report them); the corpus generators are
+// calibrated against these counts.
+func walkConcept(c *Concept, m *Metrics, f *features) {
+	switch c.Op {
+	case OpNot:
+		f.negation = true
+	case OpOr:
+		f.union = true
+	case OpAll:
+		f.universal = true
+		m.Alls++
+	case OpSome:
+		m.Somes++
+	case OpMin, OpMax:
+		if c.Args[0].Op == OpTop {
+			f.card = true
+			m.Cards++
+		} else {
+			f.qcr = true
+			m.QCRs++
+		}
+	}
+	for _, a := range c.Args {
+		walkConcept(a, m, f)
+	}
+}
+
+// name derives the DL name per the naming scheme of paper Sec. II-A:
+// the EL family (⊓, ∃ only) is EL / ELH / EL+ / ELH+; anything using
+// negation, union, universal restriction or cardinalities is named from
+// ALC (S when transitive roles are present), plus H for role hierarchies,
+// Q for qualified and N for unqualified number restrictions.
+func (f *features) name() string {
+	if !f.negation && !f.union && !f.universal && !f.qcr && !f.card {
+		name := "EL"
+		if f.roleHierarchy {
+			name += "H"
+		}
+		if f.transitive {
+			name += "+"
+		}
+		return name
+	}
+	name := "ALC"
+	if f.transitive {
+		name = "S"
+	}
+	if f.roleHierarchy {
+		name += "H"
+	}
+	switch {
+	case f.qcr:
+		name += "Q"
+	case f.card:
+		name += "N"
+	}
+	return name
+}

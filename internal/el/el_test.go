@@ -1,0 +1,434 @@
+package el
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"parowl/internal/core"
+	"parowl/internal/dl"
+	"parowl/internal/tableau"
+)
+
+func mustSubs(t *testing.T, r *Reasoner, sup, sub *dl.Concept, want bool) {
+	t.Helper()
+	got, err := r.Subsumes(sup, sub)
+	if err != nil {
+		t.Fatalf("Subsumes(%v ⊒ %v): %v", sup, sub, err)
+	}
+	if got != want {
+		t.Fatalf("Subsumes(%v ⊒ %v) = %v, want %v", sup, sub, got, want)
+	}
+}
+
+func TestSimpleChain(t *testing.T) {
+	tb := dl.NewTBox("chain")
+	a, b, c := tb.Declare("A"), tb.Declare("B"), tb.Declare("C")
+	tb.SubClassOf(a, b)
+	tb.SubClassOf(b, c)
+	r, err := New(tb, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustSubs(t, r, b, a, true)
+	mustSubs(t, r, c, a, true)
+	mustSubs(t, r, a, b, false)
+	mustSubs(t, r, tb.Factory.Top(), a, true)
+}
+
+func TestConjunctionRule(t *testing.T) {
+	tb := dl.NewTBox("conj")
+	f := tb.Factory
+	a, b, c, d := tb.Declare("A"), tb.Declare("B"), tb.Declare("C"), tb.Declare("D")
+	tb.SubClassOf(a, b)
+	tb.SubClassOf(a, c)
+	tb.SubClassOf(f.And(b, c), d)
+	r, err := New(tb, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustSubs(t, r, d, a, true)
+	mustSubs(t, r, d, b, false)
+}
+
+func TestExistentialRules(t *testing.T) {
+	tb := dl.NewTBox("ex")
+	f := tb.Factory
+	a, b, c := tb.Declare("A"), tb.Declare("B"), tb.Declare("C")
+	rr := f.Role("r")
+	tb.SubClassOf(a, f.Some(rr, b))
+	tb.SubClassOf(f.Some(rr, b), c)
+	r, err := New(tb, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustSubs(t, r, c, a, true)
+}
+
+func TestNestedExistentials(t *testing.T) {
+	tb := dl.NewTBox("nested")
+	f := tb.Factory
+	a, b, c := tb.Declare("A"), tb.Declare("B"), tb.Declare("C")
+	rr, ss := f.Role("r"), f.Role("s")
+	// A ⊑ ∃r.(B ⊓ ∃s.C); ∃r.∃s.C... the normalizer must introduce names.
+	tb.SubClassOf(a, f.Some(rr, f.And(b, f.Some(ss, c))))
+	tb.SubClassOf(f.Some(rr, f.Some(ss, c)), b)
+	r, err := New(tb, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// hmm: ∃r.(B ⊓ ∃s.C) ⊑ ∃r.(∃s.C), so A ⊑ B.
+	mustSubs(t, r, b, a, true)
+}
+
+func TestBottomPropagation(t *testing.T) {
+	tb := dl.NewTBox("bot")
+	f := tb.Factory
+	a, b, c := tb.Declare("A"), tb.Declare("B"), tb.Declare("C")
+	rr := f.Role("r")
+	tb.SubClassOf(b, f.Bottom())    // B unsatisfiable
+	tb.SubClassOf(a, f.Some(rr, b)) // A has an r-successor in B → A unsatisfiable
+	r, err := New(tb, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []*dl.Concept{a, b} {
+		sat, err := r.IsSatisfiable(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sat {
+			t.Errorf("%v should be unsatisfiable", x)
+		}
+	}
+	sat, err := r.IsSatisfiable(c)
+	if err != nil || !sat {
+		t.Errorf("C should be satisfiable (err=%v)", err)
+	}
+	// Unsat concepts are subsumed by everything.
+	mustSubs(t, r, c, a, true)
+}
+
+func TestDisjointnessAsBottom(t *testing.T) {
+	tb := dl.NewTBox("disj")
+	a, b, c := tb.Declare("A"), tb.Declare("B"), tb.Declare("C")
+	tb.DisjointClasses(a, b)
+	tb.SubClassOf(c, a)
+	tb.SubClassOf(c, b)
+	r, err := New(tb, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sat, err := r.IsSatisfiable(c)
+	if err != nil || sat {
+		t.Errorf("C should be unsatisfiable (sat=%v err=%v)", sat, err)
+	}
+}
+
+func TestRoleHierarchy(t *testing.T) {
+	tb := dl.NewTBox("rh")
+	f := tb.Factory
+	a, b, c := tb.Declare("A"), tb.Declare("B"), tb.Declare("C")
+	rr, ss := f.Role("r"), f.Role("s")
+	tb.SubObjectPropertyOf(rr, ss)
+	tb.SubClassOf(a, f.Some(rr, b))
+	tb.SubClassOf(f.Some(ss, b), c)
+	r, err := New(tb, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustSubs(t, r, c, a, true)
+}
+
+func TestTransitivity(t *testing.T) {
+	tb := dl.NewTBox("trans")
+	f := tb.Factory
+	a, b, c, d := tb.Declare("A"), tb.Declare("B"), tb.Declare("C"), tb.Declare("D")
+	rr := f.Role("r")
+	tb.TransitiveObjectProperty(rr)
+	tb.SubClassOf(a, f.Some(rr, b))
+	tb.SubClassOf(b, f.Some(rr, c))
+	tb.SubClassOf(f.Some(rr, c), d)
+	r, err := New(tb, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A −r→ B −r→ C with trans(r) gives A −r→ C, so A ⊑ ∃r.C ⊑ D.
+	mustSubs(t, r, d, a, true)
+}
+
+func TestEquivalence(t *testing.T) {
+	// A ≡ ∃r.B: any X ⊑ ∃r.B must be classified under A.
+	tb2 := dl.NewTBox("equiv2")
+	f2 := tb2.Factory
+	a2, b2, x2 := tb2.Declare("A"), tb2.Declare("B"), tb2.Declare("X")
+	rr2 := f2.Role("r")
+	tb2.EquivalentClasses(a2, f2.Some(rr2, b2))
+	tb2.SubClassOf(x2, f2.Some(rr2, b2))
+	r2, err := New(tb2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustSubs(t, r2, a2, x2, true)
+}
+
+func TestNonELRejected(t *testing.T) {
+	tb := dl.NewTBox("alc")
+	f := tb.Factory
+	a, b := tb.Declare("A"), tb.Declare("B")
+	tb.SubClassOf(a, f.Or(b, f.Name("C")))
+	if _, err := New(tb, Options{}); err == nil {
+		t.Fatal("union axiom accepted by EL reasoner")
+	}
+	tb2 := dl.NewTBox("alc2")
+	f2 := tb2.Factory
+	tb2.SubClassOf(tb2.Declare("A"), f2.All(f2.Role("r"), tb2.Declare("B")))
+	if _, err := New(tb2, Options{}); err == nil {
+		t.Fatal("universal restriction accepted by EL reasoner")
+	}
+}
+
+func TestSubsumersList(t *testing.T) {
+	tb := dl.NewTBox("list")
+	a, b, c := tb.Declare("A"), tb.Declare("B"), tb.Declare("C")
+	tb.SubClassOf(a, b)
+	tb.SubClassOf(b, c)
+	r, err := New(tb, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs, err := r.Subsumers(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subs) != 3 { // A, B, C
+		t.Fatalf("Subsumers(A) = %v", subs)
+	}
+}
+
+// randomELTBox builds a random EL TBox over nNames concepts. Left-hand
+// sides always contain a named conjunct — the axiom shape of real OBO/ORE
+// ontologies (SubClassOf/EquivalentClasses on a named class) and the shape
+// the tableau's absorption handles without internalizing global
+// disjunctions; bare ∃r.C left sides make the cross-check oracle
+// (the tableau) exponentially slow without affecting the EL reasoner.
+func randomELTBox(rng *rand.Rand, nNames, nAxioms int) *dl.TBox {
+	tb := dl.NewTBox("rand")
+	f := tb.Factory
+	names := make([]*dl.Concept, nNames)
+	for i := range names {
+		names[i] = tb.Declare(fmt.Sprintf("N%d", i))
+	}
+	roles := []*dl.Role{f.Role("r"), f.Role("s")}
+	if rng.Intn(2) == 0 {
+		tb.SubObjectPropertyOf(roles[0], roles[1])
+	}
+	if rng.Intn(2) == 0 {
+		tb.TransitiveObjectProperty(roles[rng.Intn(2)])
+	}
+	var elConcept func(depth int) *dl.Concept
+	elConcept = func(depth int) *dl.Concept {
+		if depth <= 0 || rng.Intn(3) == 0 {
+			return names[rng.Intn(nNames)]
+		}
+		if rng.Intn(2) == 0 {
+			return f.And(elConcept(depth-1), elConcept(depth-1))
+		}
+		return f.Some(roles[rng.Intn(2)], elConcept(depth-1))
+	}
+	for i := 0; i < nAxioms; i++ {
+		lhs := names[rng.Intn(nNames)]
+		if rng.Intn(3) == 0 {
+			lhs = f.And(lhs, elConcept(1))
+		}
+		if rng.Intn(4) == 0 {
+			// Genus-differentia definition: A ≡ B ⊓ C, the shape OBO
+			// intersection_of definitions take; both directions absorb.
+			tb.EquivalentClasses(names[rng.Intn(nNames)], f.And(names[rng.Intn(nNames)], elConcept(1)))
+			continue
+		}
+		tb.SubClassOf(lhs, elConcept(2))
+	}
+	return tb
+}
+
+// TestQuickAgainstTableau cross-checks the saturation against the tableau
+// reasoner on random EL TBoxes: every named-pair subsumption must agree.
+func TestQuickAgainstTableau(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tb := randomELTBox(rng, 5, 6)
+		elr, err := New(tb, Options{Workers: 2})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		tab := tableau.New(tb, tableau.Options{})
+		for _, sub := range tb.NamedConcepts() {
+			for _, sup := range tb.NamedConcepts() {
+				want, err := tab.Subsumes(sup, sub)
+				if err != nil {
+					t.Fatalf("seed %d tableau: %v", seed, err)
+				}
+				got, err := elr.Subsumes(sup, sub)
+				if err != nil {
+					t.Fatalf("seed %d el: %v", seed, err)
+				}
+				if got != want {
+					t.Logf("seed %d: %v ⊑ %v: el=%v tableau=%v", seed, sub, sup, got, want)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickWorkerCountIrrelevant checks saturation results are independent
+// of the worker count.
+func TestQuickWorkerCountIrrelevant(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tb := randomELTBox(rng, 6, 8)
+		var results []map[string]bool
+		for _, workers := range []int{1, 4} {
+			r, err := New(tb, Options{Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := map[string]bool{}
+			for _, sub := range tb.NamedConcepts() {
+				for _, sup := range tb.NamedConcepts() {
+					ok, err := r.Subsumes(sup, sub)
+					if err != nil {
+						t.Fatal(err)
+					}
+					m[sub.Name+"⊑"+sup.Name] = ok
+				}
+			}
+			results = append(results, m)
+		}
+		for k, v := range results[0] {
+			if results[1][k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClassifyDirect: the saturation-based taxonomy must equal the one
+// produced by the parallel classifier using this reasoner as a plug-in.
+func TestClassifyDirect(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		tb := randomELTBox(rng, 8, 10)
+		r, err := New(tb, Options{Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct, err := r.Classify()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		viaFramework, err := core.Classify(tb, core.Options{Reasoner: r, Workers: 3, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !direct.Equal(viaFramework.Taxonomy) {
+			t.Fatalf("seed %d: direct EL taxonomy differs from framework taxonomy:\n%s\nvs\n%s",
+				seed, direct.Fingerprint(), viaFramework.Taxonomy.Fingerprint())
+		}
+	}
+}
+
+// TestDeepChainStress saturates a 2000-deep subclass chain.
+func TestDeepChainStress(t *testing.T) {
+	tb := dl.NewTBox("deep")
+	prev := tb.Declare("D0")
+	for i := 1; i < 2000; i++ {
+		c := tb.Declare(fmt.Sprintf("D%d", i))
+		tb.SubClassOf(c, prev)
+		prev = c
+	}
+	r, err := New(tb, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := r.Subsumes(tb.Factory.Name("D0"), tb.Factory.Name("D1999"))
+	if err != nil || !ok {
+		t.Fatalf("deep chain subsumption lost: %v %v", ok, err)
+	}
+	subs, err := r.Subsumers(tb.Factory.Name("D1999"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subs) != 2000 {
+		t.Errorf("subsumers = %d, want 2000", len(subs))
+	}
+}
+
+// TestWideFanStress: one parent with thousands of children plus an
+// existential layer; checks no quadratic blowup kills the run.
+func TestWideFanStress(t *testing.T) {
+	tb := dl.NewTBox("wide")
+	f := tb.Factory
+	root := tb.Declare("Root")
+	rr := f.Role("r")
+	for i := 0; i < 3000; i++ {
+		c := tb.Declare(fmt.Sprintf("W%d", i))
+		tb.SubClassOf(c, root)
+		if i%3 == 0 {
+			tb.SubClassOf(c, f.Some(rr, root))
+		}
+	}
+	r, err := New(tb, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tax, err := r.Classify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tax.NodeOf(root).Children()); got != 3000 {
+		t.Errorf("Root children = %d, want 3000", got)
+	}
+}
+
+// TestDuplicateAxiomsHarmless: repeating axioms must not change results.
+func TestDuplicateAxiomsHarmless(t *testing.T) {
+	build := func(dups int) *Reasoner {
+		tb := dl.NewTBox("dups")
+		f := tb.Factory
+		a, b, c := tb.Declare("A"), tb.Declare("B"), tb.Declare("C")
+		rr := f.Role("r")
+		for i := 0; i <= dups; i++ {
+			tb.SubClassOf(a, b)
+			tb.SubClassOf(b, f.Some(rr, c))
+			tb.SubClassOf(f.And(a, b), c)
+		}
+		r, err := New(tb, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	r1, r2 := build(0), build(7)
+	t1, err := r1.Classify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := r2.Classify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !t1.Equal(t2) {
+		t.Error("duplicate axioms changed the taxonomy")
+	}
+}

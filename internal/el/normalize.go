@@ -1,0 +1,319 @@
+// Package el implements a completion-rule saturation reasoner for ELH
+// with transitive roles (EL+ / ELH+ in the paper's Table IV naming),
+// in the style of CEL and ELK — the system the paper cites as the
+// state of the art in concurrent classification of EL ontologies
+// (Kazakov et al., "Concurrent classification of EL ontologies").
+//
+// The reasoner normalizes the TBox into the four EL normal forms,
+// saturates subsumer sets S(A) and role links R(r) under the completion
+// rules with a pool of workers, and then answers satisfiability and
+// subsumption queries over named concepts by lookup.
+package el
+
+import (
+	"fmt"
+
+	"parowl/internal/dl"
+)
+
+// atom is a dense index for a named concept, ⊤, ⊥, or a fresh
+// normalization name.
+type atom = int32
+
+const (
+	atomTop    atom = 0
+	atomBottom atom = 1
+)
+
+// ErrNotEL is wrapped by New when the TBox uses constructors outside
+// EL(H+): anything but ⊤, ⊥, names, ⊓ and ∃.
+type notELError struct{ c *dl.Concept }
+
+func (e *notELError) Error() string {
+	return fmt.Sprintf("el: concept %v outside the EL fragment", e.c)
+}
+
+// normalized is the indexed normal-form TBox the saturation consumes.
+// All fields are read-only after newNormalized returns.
+type normalized struct {
+	tbox     *dl.TBox
+	numAtoms int
+	numRoles int
+
+	// atomOf maps named concepts (and ⊤/⊥) to atoms; conceptOf is the
+	// inverse for non-fresh atoms (nil entries are fresh names).
+	atomOf    map[*dl.Concept]atom
+	conceptOf []*dl.Concept
+
+	// Normal-form axiom indexes.
+	subs        [][]atom          // subs[A] = {B | A ⊑ B}
+	conj        map[int64][]atom  // conj[pair(A1,A2)] = {B | A1 ⊓ A2 ⊑ B}
+	conjByLeft  [][]conjEntry     // conjByLeft[A1] = {(A2, B)}
+	exRHS       [][]roleAtom      // exRHS[A] = {(r,B) | A ⊑ ∃r.B}
+	exLHS       []map[atom][]atom // exLHS[r][B] = {C | ∃r.B ⊑ C}
+	exLHSFiller [][]roleAtom      // exLHSFiller[B] = {(r,C) | ∃r.B ⊑ C}
+
+	transitive []bool    // transitive[r]
+	supers     [][]int32 // direct super-roles per role
+}
+
+type conjEntry struct {
+	other atom
+	rhs   atom
+}
+
+type roleAtom struct {
+	role int32
+	a    atom
+}
+
+func pairKey(a, b atom) int64 {
+	if a > b {
+		a, b = b, a
+	}
+	return int64(a)<<32 | int64(uint32(b))
+}
+
+// builder carries the mutable state of normalization.
+type builder struct {
+	n     *normalized
+	fresh map[*dl.Concept]atom // structural cache for introduced names
+}
+
+// newNormalized lowers the TBox into EL normal forms, or fails with a
+// notELError if any axiom leaves the fragment.
+func newNormalized(t *dl.TBox) (*normalized, error) {
+	f := t.Factory
+	n := &normalized{
+		tbox:   t,
+		atomOf: map[*dl.Concept]atom{f.Top(): atomTop, f.Bottom(): atomBottom},
+		conj:   make(map[int64][]atom),
+	}
+	n.conceptOf = []*dl.Concept{f.Top(), f.Bottom()}
+	for _, c := range t.NamedConcepts() {
+		n.atomOf[c] = atom(len(n.conceptOf))
+		n.conceptOf = append(n.conceptOf, c)
+	}
+	b := &builder{n: n, fresh: make(map[*dl.Concept]atom)}
+
+	n.numRoles = t.Factory.NumRoles()
+	n.transitive = make([]bool, n.numRoles)
+	n.supers = make([][]int32, n.numRoles)
+	for _, r := range t.Factory.Roles() {
+		n.transitive[r.ID] = r.Transitive
+		for _, s := range r.Supers() {
+			n.supers[r.ID] = append(n.supers[r.ID], s.ID)
+		}
+	}
+
+	for _, gci := range t.AsGCIs() {
+		if err := b.axiom(gci.Sub, gci.Sup); err != nil {
+			return nil, err
+		}
+	}
+	n.numAtoms = len(n.conceptOf)
+	n.finishIndexes()
+	return n, nil
+}
+
+// checkEL verifies c stays inside EL(⊥).
+func checkEL(c *dl.Concept) error {
+	switch c.Op {
+	case dl.OpTop, dl.OpBottom, dl.OpName:
+		return nil
+	case dl.OpAnd, dl.OpSome:
+		for _, a := range c.Args {
+			if err := checkEL(a); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return &notELError{c}
+	}
+}
+
+// newAtom allocates a fresh normalization name.
+func (b *builder) newAtom() atom {
+	a := atom(len(b.n.conceptOf))
+	b.n.conceptOf = append(b.n.conceptOf, nil)
+	return a
+}
+
+// atomFor returns the atom of an atomic concept.
+func (b *builder) atomFor(c *dl.Concept) atom {
+	return b.n.atomOf[c]
+}
+
+// left lowers concept c occurring on the left of ⊑ to a single atom X with
+// c ⊑ X entailed by the emitted normal axioms.
+func (b *builder) left(c *dl.Concept) (atom, error) {
+	if err := checkEL(c); err != nil {
+		return 0, err
+	}
+	return b.leftChecked(c), nil
+}
+
+func (b *builder) leftChecked(c *dl.Concept) atom {
+	switch c.Op {
+	case dl.OpTop, dl.OpBottom, dl.OpName:
+		return b.atomFor(c)
+	}
+	if a, ok := b.fresh[c]; ok {
+		return a
+	}
+	var out atom
+	switch c.Op {
+	case dl.OpAnd:
+		atoms := make([]atom, len(c.Args))
+		for i, arg := range c.Args {
+			atoms[i] = b.leftChecked(arg)
+		}
+		// Chain binary conjunctions: A1 ⊓ A2 ⊑ X12, X12 ⊓ A3 ⊑ X, ...
+		cur := atoms[0]
+		for i := 1; i < len(atoms); i++ {
+			x := b.newAtom()
+			b.addConj(cur, atoms[i], x)
+			cur = x
+		}
+		out = cur
+	case dl.OpSome:
+		filler := b.leftChecked(c.Args[0])
+		x := b.newAtom()
+		b.addExLHS(c.Role.ID, filler, x)
+		out = x
+	default:
+		panic("el: leftChecked on non-EL concept")
+	}
+	b.fresh[c] = out
+	return out
+}
+
+// axiom lowers one GCI sub ⊑ sup into normal forms.
+func (b *builder) axiom(sub, sup *dl.Concept) error {
+	if err := checkEL(sub); err != nil {
+		return err
+	}
+	if err := checkEL(sup); err != nil {
+		return err
+	}
+	return b.axiomChecked(sub, sup)
+}
+
+func (b *builder) axiomChecked(sub, sup *dl.Concept) error {
+	// Split conjunctions on the right.
+	if sup.Op == dl.OpAnd {
+		for _, arg := range sup.Args {
+			if err := b.axiomChecked(sub, arg); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// ∃r.D with complex D on the right: introduce A ⊑ D, use ∃r.A.
+	if sup.Op == dl.OpSome && !sup.Args[0].IsAtomic() {
+		a := b.newAtom()
+		lhs := b.leftChecked(sub)
+		b.addExRHS(lhs, sup.Role.ID, a)
+		return b.defineFresh(a, sup.Args[0])
+	}
+	lhs := b.leftChecked(sub)
+	switch sup.Op {
+	case dl.OpTop:
+		// Tautology.
+	case dl.OpBottom, dl.OpName:
+		b.addSub(lhs, b.atomFor(sup))
+	case dl.OpSome:
+		b.addExRHS(lhs, sup.Role.ID, b.atomFor(sup.Args[0]))
+	default:
+		panic("el: axiomChecked on non-EL right side")
+	}
+	return nil
+}
+
+// defineFresh emits axioms making fresh atom a behave as a ⊑ d.
+func (b *builder) defineFresh(a atom, d *dl.Concept) error {
+	switch d.Op {
+	case dl.OpAnd:
+		for _, arg := range d.Args {
+			if err := b.defineFresh(a, arg); err != nil {
+				return err
+			}
+		}
+		return nil
+	case dl.OpSome:
+		if !d.Args[0].IsAtomic() {
+			inner := b.newAtom()
+			b.addExRHS(a, d.Role.ID, inner)
+			return b.defineFresh(inner, d.Args[0])
+		}
+		b.addExRHS(a, d.Role.ID, b.atomFor(d.Args[0]))
+		return nil
+	case dl.OpTop:
+		return nil
+	case dl.OpBottom, dl.OpName:
+		b.addSub(a, b.atomFor(d))
+		return nil
+	default:
+		return &notELError{d}
+	}
+}
+
+func (b *builder) addSub(a, c atom) {
+	b.growSubs(a)
+	b.n.subs[a] = append(b.n.subs[a], c)
+}
+
+func (b *builder) addConj(a1, a2, c atom) {
+	key := pairKey(a1, a2)
+	b.n.conj[key] = append(b.n.conj[key], c)
+	b.growConj(a1)
+	b.growConj(a2)
+	b.n.conjByLeft[a1] = append(b.n.conjByLeft[a1], conjEntry{other: a2, rhs: c})
+	if a1 != a2 {
+		b.n.conjByLeft[a2] = append(b.n.conjByLeft[a2], conjEntry{other: a1, rhs: c})
+	}
+}
+
+func (b *builder) addExRHS(a atom, role int32, filler atom) {
+	b.growExRHS(a)
+	b.n.exRHS[a] = append(b.n.exRHS[a], roleAtom{role: role, a: filler})
+}
+
+func (b *builder) addExLHS(role int32, filler, rhs atom) {
+	if b.n.exLHS == nil {
+		b.n.exLHS = make([]map[atom][]atom, b.n.numRoles)
+	}
+	if b.n.exLHS[role] == nil {
+		b.n.exLHS[role] = make(map[atom][]atom)
+	}
+	b.n.exLHS[role][filler] = append(b.n.exLHS[role][filler], rhs)
+	b.growExLHSFiller(filler)
+	b.n.exLHSFiller[filler] = append(b.n.exLHSFiller[filler], roleAtom{role: role, a: rhs})
+}
+
+func (b *builder) growSubs(a atom)  { b.n.subs = grow(b.n.subs, int(a)) }
+func (b *builder) growConj(a atom)  { b.n.conjByLeft = grow(b.n.conjByLeft, int(a)) }
+func (b *builder) growExRHS(a atom) { b.n.exRHS = grow(b.n.exRHS, int(a)) }
+func (b *builder) growExLHSFiller(a atom) {
+	b.n.exLHSFiller = grow(b.n.exLHSFiller, int(a))
+}
+
+func grow[T any](s []T, i int) []T {
+	for len(s) <= i {
+		s = append(s, *new(T))
+	}
+	return s
+}
+
+// finishIndexes pads every per-atom index to numAtoms so the saturation
+// can index without bounds checks.
+func (n *normalized) finishIndexes() {
+	n.subs = grow(n.subs, n.numAtoms-1)
+	n.conjByLeft = grow(n.conjByLeft, n.numAtoms-1)
+	n.exRHS = grow(n.exRHS, n.numAtoms-1)
+	n.exLHSFiller = grow(n.exLHSFiller, n.numAtoms-1)
+	if n.exLHS == nil {
+		n.exLHS = make([]map[atom][]atom, n.numRoles)
+	}
+}

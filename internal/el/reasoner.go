@@ -1,0 +1,156 @@
+package el
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"parowl/internal/dl"
+	"parowl/internal/taxonomy"
+)
+
+// Options configures the EL reasoner.
+type Options struct {
+	// Workers is the number of saturation workers; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// Reasoner answers satisfiability and subsumption for named concepts of an
+// ELH+ TBox by one-shot concurrent saturation. After New it is immutable
+// and safe for concurrent use.
+type Reasoner struct {
+	tbox *dl.TBox
+	n    *normalized
+	opts Options
+
+	once sync.Once
+	sat  *saturation
+}
+
+// New normalizes the TBox; it fails if the TBox leaves the EL fragment
+// (the caller should then fall back to the tableau reasoner).
+func New(t *dl.TBox, opts Options) (*Reasoner, error) {
+	t.Freeze()
+	n, err := newNormalized(t)
+	if err != nil {
+		return nil, err
+	}
+	return &Reasoner{tbox: t, n: n, opts: opts}, nil
+}
+
+// TBox returns the TBox this reasoner answers for.
+func (r *Reasoner) TBox() *dl.TBox { return r.tbox }
+
+// ensure saturates on first use.
+func (r *Reasoner) ensure() {
+	r.once.Do(func() {
+		workers := r.opts.Workers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		s := newSaturation(r.n)
+		s.run(workers)
+		r.sat = s
+	})
+}
+
+// Saturate forces saturation now (it otherwise happens lazily on the first
+// query). It is safe to call repeatedly.
+func (r *Reasoner) Saturate() { r.ensure() }
+
+// atomQuery resolves a query concept to its atom; only ⊤, ⊥ and named
+// concepts of the TBox are queryable.
+func (r *Reasoner) atomQuery(c *dl.Concept) (atom, error) {
+	if a, ok := r.n.atomOf[c]; ok {
+		return a, nil
+	}
+	return 0, fmt.Errorf("el: concept %v is not a named concept of TBox %q", c, r.tbox.Name)
+}
+
+// IsSatisfiable reports whether named concept c is satisfiable, i.e.
+// ⊥ ∉ S(c).
+func (r *Reasoner) IsSatisfiable(c *dl.Concept) (bool, error) {
+	r.ensure()
+	if c.Op == dl.OpBottom {
+		return false, nil
+	}
+	a, err := r.atomQuery(c)
+	if err != nil {
+		return false, err
+	}
+	return !r.sat.ctxs[a].hasSub(atomBottom), nil
+}
+
+// Subsumes reports whether sup subsumes sub (sub ⊑ sup) for named
+// concepts (⊤/⊥ allowed on either side).
+func (r *Reasoner) Subsumes(sup, sub *dl.Concept) (bool, error) {
+	r.ensure()
+	if sup.Op == dl.OpTop || sub.Op == dl.OpBottom {
+		return true, nil
+	}
+	sa, err := r.atomQuery(sub)
+	if err != nil {
+		return false, err
+	}
+	if r.sat.ctxs[sa].hasSub(atomBottom) {
+		return true, nil // unsatisfiable concepts are subsumed by everything
+	}
+	if sup.Op == dl.OpBottom {
+		return false, nil
+	}
+	pa, err := r.atomQuery(sup)
+	if err != nil {
+		return false, err
+	}
+	return r.sat.ctxs[sa].hasSub(pa), nil
+}
+
+// Subsumers returns the named subsumers of named concept c (excluding ⊤,
+// including c itself), or all named concepts if c is unsatisfiable.
+func (r *Reasoner) Subsumers(c *dl.Concept) ([]*dl.Concept, error) {
+	r.ensure()
+	a, err := r.atomQuery(c)
+	if err != nil {
+		return nil, err
+	}
+	if r.sat.ctxs[a].hasSub(atomBottom) {
+		out := make([]*dl.Concept, len(r.tbox.NamedConcepts()))
+		copy(out, r.tbox.NamedConcepts())
+		return out, nil
+	}
+	var out []*dl.Concept
+	for _, s := range r.sat.ctxs[a].snapshotSubs() {
+		if c := r.n.conceptOf[s]; c != nil && c.Op == dl.OpName {
+			out = append(out, c)
+		}
+	}
+	return out, nil
+}
+
+// Classify computes the full taxonomy directly from the saturation — the
+// way ELK classifies EL ontologies, without pairwise subsumption tests.
+// It is the standalone comparator the paper positions its architecture
+// against ("ELK supports parallel TBox classification but is restricted
+// to the very small EL fragment of OWL", Sec. I).
+func (r *Reasoner) Classify() (*taxonomy.Taxonomy, error) {
+	r.ensure()
+	named := r.tbox.NamedConcepts()
+	subs := make(map[*dl.Concept]map[*dl.Concept]bool, len(named))
+	unsat := make(map[*dl.Concept]bool)
+	for _, c := range named {
+		a := r.n.atomOf[c]
+		if r.sat.ctxs[a].hasSub(atomBottom) {
+			unsat[c] = true
+			subs[c] = map[*dl.Concept]bool{c: true}
+			continue
+		}
+		row := map[*dl.Concept]bool{c: true}
+		for _, s := range r.sat.ctxs[a].snapshotSubs() {
+			if sc := r.n.conceptOf[s]; sc != nil && sc.Op == dl.OpName {
+				row[sc] = true
+			}
+		}
+		subs[c] = row
+	}
+	return taxonomy.FromSubsumers(r.tbox.Factory, subs, unsat)
+}

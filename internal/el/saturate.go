@@ -1,0 +1,299 @@
+package el
+
+import (
+	"sync"
+)
+
+// fact is one derived assertion: either a subsumption C ∈ S(A) or a role
+// link (A, role, B) ∈ R(role).
+type fact struct {
+	kind byte // 'S' = subsumer, 'E' = edge
+	a    atom // the context (subject)
+	b    atom // the subsumer / edge target
+	role int32
+}
+
+// workQueue is an unbounded multi-producer multi-consumer queue with
+// quiescence detection: it reports completion when every pushed fact has
+// been fully processed (including the facts that processing produced).
+type workQueue struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	items   []fact
+	pending int // pushed but not yet fully processed
+	done    bool
+}
+
+func newWorkQueue() *workQueue {
+	q := &workQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push enqueues a fact; its processing must later be acknowledged with ack.
+func (q *workQueue) push(f fact) {
+	q.mu.Lock()
+	q.items = append(q.items, f)
+	q.pending++
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
+// pop blocks until a fact is available or the queue quiesces; ok is false
+// on quiescence.
+func (q *workQueue) pop() (fact, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.done {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return fact{}, false
+	}
+	f := q.items[len(q.items)-1]
+	q.items = q.items[:len(q.items)-1]
+	return f, true
+}
+
+// ack marks one popped fact as fully processed.
+func (q *workQueue) ack() {
+	q.mu.Lock()
+	q.pending--
+	if q.pending == 0 {
+		q.done = true
+		q.mu.Unlock()
+		q.cond.Broadcast()
+		return
+	}
+	q.mu.Unlock()
+}
+
+// context is the per-atom saturation state. Its mutex guards all fields;
+// locks on different contexts are never held simultaneously.
+type context struct {
+	mu    sync.Mutex
+	subs  map[atom]bool           // S(A)
+	preds map[int32]map[atom]bool // role → predecessors P with (P,role,A)
+	succs map[int32]map[atom]bool // role → successors B with (A,role,B)
+}
+
+// claimSub atomically inserts c into S(A); reports whether it was new.
+func (c *context) claimSub(x atom) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.subs[x] {
+		return false
+	}
+	if c.subs == nil {
+		c.subs = make(map[atom]bool)
+	}
+	c.subs[x] = true
+	return true
+}
+
+// claimPred atomically inserts (p, role) into preds; reports whether new.
+func (c *context) claimPred(role int32, p atom) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.preds == nil {
+		c.preds = make(map[int32]map[atom]bool)
+	}
+	m := c.preds[role]
+	if m == nil {
+		m = make(map[atom]bool)
+		c.preds[role] = m
+	}
+	if m[p] {
+		return false
+	}
+	m[p] = true
+	return true
+}
+
+// addSucc records (A, role, b) on the source side.
+func (c *context) addSucc(role int32, b atom) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.succs == nil {
+		c.succs = make(map[int32]map[atom]bool)
+	}
+	m := c.succs[role]
+	if m == nil {
+		m = make(map[atom]bool)
+		c.succs[role] = m
+	}
+	m[b] = true
+}
+
+func (c *context) snapshotSubs() []atom {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]atom, 0, len(c.subs))
+	for s := range c.subs {
+		out = append(out, s)
+	}
+	return out
+}
+
+func (c *context) hasSub(x atom) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.subs[x]
+}
+
+func (c *context) snapshotPreds(role int32) []atom {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := c.preds[role]
+	out := make([]atom, 0, len(m))
+	for p := range m {
+		out = append(out, p)
+	}
+	return out
+}
+
+func (c *context) snapshotAllPreds() []roleAtom {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []roleAtom
+	for role, m := range c.preds {
+		for p := range m {
+			out = append(out, roleAtom{role: role, a: p})
+		}
+	}
+	return out
+}
+
+func (c *context) snapshotSuccs(role int32) []atom {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := c.succs[role]
+	out := make([]atom, 0, len(m))
+	for b := range m {
+		out = append(out, b)
+	}
+	return out
+}
+
+// saturation runs the completion rules to fixpoint.
+type saturation struct {
+	n    *normalized
+	ctxs []context
+	q    *workQueue
+}
+
+func newSaturation(n *normalized) *saturation {
+	return &saturation{n: n, ctxs: make([]context, n.numAtoms), q: newWorkQueue()}
+}
+
+// run seeds the initial facts and saturates with the given worker count.
+func (s *saturation) run(workers int) {
+	if workers < 1 {
+		workers = 1
+	}
+	// Init: S(A) ⊇ {A, ⊤} for every atom.
+	for a := 0; a < s.n.numAtoms; a++ {
+		s.deriveSub(atom(a), atom(a))
+		s.deriveSub(atom(a), atomTop)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				f, ok := s.q.pop()
+				if !ok {
+					return
+				}
+				s.process(f)
+				s.q.ack()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// deriveSub claims C ∈ S(A) and enqueues it for rule application.
+func (s *saturation) deriveSub(a, c atom) {
+	if s.ctxs[a].claimSub(c) {
+		s.q.push(fact{kind: 'S', a: a, b: c})
+	}
+}
+
+// deriveEdge claims (A, role, B) and enqueues it.
+func (s *saturation) deriveEdge(a atom, role int32, b atom) {
+	if s.ctxs[b].claimPred(role, a) {
+		s.ctxs[a].addSucc(role, b)
+		s.q.push(fact{kind: 'E', a: a, b: b, role: role})
+	}
+}
+
+func (s *saturation) process(f fact) {
+	if f.kind == 'S' {
+		s.processSub(f.a, f.b)
+	} else {
+		s.processEdge(f.a, f.role, f.b)
+	}
+}
+
+// processSub applies all rules triggered by a new subsumer C ∈ S(A).
+func (s *saturation) processSub(a, c atom) {
+	n := s.n
+	// CR1: C ⊑ D.
+	for _, d := range n.subs[c] {
+		s.deriveSub(a, d)
+	}
+	// CR2: C ⊓ B ⊑ D with B already in S(A).
+	for _, e := range n.conjByLeft[c] {
+		if e.other == c || s.ctxs[a].hasSub(e.other) {
+			s.deriveSub(a, e.rhs)
+		}
+	}
+	// CR3: C ⊑ ∃r.D.
+	for _, ra := range n.exRHS[c] {
+		s.deriveEdge(a, ra.role, ra.a)
+	}
+	// CR4 (right half): ∃r.C ⊑ D and some predecessor P of A via r.
+	for _, ra := range n.exLHSFiller[c] {
+		for _, p := range s.ctxs[a].snapshotPreds(ra.role) {
+			s.deriveSub(p, ra.a)
+		}
+	}
+	// CR5: ⊥ propagates to every predecessor.
+	if c == atomBottom {
+		for _, rp := range s.ctxs[a].snapshotAllPreds() {
+			s.deriveSub(rp.a, atomBottom)
+		}
+	}
+}
+
+// processEdge applies all rules triggered by a new link (A, role, B).
+func (s *saturation) processEdge(a atom, role int32, b atom) {
+	n := s.n
+	// Role hierarchy: materialize the link under every direct super-role.
+	for _, sup := range n.supers[role] {
+		s.deriveEdge(a, sup, b)
+	}
+	// CR4 (left half): C ∈ S(B) with ∃role.C ⊑ D.
+	if idx := n.exLHS[role]; idx != nil {
+		for _, c := range s.ctxs[b].snapshotSubs() {
+			for _, d := range idx[c] {
+				s.deriveSub(a, d)
+			}
+		}
+	}
+	// CR5: ⊥ ∈ S(B).
+	if s.ctxs[b].hasSub(atomBottom) {
+		s.deriveSub(a, atomBottom)
+	}
+	// CR11: transitivity, joining on both sides of the new link.
+	if n.transitive[role] {
+		for _, c := range s.ctxs[b].snapshotSuccs(role) {
+			s.deriveEdge(a, role, c)
+		}
+		for _, p := range s.ctxs[a].snapshotPreds(role) {
+			s.deriveEdge(p, role, b)
+		}
+	}
+}

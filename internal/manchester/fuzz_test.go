@@ -1,0 +1,32 @@
+package manchester
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks the Manchester parser never panics and that accepted
+// input survives a write/parse cycle.
+func FuzzParse(f *testing.F) {
+	f.Add(sample)
+	f.Add("Class: A\n    SubClassOf: B and (r some C)\n")
+	f.Add("Class: A\n    EquivalentTo: B or not C\n")
+	f.Add("Class: A\n    SubClassOf: r min 2 B, r max 3, r exactly 1 C\n")
+	f.Add("ObjectProperty: p\n    Characteristics: Transitive\n")
+	f.Add("DisjointClasses: A, B\n")
+	f.Add("Prefix: : <urn:x#>\nClass: :A\n")
+	f.Add("Individual: bob\n    Types: A\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		tb, err := ParseString(src, "fuzz")
+		if err != nil {
+			return
+		}
+		var buf strings.Builder
+		if err := Write(&buf, tb); err != nil {
+			t.Fatalf("accepted input failed to write: %v", err)
+		}
+		if _, err := ParseString(buf.String(), "fuzz2"); err != nil {
+			t.Fatalf("writer output does not re-parse: %v\ninput: %q\noutput:\n%s", err, src, buf.String())
+		}
+	})
+}

@@ -1,0 +1,550 @@
+// Package manchester parses and writes the OWL 2 Manchester Syntax
+// fragment matching this repository's dialect (ALCHQ with transitive
+// roles): Class frames with SubClassOf/EquivalentTo/DisjointWith,
+// ObjectProperty frames with SubPropertyOf/Characteristics: Transitive,
+// standalone DisjointClasses frames, and the expression language
+// (and / or / not / some / only / min / max / exactly).
+//
+// Manchester syntax is the human-facing notation of Protégé and the OWL
+// primer; supporting it alongside functional-style syntax and OBO makes
+// the toolchain usable with all three common serializations.
+package manchester
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"parowl/internal/dl"
+)
+
+// token kinds.
+type kind uint8
+
+const (
+	tEOF kind = iota
+	tWord
+	tKeyword // word ending in ':' (frame or section keyword)
+	tIRI     // <...>
+	tLParen
+	tRParen
+	tComma
+	tString
+)
+
+type tok struct {
+	kind kind
+	text string
+	line int
+}
+
+func (t tok) String() string {
+	if t.kind == tEOF {
+		return "end of input"
+	}
+	return t.text
+}
+
+// lex tokenizes the whole input up front.
+func lex(src string) ([]tok, error) {
+	var out []tok
+	line := 1
+	rs := []rune(src)
+	i := 0
+	for i < len(rs) {
+		r := rs[i]
+		switch {
+		case r == '\n':
+			line++
+			i++
+		case unicode.IsSpace(r):
+			i++
+		case r == '#': // comment
+			for i < len(rs) && rs[i] != '\n' {
+				i++
+			}
+		case r == '(':
+			out = append(out, tok{tLParen, "(", line})
+			i++
+		case r == ')':
+			out = append(out, tok{tRParen, ")", line})
+			i++
+		case r == ',':
+			out = append(out, tok{tComma, ",", line})
+			i++
+		case r == '<':
+			j := i + 1
+			for j < len(rs) && rs[j] != '>' {
+				j++
+			}
+			if j == len(rs) {
+				return nil, fmt.Errorf("manchester: line %d: unterminated IRI", line)
+			}
+			out = append(out, tok{tIRI, string(rs[i+1 : j]), line})
+			i = j + 1
+		case r == '"':
+			j := i + 1
+			var b strings.Builder
+			for j < len(rs) && rs[j] != '"' {
+				if rs[j] == '\\' && j+1 < len(rs) {
+					j++
+				}
+				b.WriteRune(rs[j])
+				j++
+			}
+			if j == len(rs) {
+				return nil, fmt.Errorf("manchester: line %d: unterminated string", line)
+			}
+			out = append(out, tok{tString, b.String(), line})
+			i = j + 1
+		case r == '>':
+			return nil, fmt.Errorf("manchester: line %d: unexpected '>'", line)
+		default:
+			j := i
+			for j < len(rs) {
+				c := rs[j]
+				if unicode.IsSpace(c) || c == '(' || c == ')' || c == ',' || c == '<' || c == '>' || c == '"' || c == '#' {
+					break
+				}
+				j++
+			}
+			word := string(rs[i:j])
+			if strings.HasSuffix(word, ":") && !strings.Contains(word[:len(word)-1], ":") {
+				// "SubClassOf:", "Class:", "foo:" — a keyword or a
+				// Prefix declaration name; prefixed entity names keep
+				// their colon in the middle (obo:GO_1).
+				out = append(out, tok{tKeyword, word, line})
+			} else {
+				out = append(out, tok{tWord, word, line})
+			}
+			i = j
+		}
+	}
+	return append(out, tok{tEOF, "", line}), nil
+}
+
+// expression keywords that terminate entity names.
+var exprKeywords = map[string]bool{
+	"and": true, "or": true, "not": true,
+	"some": true, "only": true, "min": true, "max": true, "exactly": true,
+	"value": true, "Self": true, "that": true,
+}
+
+type parser struct {
+	toks     []tok
+	pos      int
+	tbox     *dl.TBox
+	prefixes map[string]string
+}
+
+// Parse reads a Manchester-syntax ontology.
+func Parse(r io.Reader, name string) (*dl.TBox, error) {
+	src, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("manchester: read: %w", err)
+	}
+	return ParseString(string(src), name)
+}
+
+// ParseString parses a Manchester-syntax document.
+func ParseString(src, name string) (*dl.TBox, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, tbox: dl.NewTBox(name), prefixes: map[string]string{}}
+	if err := p.run(); err != nil {
+		return nil, err
+	}
+	return p.tbox, nil
+}
+
+func (p *parser) peek() tok   { return p.toks[p.pos] }
+func (p *parser) next() tok   { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) atEOF() bool { return p.peek().kind == tEOF }
+
+func (p *parser) errf(t tok, format string, args ...any) error {
+	return fmt.Errorf("manchester: line %d: %s", t.line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) run() error {
+	for !p.atEOF() {
+		t := p.next()
+		if t.kind != tKeyword {
+			return p.errf(t, "expected a frame keyword, got %q", t.text)
+		}
+		switch t.text {
+		case "Prefix:":
+			if err := p.parsePrefix(); err != nil {
+				return err
+			}
+		case "Ontology:":
+			p.skipFrameHeader()
+		case "Class:":
+			if err := p.parseClassFrame(); err != nil {
+				return err
+			}
+		case "ObjectProperty:":
+			if err := p.parsePropertyFrame(); err != nil {
+				return err
+			}
+		case "DisjointClasses:":
+			exprs, err := p.exprList()
+			if err != nil {
+				return err
+			}
+			p.tbox.DisjointClasses(exprs...)
+		default:
+			if !topFrames[t.text] {
+				return p.errf(t, "unexpected keyword %q at top level", t.text)
+			}
+			// Known but unsupported frame (Individual:, DataProperty:,
+			// ...): skip to the next top-level frame.
+			p.skipToNextFrame()
+		}
+	}
+	return nil
+}
+
+// topFrames are keywords that start a new top-level frame.
+var topFrames = map[string]bool{
+	"Prefix:": true, "Ontology:": true, "Class:": true,
+	"ObjectProperty:": true, "DataProperty:": true, "Individual:": true,
+	"DisjointClasses:": true, "EquivalentClasses:": true, "AnnotationProperty:": true,
+	"Datatype:": true,
+}
+
+func (p *parser) skipToNextFrame() {
+	for !p.atEOF() {
+		if t := p.peek(); t.kind == tKeyword && topFrames[t.text] {
+			return
+		}
+		p.next()
+	}
+}
+
+func (p *parser) skipFrameHeader() {
+	for !p.atEOF() {
+		t := p.peek()
+		if t.kind == tKeyword {
+			return
+		}
+		p.next()
+	}
+}
+
+func (p *parser) parsePrefix() error {
+	nameTok := p.next()
+	pfx := ""
+	switch nameTok.kind {
+	case tKeyword: // "obo:" or ":"
+		pfx = strings.TrimSuffix(nameTok.text, ":")
+	case tWord:
+		if nameTok.text == ":" {
+			pfx = ""
+		} else {
+			return p.errf(nameTok, "bad prefix name %q", nameTok.text)
+		}
+	default:
+		return p.errf(nameTok, "bad prefix declaration")
+	}
+	iri := p.next()
+	if iri.kind != tIRI {
+		return p.errf(iri, "expected IRI after Prefix:")
+	}
+	p.prefixes[pfx] = iri.text
+	return nil
+}
+
+// resolve expands a possibly prefixed name.
+func (p *parser) resolve(t tok) string {
+	if t.kind == tIRI {
+		return t.text
+	}
+	name := t.text
+	if i := strings.Index(name, ":"); i >= 0 {
+		if base, ok := p.prefixes[name[:i]]; ok {
+			return base + name[i+1:]
+		}
+	}
+	return name
+}
+
+// conceptFor maps a resolved entity name to a concept.
+func (p *parser) conceptFor(name string) *dl.Concept {
+	f := p.tbox.Factory
+	switch name {
+	case "owl:Thing", "http://www.w3.org/2002/07/owl#Thing", "Thing":
+		return f.Top()
+	case "owl:Nothing", "http://www.w3.org/2002/07/owl#Nothing", "Nothing":
+		return f.Bottom()
+	}
+	return p.tbox.Declare(name)
+}
+
+func (p *parser) parseClassFrame() error {
+	nameTok := p.next()
+	if nameTok.kind != tWord && nameTok.kind != tIRI {
+		return p.errf(nameTok, "expected class name, got %q", nameTok.text)
+	}
+	cls := p.conceptFor(p.resolve(nameTok))
+	p.tbox.DeclarationAxiom(cls)
+	for !p.atEOF() {
+		t := p.peek()
+		if t.kind != tKeyword {
+			return p.errf(t, "expected a section keyword in Class frame, got %q", t.text)
+		}
+		if topFrames[t.text] {
+			return nil
+		}
+		p.next()
+		switch t.text {
+		case "SubClassOf:":
+			exprs, err := p.exprList()
+			if err != nil {
+				return err
+			}
+			for _, e := range exprs {
+				p.tbox.SubClassOf(cls, e)
+			}
+		case "EquivalentTo:":
+			exprs, err := p.exprList()
+			if err != nil {
+				return err
+			}
+			for _, e := range exprs {
+				p.tbox.EquivalentClasses(cls, e)
+			}
+		case "DisjointWith:":
+			exprs, err := p.exprList()
+			if err != nil {
+				return err
+			}
+			for _, e := range exprs {
+				p.tbox.DisjointClasses(cls, e)
+			}
+		case "Annotations:":
+			if err := p.skipAnnotations(); err != nil {
+				return err
+			}
+			p.tbox.AnnotationAxiom(cls)
+		default:
+			p.skipSection()
+		}
+	}
+	return nil
+}
+
+func (p *parser) parsePropertyFrame() error {
+	nameTok := p.next()
+	if nameTok.kind != tWord && nameTok.kind != tIRI {
+		return p.errf(nameTok, "expected property name, got %q", nameTok.text)
+	}
+	f := p.tbox.Factory
+	role := f.Role(p.resolve(nameTok))
+	for !p.atEOF() {
+		t := p.peek()
+		if t.kind != tKeyword {
+			return p.errf(t, "expected a section keyword in ObjectProperty frame, got %q", t.text)
+		}
+		if topFrames[t.text] {
+			return nil
+		}
+		p.next()
+		switch t.text {
+		case "SubPropertyOf:":
+			sup := p.next()
+			if sup.kind != tWord && sup.kind != tIRI {
+				return p.errf(sup, "expected property name")
+			}
+			p.tbox.SubObjectPropertyOf(role, f.Role(p.resolve(sup)))
+		case "Characteristics:":
+			for {
+				c := p.next()
+				if c.kind != tWord {
+					return p.errf(c, "expected a characteristic")
+				}
+				if c.text == "Transitive" {
+					p.tbox.TransitiveObjectProperty(role)
+				}
+				if p.peek().kind != tComma {
+					break
+				}
+				p.next()
+			}
+		case "Annotations:":
+			if err := p.skipAnnotations(); err != nil {
+				return err
+			}
+		default:
+			p.skipSection()
+		}
+	}
+	return nil
+}
+
+// skipSection consumes tokens until the next keyword.
+func (p *parser) skipSection() {
+	for !p.atEOF() && p.peek().kind != tKeyword {
+		p.next()
+	}
+}
+
+// skipAnnotations consumes one comma-separated annotation list.
+func (p *parser) skipAnnotations() error {
+	for {
+		// property
+		if t := p.next(); t.kind != tWord && t.kind != tIRI {
+			return p.errf(t, "expected annotation property")
+		}
+		// value: string, word or IRI
+		v := p.next()
+		switch v.kind {
+		case tString, tWord, tIRI:
+		default:
+			return p.errf(v, "expected annotation value")
+		}
+		// optional language tag / datatype glued into following words is
+		// not tokenized specially; stop at comma or keyword.
+		if p.peek().kind == tComma {
+			p.next()
+			continue
+		}
+		return nil
+	}
+}
+
+// exprList parses a comma-separated list of class expressions ending at
+// the next keyword or EOF.
+func (p *parser) exprList() ([]*dl.Concept, error) {
+	var out []*dl.Concept
+	for {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+		if p.peek().kind == tComma {
+			p.next()
+			continue
+		}
+		return out, nil
+	}
+}
+
+// expr parses a disjunction.
+func (p *parser) expr() (*dl.Concept, error) {
+	left, err := p.conjunction()
+	if err != nil {
+		return nil, err
+	}
+	args := []*dl.Concept{left}
+	for p.peek().kind == tWord && p.peek().text == "or" {
+		p.next()
+		right, err := p.conjunction()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, right)
+	}
+	if len(args) == 1 {
+		return left, nil
+	}
+	return p.tbox.Factory.Or(args...), nil
+}
+
+func (p *parser) conjunction() (*dl.Concept, error) {
+	left, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	args := []*dl.Concept{left}
+	for p.peek().kind == tWord && p.peek().text == "and" {
+		p.next()
+		right, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, right)
+	}
+	if len(args) == 1 {
+		return left, nil
+	}
+	return p.tbox.Factory.And(args...), nil
+}
+
+func (p *parser) unary() (*dl.Concept, error) {
+	t := p.peek()
+	if t.kind == tWord && t.text == "not" {
+		p.next()
+		inner, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return p.tbox.Factory.Not(inner), nil
+	}
+	return p.restrictionOrPrimary()
+}
+
+// restrictionOrPrimary parses either a primary or "role some/only/min/...".
+func (p *parser) restrictionOrPrimary() (*dl.Concept, error) {
+	t := p.next()
+	f := p.tbox.Factory
+	switch t.kind {
+	case tLParen:
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if closing := p.next(); closing.kind != tRParen {
+			return nil, p.errf(closing, "expected ')'")
+		}
+		return e, nil
+	case tWord, tIRI:
+		// Restriction if the next token is a restriction keyword.
+		nxt := p.peek()
+		if nxt.kind == tWord && exprKeywords[nxt.text] && nxt.text != "and" && nxt.text != "or" && nxt.text != "not" {
+			role := f.Role(p.resolve(t))
+			kw := p.next().text
+			switch kw {
+			case "some", "only":
+				filler, err := p.unary()
+				if err != nil {
+					return nil, err
+				}
+				if kw == "some" {
+					return f.Some(role, filler), nil
+				}
+				return f.All(role, filler), nil
+			case "min", "max", "exactly":
+				numTok := p.next()
+				n, err := strconv.Atoi(numTok.text)
+				if err != nil || n < 0 {
+					return nil, p.errf(numTok, "expected cardinality, got %q", numTok.text)
+				}
+				filler := f.Top()
+				if fl := p.peek(); fl.kind == tWord && !exprKeywords[fl.text] || fl.kind == tLParen || fl.kind == tIRI {
+					filler, err = p.unary()
+					if err != nil {
+						return nil, err
+					}
+				}
+				switch kw {
+				case "min":
+					return f.Min(n, role, filler), nil
+				case "max":
+					return f.Max(n, role, filler), nil
+				default:
+					return f.And(f.Min(n, role, filler), f.Max(n, role, filler)), nil
+				}
+			default:
+				return nil, p.errf(t, "unsupported restriction %q", kw)
+			}
+		}
+		return p.conceptFor(p.resolve(t)), nil
+	default:
+		return nil, p.errf(t, "expected a class expression, got %q", t.text)
+	}
+}

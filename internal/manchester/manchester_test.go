@@ -1,0 +1,269 @@
+package manchester
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"parowl/internal/core"
+	"parowl/internal/dl"
+	"parowl/internal/tableau"
+)
+
+const sample = `
+Prefix: : <http://example.org/zoo#>
+Prefix: obo: <http://purl.obolibrary.org/obo/>
+Ontology: <http://example.org/zoo>
+
+ObjectProperty: eats
+    SubPropertyOf: interactsWith
+ObjectProperty: partOf
+    Characteristics: Transitive
+
+Class: :Animal
+Class: :Cat
+    SubClassOf: :Animal, eats some :Mouse
+    DisjointWith: :Dog
+    Annotations: rdfs:label "cat"
+Class: :Carnivore
+    EquivalentTo: :Animal and (eats only :Animal)
+Class: :Pack
+    SubClassOf: eats min 2 :Mouse, eats max 5, partOf exactly 1 :Herd
+Class: :Weird
+    SubClassOf: :Cat or not :Animal
+
+DisjointClasses: :Dog, :Mouse
+`
+
+func TestParseSample(t *testing.T) {
+	tb, err := ParseString(sample, "zoo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := dl.ComputeMetrics(tb)
+	if m.SubClassOf != 6 {
+		t.Errorf("SubClassOf = %d, want 6", m.SubClassOf)
+	}
+	if m.Equivalent != 1 {
+		t.Errorf("Equivalent = %d, want 1", m.Equivalent)
+	}
+	if m.Disjoint != 2 { // DisjointWith + DisjointClasses frame
+		t.Errorf("Disjoint = %d, want 2", m.Disjoint)
+	}
+	// eats some :Mouse + exactly's min-part (≥1 → ∃).
+	if m.Somes != 2 {
+		t.Errorf("Somes = %d, want 2", m.Somes)
+	}
+	if m.Alls != 1 {
+		t.Errorf("Alls = %d, want 1", m.Alls)
+	}
+	// min 2 (qualified) + exactly 1's max-part (qualified) = 2 QCRs;
+	// "eats max 5" without filler is unqualified.
+	if m.QCRs != 2 {
+		t.Errorf("QCRs = %d, want 2", m.QCRs)
+	}
+	if m.Cards != 1 {
+		t.Errorf("Cards = %d, want 1", m.Cards)
+	}
+	// Prefix expansion.
+	found := false
+	for _, c := range tb.NamedConcepts() {
+		if c.Name == "http://example.org/zoo#Cat" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("default prefix not expanded")
+	}
+	// Role axioms.
+	f := tb.Factory
+	if !f.Role("partOf").Transitive {
+		t.Error("partOf not transitive")
+	}
+	if !f.Role("eats").IsSubRoleOf(f.Role("interactsWith")) {
+		t.Error("eats ⊑ interactsWith missing")
+	}
+}
+
+func TestExpressionPrecedence(t *testing.T) {
+	src := `Class: A
+    SubClassOf: B and C or D
+`
+	tb, err := ParseString(src, "prec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ax := tb.AsGCIs()[0]
+	// "B and C or D" must parse as (B ⊓ C) ⊔ D.
+	if ax.Sup.Op != dl.OpOr {
+		t.Fatalf("top operator = %v, want Or: %v", ax.Sup.Op, ax.Sup)
+	}
+}
+
+func TestOwlThingNothing(t *testing.T) {
+	src := `Class: A
+    SubClassOf: owl:Thing
+Class: B
+    EquivalentTo: owl:Nothing
+`
+	tb, err := ParseString(src, "tb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := tb.Factory
+	var sawBottom bool
+	for _, ax := range tb.AsGCIs() {
+		if ax.Sup == f.Bottom() || ax.Sub == f.Bottom() {
+			sawBottom = true
+		}
+	}
+	if !sawBottom {
+		t.Error("owl:Nothing not mapped to ⊥")
+	}
+}
+
+func TestUnknownFrameSkipped(t *testing.T) {
+	src := `Individual: bob
+    Types: A
+Class: A
+    SubClassOf: B
+`
+	tb, err := ParseString(src, "skip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := dl.ComputeMetrics(tb).SubClassOf; got != 1 {
+		t.Errorf("SubClassOf = %d, want 1", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`Class: A
+    SubClassOf: eats min x B`, // bad cardinality
+		`Class: A
+    SubClassOf: (B`, // unbalanced paren
+		`Class:`,        // missing name
+		`SubClassOf: A`, // section outside a frame
+		`Class: A
+    SubClassOf: <unterminated`,
+	}
+	for _, src := range cases {
+		if _, err := ParseString(src, "bad"); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestRoundTripSample(t *testing.T) {
+	tb, err := ParseString(sample, "zoo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := Write(&buf, tb); err != nil {
+		t.Fatal(err)
+	}
+	tb2, err := ParseString(buf.String(), "zoo")
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, buf.String())
+	}
+	m1, m2 := dl.ComputeMetrics(tb), dl.ComputeMetrics(tb2)
+	if m1 != m2 {
+		t.Errorf("metrics changed over round trip:\n%+v\n%+v\n%s", m1, m2, buf.String())
+	}
+}
+
+// randomTBox builds a random ALCHQ TBox with named-frame axiom shapes.
+func randomTBox(rng *rand.Rand, n int) *dl.TBox {
+	tb := dl.NewTBox("rt")
+	f := tb.Factory
+	cs := make([]*dl.Concept, n)
+	for i := range cs {
+		cs[i] = tb.Declare("N" + string(rune('A'+i)))
+		tb.DeclarationAxiom(cs[i])
+	}
+	roles := []*dl.Role{f.Role("r"), f.Role("s")}
+	if rng.Intn(2) == 0 {
+		tb.SubObjectPropertyOf(roles[0], roles[1])
+	}
+	if rng.Intn(3) == 0 {
+		tb.TransitiveObjectProperty(roles[1])
+	}
+	var expr func(depth int) *dl.Concept
+	expr = func(depth int) *dl.Concept {
+		if depth <= 0 || rng.Intn(3) == 0 {
+			return cs[rng.Intn(n)]
+		}
+		switch rng.Intn(7) {
+		case 0:
+			return f.Not(expr(depth - 1))
+		case 1:
+			return f.And(expr(depth-1), expr(depth-1))
+		case 2:
+			return f.Or(expr(depth-1), expr(depth-1))
+		case 3:
+			return f.Some(roles[rng.Intn(2)], expr(depth-1))
+		case 4:
+			return f.All(roles[rng.Intn(2)], expr(depth-1))
+		case 5:
+			return f.Min(2+rng.Intn(2), roles[rng.Intn(2)], cs[rng.Intn(n)])
+		default:
+			return f.Max(rng.Intn(3)+1, roles[rng.Intn(2)], cs[rng.Intn(n)])
+		}
+	}
+	for i, k := 0, 3+rng.Intn(5); i < k; i++ {
+		sub := cs[rng.Intn(n)]
+		switch rng.Intn(5) {
+		case 0:
+			tb.EquivalentClasses(sub, f.And(cs[rng.Intn(n)], expr(1)))
+		case 1:
+			tb.DisjointClasses(sub, cs[rng.Intn(n)])
+		default:
+			tb.SubClassOf(sub, expr(2))
+		}
+	}
+	return tb
+}
+
+// TestQuickSemanticRoundTrip: write → parse must preserve classification.
+func TestQuickSemanticRoundTrip(t *testing.T) {
+	classifyFP := func(tb *dl.TBox) (string, error) {
+		r := tableau.New(tb, tableau.Options{})
+		res, err := core.Classify(tb, core.Options{Reasoner: r, Workers: 2})
+		if err != nil {
+			return "", err
+		}
+		return res.Taxonomy.Fingerprint(), nil
+	}
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tb := randomTBox(rng, 3+rng.Intn(4))
+		var buf strings.Builder
+		if err := Write(&buf, tb); err != nil {
+			t.Fatalf("seed %d write: %v", seed, err)
+		}
+		tb2, err := ParseString(buf.String(), tb.Name)
+		if err != nil {
+			t.Fatalf("seed %d parse: %v\n%s", seed, err, buf.String())
+		}
+		fp1, err := classifyFP(tb)
+		if err != nil {
+			return true
+		}
+		fp2, err := classifyFP(tb2)
+		if err != nil {
+			t.Logf("seed %d reparsed classify: %v", seed, err)
+			return false
+		}
+		if fp1 != fp2 {
+			t.Logf("seed %d fingerprints differ:\n%s\nvs\n%s\nsource:\n%s", seed, fp1, fp2, buf.String())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,237 @@
+package manchester
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"parowl/internal/dl"
+)
+
+// Write serializes the TBox in Manchester syntax: one Class frame per
+// named concept carrying its axioms, ObjectProperty frames for the role
+// axioms, and standalone DisjointClasses frames for disjointness whose
+// left side is complex. Annotation axioms become Annotations: lines; the
+// concept set round-trips (orphan concepts still get a frame).
+func Write(w io.Writer, t *dl.TBox) error {
+	// Angle-quoting can express any identifier except those containing
+	// '>' (the IRI terminator): reject such names up front.
+	for _, c := range t.NamedConcepts() {
+		if strings.ContainsRune(c.Name, '>') {
+			return fmt.Errorf("manchester: identifier %q not expressible ('>')", c.Name)
+		}
+	}
+	for _, r := range t.Factory.Roles() {
+		if strings.ContainsRune(r.Name, '>') {
+			return fmt.Errorf("manchester: property %q not expressible ('>')", r.Name)
+		}
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# ontology: %s\n", t.Name)
+
+	type frame struct {
+		subs, equiv []string
+		annotations int
+	}
+	frames := map[*dl.Concept]*frame{}
+	var order []*dl.Concept
+	get := func(c *dl.Concept) *frame {
+		fr, ok := frames[c]
+		if !ok {
+			fr = &frame{}
+			frames[c] = fr
+			order = append(order, c)
+		}
+		return fr
+	}
+	// Concepts mentioned inside expressions survive a reparse without
+	// their own frame; only concepts carrying axioms (declarations,
+	// annotations, named-side axioms) or appearing nowhere at all get a
+	// Class frame.
+	mentioned := map[*dl.Concept]bool{}
+	var note func(c *dl.Concept)
+	note = func(c *dl.Concept) {
+		mentioned[c] = true
+		for _, a := range c.Args {
+			note(a)
+		}
+	}
+	for _, ax := range t.Axioms() {
+		if ax.Sub != nil {
+			note(ax.Sub)
+		}
+		if ax.Sup != nil {
+			note(ax.Sup)
+		}
+	}
+	type roleFrame struct {
+		supers     []string
+		transitive bool
+	}
+	roleFrames := map[*dl.Role]*roleFrame{}
+	var roleOrder []*dl.Role
+	getRole := func(r *dl.Role) *roleFrame {
+		fr, ok := roleFrames[r]
+		if !ok {
+			fr = &roleFrame{}
+			roleFrames[r] = fr
+			roleOrder = append(roleOrder, r)
+		}
+		return fr
+	}
+	var standaloneDisj [][2]*dl.Concept
+
+	for _, ax := range t.Axioms() {
+		switch ax.Kind {
+		case dl.AxDeclaration:
+			get(ax.Sub)
+		case dl.AxAnnotation:
+			get(ax.Sub).annotations++
+		case dl.AxSubClassOf:
+			if ax.Sub.Op == dl.OpName {
+				fr := get(ax.Sub)
+				fr.subs = append(fr.subs, render(ax.Sup, false))
+			} else {
+				// Complex left side: Manchester has no direct frame;
+				// emit an equivalent ⊤-frame axiom via GCI encoding
+				// SubClassOf: not(Sub) or Sup on owl:Thing.
+				fr := get(t.Factory.Top())
+				fr.subs = append(fr.subs, render(t.Factory.Or(t.Factory.Not(ax.Sub), ax.Sup), false))
+			}
+		case dl.AxEquivalent:
+			if ax.Sub.Op == dl.OpName {
+				fr := get(ax.Sub)
+				fr.equiv = append(fr.equiv, render(ax.Sup, false))
+			} else if ax.Sup.Op == dl.OpName {
+				fr := get(ax.Sup)
+				fr.equiv = append(fr.equiv, render(ax.Sub, false))
+			} else {
+				// Both sides complex: encode as two GCIs on owl:Thing.
+				fr := get(t.Factory.Top())
+				f := t.Factory
+				fr.subs = append(fr.subs,
+					render(f.Or(f.Not(ax.Sub), ax.Sup), false),
+					render(f.Or(f.Not(ax.Sup), ax.Sub), false))
+			}
+		case dl.AxDisjoint:
+			// Standalone DisjointClasses frames declare nothing on
+			// reparse, keeping declaration counts stable.
+			standaloneDisj = append(standaloneDisj, [2]*dl.Concept{ax.Sub, ax.Sup})
+		case dl.AxSubRole:
+			getRole(ax.SubRole).supers = append(getRole(ax.SubRole).supers, entity(ax.SupRole.Name))
+		case dl.AxTransitiveRole:
+			getRole(ax.SubRole).transitive = true
+		}
+	}
+
+	for _, r := range roleOrder {
+		fr := roleFrames[r]
+		fmt.Fprintf(bw, "\nObjectProperty: %s\n", entity(r.Name))
+		for _, s := range fr.supers {
+			fmt.Fprintf(bw, "    SubPropertyOf: %s\n", s)
+		}
+		if fr.transitive {
+			fmt.Fprintln(bw, "    Characteristics: Transitive")
+		}
+	}
+	for _, c := range order {
+		fr := frames[c]
+		fmt.Fprintf(bw, "\nClass: %s\n", entity(conceptName(c)))
+		for i := 0; i < fr.annotations; i++ {
+			fmt.Fprintf(bw, "    Annotations: rdfs:label \"%s\"\n", conceptName(c))
+		}
+		if len(fr.subs) > 0 {
+			fmt.Fprintf(bw, "    SubClassOf: %s\n", strings.Join(fr.subs, ", "))
+		}
+		for _, e := range fr.equiv {
+			fmt.Fprintf(bw, "    EquivalentTo: %s\n", e)
+		}
+	}
+	for _, pair := range standaloneDisj {
+		fmt.Fprintf(bw, "\nDisjointClasses: %s, %s\n", render(pair[0], false), render(pair[1], false))
+	}
+	for _, c := range t.NamedConcepts() {
+		if !mentioned[c] {
+			fmt.Fprintf(bw, "\nClass: %s\n", entity(conceptName(c)))
+		}
+	}
+	return bw.Flush()
+}
+
+func conceptName(c *dl.Concept) string {
+	switch c.Op {
+	case dl.OpTop:
+		return "owl:Thing"
+	case dl.OpBottom:
+		return "owl:Nothing"
+	default:
+		return c.Name
+	}
+}
+
+// entity quotes names that would not re-tokenize as a single word.
+func entity(name string) string {
+	if name == "owl:Thing" || name == "owl:Nothing" {
+		return name
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '_', r == '-', r == '.', r == ':':
+		default:
+			// IRIs and anything with '/', '#' or other punctuation must
+			// be angle-quoted ('#' starts a comment in the lexer).
+			return "<" + name + ">"
+		}
+	}
+	if name == "" || strings.HasSuffix(name, ":") || exprKeywords[name] {
+		return "<urn:" + name + ">"
+	}
+	return name
+}
+
+// render emits an expression; nested means parentheses are required
+// around binary operators.
+func render(c *dl.Concept, nested bool) string {
+	switch c.Op {
+	case dl.OpTop:
+		return "owl:Thing"
+	case dl.OpBottom:
+		return "owl:Nothing"
+	case dl.OpName:
+		return entity(c.Name)
+	case dl.OpNot:
+		return "not " + render(c.Args[0], true)
+	case dl.OpAnd, dl.OpOr:
+		op := " and "
+		if c.Op == dl.OpOr {
+			op = " or "
+		}
+		parts := make([]string, len(c.Args))
+		for i, a := range c.Args {
+			parts[i] = render(a, true)
+		}
+		s := strings.Join(parts, op)
+		if nested {
+			return "(" + s + ")"
+		}
+		return s
+	case dl.OpSome:
+		return parenQuant(entity(c.Role.Name)+" some "+render(c.Args[0], true), nested)
+	case dl.OpAll:
+		return parenQuant(entity(c.Role.Name)+" only "+render(c.Args[0], true), nested)
+	case dl.OpMin:
+		return parenQuant(fmt.Sprintf("%s min %d %s", entity(c.Role.Name), c.N, render(c.Args[0], true)), nested)
+	case dl.OpMax:
+		return parenQuant(fmt.Sprintf("%s max %d %s", entity(c.Role.Name), c.N, render(c.Args[0], true)), nested)
+	}
+	return "owl:Thing"
+}
+
+func parenQuant(s string, nested bool) string {
+	if nested {
+		return "(" + s + ")"
+	}
+	return s
+}

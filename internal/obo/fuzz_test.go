@@ -1,0 +1,31 @@
+package obo
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks the OBO parser never panics on arbitrary input and
+// that accepted EL content survives a write/parse cycle.
+func FuzzParse(f *testing.F) {
+	f.Add(sample)
+	f.Add("[Term]\nid: A\nis_a: B\n")
+	f.Add("[Term]\nid: A\nintersection_of: B\nintersection_of: part_of C\n")
+	f.Add("[Typedef]\nid: p\nis_transitive: true\n")
+	f.Add("format-version: 1.2\n\n[Term]\nid: X ! trailing\n")
+	f.Add("[Instance]\nid: i\n")
+	f.Add("[Term]\nid: A\ndisjoint_from: B\nrelationship: p C\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		tb, err := Parse(strings.NewReader(src), "fuzz")
+		if err != nil {
+			return
+		}
+		var buf strings.Builder
+		if err := Write(&buf, tb); err != nil {
+			return // non-EL content constructed some other way is fine to reject
+		}
+		if _, err := Parse(strings.NewReader(buf.String()), "fuzz2"); err != nil {
+			t.Fatalf("writer output does not re-parse: %v\ninput: %q\noutput:\n%s", err, src, buf.String())
+		}
+	})
+}

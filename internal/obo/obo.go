@@ -1,0 +1,357 @@
+// Package obo parses the OBO 1.2 flat-file format used by most of the
+// paper's Table IV corpora (WBbt.obo, actpathway.obo, lanogaster.obo, the
+// EHDA/EMAP anatomies). The logical content of OBO maps into EL(H+):
+//
+//	is_a: T                    →  SubClassOf(term, T)
+//	relationship: R T          →  SubClassOf(term, ∃R.T)
+//	intersection_of: ...       →  EquivalentClasses(term, ⊓ ...)
+//	disjoint_from: T           →  DisjointClasses(term, T)
+//	[Typedef] is_a             →  SubObjectPropertyOf
+//	[Typedef] is_transitive    →  TransitiveObjectProperty
+//
+// Name/def/synonym/comment/xref tag lines become annotation axioms so the
+// paper's axiom-count metrics are reproduced. The package also writes EL
+// TBoxes back out as OBO.
+package obo
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"parowl/internal/dl"
+)
+
+// annotationTags are the per-term tag lines counted as annotation axioms.
+var annotationTags = map[string]bool{
+	"name": true, "def": true, "comment": true, "synonym": true,
+	"xref": true, "subset": true, "created_by": true, "creation_date": true,
+	"alt_id": true, "namespace": true,
+}
+
+// Parse reads an OBO document into a TBox.
+func Parse(r io.Reader, name string) (*dl.TBox, error) {
+	tb := dl.NewTBox(name)
+	f := tb.Factory
+
+	type stanza struct {
+		kind  string // "Term" or "Typedef"
+		lines []tagLine
+		num   int
+	}
+	var stanzas []*stanza
+	var cur *stanza
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		// Strip trailing OBO comments (\! outside quotes is rare enough
+		// to ignore; standard is " ! ").
+		if i := strings.Index(line, " !"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "[") && strings.HasSuffix(line, "]") {
+			cur = &stanza{kind: line[1 : len(line)-1], num: lineNo}
+			stanzas = append(stanzas, cur)
+			continue
+		}
+		i := strings.Index(line, ":")
+		if i < 0 {
+			return nil, fmt.Errorf("obo: line %d: malformed tag line %q", lineNo, line)
+		}
+		tl := tagLine{tag: strings.TrimSpace(line[:i]), value: strings.TrimSpace(line[i+1:]), num: lineNo}
+		if cur == nil {
+			continue // header block (format-version, ontology, ...)
+		}
+		cur.lines = append(cur.lines, tl)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obo: read: %w", err)
+	}
+
+	for _, st := range stanzas {
+		switch st.kind {
+		case "Term":
+			if err := parseTerm(tb, f, st.lines, st.num); err != nil {
+				return nil, err
+			}
+		case "Typedef":
+			if err := parseTypedef(tb, f, st.lines, st.num); err != nil {
+				return nil, err
+			}
+		default:
+			// Instance and unknown stanzas are skipped.
+		}
+	}
+	return tb, nil
+}
+
+type tagLine struct {
+	tag, value string
+	num        int
+}
+
+func parseTerm(tb *dl.TBox, f *dl.Factory, lines []tagLine, stanzaLine int) error {
+	var id string
+	for _, l := range lines {
+		if l.tag == "id" {
+			id = l.value
+			break
+		}
+	}
+	if id == "" {
+		return fmt.Errorf("obo: line %d: [Term] without id", stanzaLine)
+	}
+	term := tb.Declare(id)
+	tb.DeclarationAxiom(term)
+	var intersection []*dl.Concept
+	for _, l := range lines {
+		switch l.tag {
+		case "id":
+		case "is_a":
+			parent := firstField(l.value)
+			if parent == "" {
+				return fmt.Errorf("obo: line %d: empty is_a value", l.num)
+			}
+			tb.SubClassOf(term, tb.Declare(parent))
+		case "relationship":
+			rel, filler, ok := twoFields(l.value)
+			if !ok {
+				return fmt.Errorf("obo: line %d: malformed relationship %q", l.num, l.value)
+			}
+			tb.SubClassOf(term, f.Some(f.Role(rel), tb.Declare(filler)))
+		case "intersection_of":
+			if rel, filler, ok := twoFields(l.value); ok {
+				intersection = append(intersection, f.Some(f.Role(rel), tb.Declare(filler)))
+			} else if name := firstField(l.value); name != "" {
+				intersection = append(intersection, tb.Declare(name))
+			} else {
+				return fmt.Errorf("obo: line %d: empty intersection_of value", l.num)
+			}
+		case "disjoint_from":
+			other := firstField(l.value)
+			if other == "" {
+				return fmt.Errorf("obo: line %d: empty disjoint_from value", l.num)
+			}
+			tb.DisjointClasses(term, tb.Declare(other))
+		case "is_obsolete":
+			// Obsolete terms stay declared but carry no further logic.
+		default:
+			if annotationTags[l.tag] {
+				tb.AnnotationAxiom(term)
+			}
+		}
+	}
+	if len(intersection) == 1 {
+		return fmt.Errorf("obo: line %d: single intersection_of in %s", stanzaLine, id)
+	}
+	if len(intersection) > 1 {
+		tb.EquivalentClasses(term, f.And(intersection...))
+	}
+	return nil
+}
+
+func parseTypedef(tb *dl.TBox, f *dl.Factory, lines []tagLine, stanzaLine int) error {
+	var id string
+	for _, l := range lines {
+		if l.tag == "id" {
+			id = l.value
+			break
+		}
+	}
+	if id == "" {
+		return fmt.Errorf("obo: line %d: [Typedef] without id", stanzaLine)
+	}
+	role := f.Role(id)
+	for _, l := range lines {
+		switch l.tag {
+		case "is_a":
+			sup := firstField(l.value)
+			if sup == "" {
+				return fmt.Errorf("obo: line %d: empty is_a value", l.num)
+			}
+			tb.SubObjectPropertyOf(role, f.Role(sup))
+		case "is_transitive":
+			if strings.EqualFold(l.value, "true") {
+				tb.TransitiveObjectProperty(role)
+			}
+		}
+	}
+	return nil
+}
+
+func firstField(s string) string {
+	if i := strings.IndexAny(s, " \t"); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+func twoFields(s string) (string, string, bool) {
+	fields := strings.Fields(s)
+	if len(fields) < 2 {
+		return "", "", false
+	}
+	return fields[0], fields[1], true
+}
+
+// oboSafeName reports whether a name can appear as an OBO identifier:
+// non-empty, no whitespace (field separator), no '!' (comment marker) and
+// no leading '['.
+func oboSafeName(name string) error {
+	if name == "" {
+		return fmt.Errorf("obo: empty identifier not expressible")
+	}
+	if strings.ContainsAny(name, " \t!\n\r") || strings.HasPrefix(name, "[") {
+		return fmt.Errorf("obo: identifier %q not expressible (whitespace, '!' or '[')", name)
+	}
+	return nil
+}
+
+// Write serializes an EL TBox as an OBO document. Constructs outside the
+// OBO-expressible fragment (anything but named SubClassOf, ∃-SubClassOf,
+// named-conjunction equivalences, pairwise disjointness and the role
+// axioms) yield an error, as do identifiers OBO cannot express.
+func Write(w io.Writer, t *dl.TBox) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "format-version: 1.2\nontology: %s\n", t.Name)
+
+	type termInfo struct {
+		isA, rel, disjoint []string
+		inter              []string
+		annotations        int
+		declared           bool
+	}
+	terms := map[string]*termInfo{}
+	var order []string
+	info := func(name string) *termInfo {
+		ti, ok := terms[name]
+		if !ok {
+			ti = &termInfo{}
+			terms[name] = ti
+			order = append(order, name)
+		}
+		return ti
+	}
+	for _, c := range t.NamedConcepts() {
+		if err := oboSafeName(c.Name); err != nil {
+			return err
+		}
+		info(c.Name)
+	}
+	roleAxioms := map[string][]string{}
+	transitive := map[string]bool{}
+	var roleOrder []string
+	noteRole := func(name string) error {
+		if err := oboSafeName(name); err != nil {
+			return err
+		}
+		if _, ok := roleAxioms[name]; !ok {
+			roleAxioms[name] = nil
+			roleOrder = append(roleOrder, name)
+		}
+		return nil
+	}
+	for _, ax := range t.Axioms() {
+		switch ax.Kind {
+		case dl.AxDeclaration:
+			info(ax.Sub.Name).declared = true
+		case dl.AxAnnotation:
+			info(ax.Sub.Name).annotations++
+		case dl.AxSubClassOf:
+			ti := info(ax.Sub.Name)
+			switch {
+			case ax.Sub.Op != dl.OpName:
+				return fmt.Errorf("obo: complex left side %v not OBO-expressible", ax.Sub)
+			case ax.Sup.Op == dl.OpName:
+				ti.isA = append(ti.isA, ax.Sup.Name)
+			case ax.Sup.Op == dl.OpSome && ax.Sup.Args[0].Op == dl.OpName:
+				if err := noteRole(ax.Sup.Role.Name); err != nil {
+					return err
+				}
+				ti.rel = append(ti.rel, ax.Sup.Role.Name+" "+ax.Sup.Args[0].Name)
+			case ax.Sup.Op == dl.OpAnd:
+				for _, arg := range ax.Sup.Args {
+					if arg.Op != dl.OpName {
+						return fmt.Errorf("obo: %v not OBO-expressible", ax.Sup)
+					}
+					ti.isA = append(ti.isA, arg.Name)
+				}
+			default:
+				return fmt.Errorf("obo: %v not OBO-expressible", ax.Sup)
+			}
+		case dl.AxEquivalent:
+			if ax.Sub.Op != dl.OpName || ax.Sup.Op != dl.OpAnd {
+				return fmt.Errorf("obo: equivalence %v ≡ %v not OBO-expressible", ax.Sub, ax.Sup)
+			}
+			ti := info(ax.Sub.Name)
+			for _, arg := range ax.Sup.Args {
+				switch {
+				case arg.Op == dl.OpName:
+					ti.inter = append(ti.inter, arg.Name)
+				case arg.Op == dl.OpSome && arg.Args[0].Op == dl.OpName:
+					if err := noteRole(arg.Role.Name); err != nil {
+						return err
+					}
+					ti.inter = append(ti.inter, arg.Role.Name+" "+arg.Args[0].Name)
+				default:
+					return fmt.Errorf("obo: %v not OBO-expressible", arg)
+				}
+			}
+		case dl.AxDisjoint:
+			if ax.Sub.Op != dl.OpName || ax.Sup.Op != dl.OpName {
+				return fmt.Errorf("obo: disjointness %v/%v not OBO-expressible", ax.Sub, ax.Sup)
+			}
+			info(ax.Sub.Name).disjoint = append(info(ax.Sub.Name).disjoint, ax.Sup.Name)
+		case dl.AxSubRole:
+			if err := noteRole(ax.SubRole.Name); err != nil {
+				return err
+			}
+			if err := noteRole(ax.SupRole.Name); err != nil {
+				return err
+			}
+			roleAxioms[ax.SubRole.Name] = append(roleAxioms[ax.SubRole.Name], ax.SupRole.Name)
+		case dl.AxTransitiveRole:
+			if err := noteRole(ax.SubRole.Name); err != nil {
+				return err
+			}
+			transitive[ax.SubRole.Name] = true
+		}
+	}
+	for _, name := range order {
+		ti := terms[name]
+		fmt.Fprintf(bw, "\n[Term]\nid: %s\n", name)
+		for i := 0; i < ti.annotations; i++ {
+			fmt.Fprintf(bw, "name: %s\n", name)
+		}
+		for _, p := range ti.isA {
+			fmt.Fprintf(bw, "is_a: %s\n", p)
+		}
+		for _, r := range ti.rel {
+			fmt.Fprintf(bw, "relationship: %s\n", r)
+		}
+		for _, x := range ti.inter {
+			fmt.Fprintf(bw, "intersection_of: %s\n", x)
+		}
+		for _, d := range ti.disjoint {
+			fmt.Fprintf(bw, "disjoint_from: %s\n", d)
+		}
+	}
+	for _, r := range roleOrder {
+		fmt.Fprintf(bw, "\n[Typedef]\nid: %s\n", r)
+		for _, sup := range roleAxioms[r] {
+			fmt.Fprintf(bw, "is_a: %s\n", sup)
+		}
+		if transitive[r] {
+			fmt.Fprintln(bw, "is_transitive: true")
+		}
+	}
+	return bw.Flush()
+}

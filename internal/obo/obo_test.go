@@ -1,0 +1,183 @@
+package obo
+
+import (
+	"strings"
+	"testing"
+
+	"parowl/internal/core"
+	"parowl/internal/dl"
+	"parowl/internal/el"
+	"parowl/internal/ontogen"
+)
+
+const sample = `format-version: 1.2
+ontology: test
+
+[Term]
+id: WBbt:0000001
+name: Anatomy
+def: "The root" [src:1]
+is_a: WBbt:0000000 ! obsolete root
+
+[Term]
+id: WBbt:0000002
+name: Cell
+is_a: WBbt:0000001
+relationship: part_of WBbt:0000001
+
+[Term]
+id: WBbt:0000003
+name: Neuron
+intersection_of: WBbt:0000002
+intersection_of: part_of WBbt:0000004
+disjoint_from: WBbt:0000005
+
+[Term]
+id: WBbt:0000006
+is_obsolete: true
+
+[Typedef]
+id: part_of
+is_a: overlaps
+is_transitive: true
+
+[Instance]
+id: ignored:1
+`
+
+func TestParseSample(t *testing.T) {
+	tb, err := Parse(strings.NewReader(sample), "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := dl.ComputeMetrics(tb)
+	if m.SubClassOf != 3 { // is_a ×2 + relationship
+		t.Errorf("SubClassOf = %d, want 3", m.SubClassOf)
+	}
+	if m.Equivalent != 1 {
+		t.Errorf("Equivalent = %d, want 1", m.Equivalent)
+	}
+	if m.Disjoint != 1 {
+		t.Errorf("Disjoint = %d, want 1", m.Disjoint)
+	}
+	if m.Somes != 2 { // relationship + intersection_of part_of
+		t.Errorf("Somes = %d, want 2", m.Somes)
+	}
+	if m.Expressivity != "ELH+" {
+		t.Errorf("expressivity = %s, want ELH+ (part_of ⊑ overlaps, transitive)", m.Expressivity)
+	}
+	// name/def lines are annotations: Anatomy has 2, Cell 1, Neuron 1.
+	ann := 0
+	for _, ax := range tb.Axioms() {
+		if ax.Kind == dl.AxAnnotation {
+			ann++
+		}
+	}
+	if ann != 4 {
+		t.Errorf("annotations = %d, want 4", ann)
+	}
+	// The Typedef must set transitivity.
+	for _, r := range tb.Factory.Roles() {
+		if r.Name == "part_of" {
+			if !r.Transitive {
+				t.Error("part_of not transitive")
+			}
+			if !r.IsSubRoleOf(tb.Factory.Role("overlaps")) {
+				t.Error("part_of ⊑ overlaps missing")
+			}
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"[Term]\nname: no id\n",
+		"[Term]\nid: A\nrelationship: part_of\n", // missing filler
+		"[Term]\nid: A\nintersection_of: B\n",    // single intersection
+		"[Typedef]\nis_transitive: true\n",       // typedef without id
+		"[Term]\nid: A\nbad line without colon\n",
+	}
+	for _, src := range cases {
+		if _, err := Parse(strings.NewReader(src), "bad"); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestParseClassify(t *testing.T) {
+	tb, err := Parse(strings.NewReader(sample), "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	elr, err := el.New(tb, el.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Classify(tb, core.Options{Reasoner: elr, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := tb.Factory
+	if !res.Taxonomy.IsAncestor(f.Name("WBbt:0000001"), f.Name("WBbt:0000003")) {
+		t.Error("Neuron ⊑ Anatomy (via Cell) not derived")
+	}
+}
+
+// TestRoundTripGenerated writes a generated EL corpus as OBO and reparses
+// it; all logical metrics must survive.
+func TestRoundTripGenerated(t *testing.T) {
+	p := ontogen.Mini(ontogen.TableIV[0], 50)
+	tb, err := p.Generate(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := Write(&b, tb); err != nil {
+		t.Fatal(err)
+	}
+	tb2, err := Parse(strings.NewReader(b.String()), tb.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, m2 := dl.ComputeMetrics(tb), dl.ComputeMetrics(tb2)
+	if m1.SubClassOf != m2.SubClassOf || m1.Somes != m2.Somes ||
+		m1.Equivalent != m2.Equivalent || m1.Disjoint != m2.Disjoint ||
+		m1.Concepts != m2.Concepts || m1.Expressivity != m2.Expressivity {
+		t.Errorf("logical metrics changed:\n%+v\n%+v", m1, m2)
+	}
+}
+
+// TestRoundTripFullProfile checks the exact axiom total survives for a
+// full Table IV profile (declarations for every concept + annotations).
+func TestRoundTripFullProfile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large corpus in -short mode")
+	}
+	p := ontogen.TableIV[2] // obo.PREVIOUS
+	tb, err := p.Generate(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := Write(&b, tb); err != nil {
+		t.Fatal(err)
+	}
+	tb2, err := Parse(strings.NewReader(b.String()), tb.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, m2 := dl.ComputeMetrics(tb), dl.ComputeMetrics(tb2)
+	if m1 != m2 {
+		t.Errorf("metrics changed:\n%+v\n%+v", m1, m2)
+	}
+}
+
+func TestWriteRejectsNonEL(t *testing.T) {
+	tb := dl.NewTBox("alc")
+	f := tb.Factory
+	tb.SubClassOf(tb.Declare("A"), f.Not(tb.Declare("B")))
+	var b strings.Builder
+	if err := Write(&b, tb); err == nil {
+		t.Fatal("negation accepted by OBO writer")
+	}
+}

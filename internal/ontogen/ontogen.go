@@ -1,0 +1,339 @@
+// Package ontogen generates synthetic OWL ontologies that reproduce the
+// metric rows of the paper's test corpora (Tables IV and V): the exact
+// concept, axiom, SubClassOf, QCR, ∃, ∀, Equivalent and Disjoint counts
+// of each of the 14 ORE 2014/2015 ontologies the paper evaluates.
+//
+// The original files are not shipped with the paper; what its experiments
+// actually measure — partition sizes n/w, P/K set dynamics, and the
+// number and cost distribution of subsumption tests — depends on these
+// metrics and on the taxonomy's DAG shape, not on the domain vocabulary.
+// Generation is fully deterministic per (profile, seed).
+package ontogen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"parowl/internal/dl"
+)
+
+// Profile describes one target ontology.
+type Profile struct {
+	// Name is the paper's ontology name.
+	Name string
+	// Concepts .. Disjoint are the Table IV/V metric targets. Zero-valued
+	// occurrence counts simply generate none of that constructor.
+	Concepts   int
+	Axioms     int
+	SubClassOf int
+	QCRs       int
+	Somes      int
+	Alls       int
+	Equivalent int
+	Disjoint   int
+	// RoleHierarchy / Transitive add the corresponding role axioms
+	// (H and + in the expressivity name).
+	RoleHierarchy bool
+	Transitive    bool
+	// PaperExpressivity is the DL name the paper reports. The generated
+	// ontology's detected expressivity can be weaker for Table V rows
+	// (our dialect has no inverse roles, nominals or datatypes; the
+	// QCR count — the paper's complexity driver — is preserved exactly).
+	PaperExpressivity string
+	// ExprAxioms bounds how many SubClassOf axioms carry complex right
+	// sides; 0 picks a default from the occurrence budgets.
+	ExprAxioms int
+}
+
+// Generate builds the ontology deterministically from the profile and
+// seed. The result is frozen.
+func (p Profile) Generate(seed int64) (*dl.TBox, error) {
+	if p.Concepts < 2 {
+		return nil, fmt.Errorf("ontogen: profile %q needs at least 2 concepts", p.Name)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	tb := dl.NewTBox(p.Name)
+	f := tb.Factory
+
+	cs := make([]*dl.Concept, p.Concepts)
+	for i := range cs {
+		cs[i] = tb.Declare(fmt.Sprintf("%s_C%05d", sanitize(p.Name), i))
+	}
+	// Role pool proportional to the ontology size: real corpora declare
+	// on the order of concepts/10 object properties, and a wide pool
+	// keeps QCRs on mostly-independent roles (as in bridg, whose ~100
+	// properties carry its 967 QCRs).
+	nRoles := 8 + p.Concepts/8
+	roles := make([]*dl.Role, nRoles)
+	for i := range roles {
+		roles[i] = f.Role(fmt.Sprintf("r%d", i))
+	}
+	roleAxioms := 0
+	if p.RoleHierarchy {
+		tb.SubObjectPropertyOf(roles[1], roles[0])
+		tb.SubObjectPropertyOf(roles[2], roles[0])
+		roleAxioms += 2
+	}
+	if p.Transitive {
+		tb.TransitiveObjectProperty(roles[0])
+		roleAxioms++
+	}
+
+	// Split the SubClassOf budget between named backbone edges and
+	// expression-bearing axioms.
+	exprAxioms := p.ExprAxioms
+	occurrences := p.QCRs + p.Somes + p.Alls
+	if exprAxioms == 0 {
+		switch {
+		case occurrences > 0:
+			exprAxioms = (occurrences + 2) / 3
+		default:
+			exprAxioms = min(p.SubClassOf/8, p.Concepts/2)
+		}
+	}
+	if exprAxioms > p.SubClassOf {
+		exprAxioms = p.SubClassOf
+	}
+	if exprAxioms == p.SubClassOf && p.SubClassOf > 20 {
+		// Keep a sixth of the budget for backbone edges so even
+		// QCR-dominated profiles (bridg) retain some taxonomy.
+		exprAxioms = p.SubClassOf * 5 / 6
+	}
+	named := p.SubClassOf - exprAxioms
+
+	// Backbone: a locality-biased tree (each concept subclasses a recent
+	// ancestor) plus extra multi-parent edges until the budget is spent.
+	// This matches the shallow-bushy shape of bio-ontologies.
+	edge := make(map[[2]int]bool)
+	parentOf := make([]int, p.Concepts) // told tree parent, 0 by default
+	treeEdges := min(named, p.Concepts-1)
+	for i := 1; i <= treeEdges; i++ {
+		parent := i - 1 - geometric(rng, 4)
+		if parent < 0 {
+			parent = rng.Intn(i)
+		}
+		tb.SubClassOf(cs[i], cs[parent])
+		edge[[2]int{i, parent}] = true
+		parentOf[i] = parent
+	}
+	for extra := named - treeEdges; extra > 0; {
+		i := 1 + rng.Intn(p.Concepts-1)
+		parent := rng.Intn(i)
+		key := [2]int{i, parent}
+		if edge[key] {
+			// Duplicate SubClassOf axioms do occur in real corpora, but
+			// prefer fresh edges while they exist.
+			if rng.Intn(4) != 0 {
+				continue
+			}
+		}
+		tb.SubClassOf(cs[i], cs[parent])
+		edge[key] = true
+		extra--
+	}
+
+	// Expression-bearing SubClassOf axioms, consuming the occurrence
+	// budgets exactly.
+	// Quantified fillers come from a pool of low-index "simple" concepts
+	// that never receive expression axioms themselves, so existential
+	// cascades terminate after one level — the shape of real QCR corpora,
+	// where cardinalities constrain attribute-like value classes (bridg's
+	// UML value types). Expression subjects are drawn above the pool.
+	fillerPool := cs[:maxInt(2, p.Concepts/3)]
+	subjectBase := len(fillerPool)
+	budget := occBudget{qcrs: p.QCRs, somes: p.Somes, alls: p.Alls, hadTargets: occurrences > 0}
+
+	// Equivalences come first and carry part of the occurrence budget:
+	// genus-differentia definitions A ≡ toldParent ⊓ ∃r.F (the shape of
+	// real corpus definitions). Each definiendum is defined at most once
+	// and the genus is A's told parent, so definitions never collapse
+	// unrelated classes.
+	carriers := exprAxioms + p.Equivalent
+	defined := make(map[int]bool)
+	for k := 0; k < p.Equivalent; k++ {
+		i := subjectBase + rng.Intn(p.Concepts-subjectBase)
+		for try := 0; defined[i] && try < 4*p.Concepts; try++ {
+			i = subjectBase + rng.Intn(p.Concepts-subjectBase)
+		}
+		defined[i] = true
+		genus := cs[parentOf[i]]
+		if parentOf[i] == 0 && i > subjectBase {
+			// Orphan subject: a root-level genus would spread the
+			// definition's absorbed disjunction to every node label,
+			// blowing up tableau search; use a narrow mid-level genus.
+			genus = cs[subjectBase+rng.Intn(i-subjectBase)]
+		}
+		diff := budget.buildRHS(rng, f, fillerPool, cs[:i], roles, carriers)
+		carriers--
+		tb.EquivalentClasses(cs[i], f.And(genus, diff))
+	}
+
+	for k := 0; k < exprAxioms; k++ {
+		// Named conjuncts may only point to lower indexes so told
+		// subsumption stays acyclic (is_a cycles do not occur in the
+		// real corpora).
+		subIdx := subjectBase + rng.Intn(p.Concepts-subjectBase)
+		rhs := budget.buildRHS(rng, f, fillerPool, cs[:subIdx], roles, carriers)
+		carriers--
+		tb.SubClassOf(cs[subIdx], rhs)
+	}
+	if !budget.empty() {
+		return nil, fmt.Errorf("ontogen: %q: occurrence budget not exhausted: %+v", p.Name, budget)
+	}
+
+	// Disjointness between cousins: concepts from different subtrees, so
+	// the backbone stays coherent.
+	for k := 0; k < p.Disjoint; k++ {
+		a, b := rng.Intn(p.Concepts), rng.Intn(p.Concepts)
+		if a == b {
+			b = (b + 1) % p.Concepts
+		}
+		tb.DisjointClasses(cs[a], cs[b])
+	}
+
+	// Pad to the exact axiom total with declarations then annotations.
+	used := len(tb.Axioms())
+	pad := p.Axioms - used
+	if pad < 0 {
+		return nil, fmt.Errorf("ontogen: %q: logical axioms (%d) exceed axiom budget (%d)", p.Name, used, p.Axioms)
+	}
+	for i := 0; i < pad; i++ {
+		c := cs[i%p.Concepts]
+		if i < p.Concepts {
+			tb.DeclarationAxiom(c)
+		} else {
+			tb.AnnotationAxiom(c)
+		}
+	}
+	tb.Freeze()
+	return tb, nil
+}
+
+// occBudget doles out constructor occurrences across axioms.
+type occBudget struct {
+	qcrs, somes, alls int
+	hadTargets        bool // the profile had any occurrence targets at all
+}
+
+func (b *occBudget) empty() bool { return b.qcrs == 0 && b.somes == 0 && b.alls == 0 }
+
+// buildRHS builds one right-hand side consuming 1..3 occurrences, pacing
+// consumption so the remaining axioms can still consume the rest (each
+// later axiom takes at least one occurrence, at most three).
+func (b *occBudget) buildRHS(rng *rand.Rand, f *dl.Factory, cs, below []*dl.Concept, roles []*dl.Role, remainingAxioms int) *dl.Concept {
+	total := b.qcrs + b.somes + b.alls
+	if total == 0 {
+		if b.hadTargets {
+			// The budget is spent (possible only when carriers exceed
+			// occurrences): emit a named conjunct, which touches no
+			// occurrence counter.
+			return f.And(below[rng.Intn(len(below))], below[rng.Intn(len(below))])
+		}
+		// EL corpora with no occurrence targets get existential right
+		// sides — OBO "relationship:" lines, the dominant non-is_a axiom
+		// kind of the Table IV corpora. Existentials add no told
+		// subsumptions, so acyclicity is untouched.
+		return f.Some(roles[rng.Intn(len(roles)-3)+3], cs[rng.Intn(len(cs))])
+	}
+	// Take enough occurrences that the remaining axioms can absorb the
+	// rest (bridg-style profiles need >3 QCRs per axiom), with a little
+	// jitter when there is slack.
+	need := 1
+	if remainingAxioms > 0 {
+		need = (total + remainingAxioms - 1) / remainingAxioms
+	}
+	take := need
+	if take < 1 {
+		take = 1
+	}
+	// Jitter upward only while every later carrier axiom can still take
+	// at least one occurrence; draining the budget early would force
+	// off-budget fallback conjuncts and skew the occurrence counts.
+	if maxTake := total - (remainingAxioms - 1); take < 3 && take < maxTake && rng.Intn(2) == 0 {
+		take++
+	}
+	if take > total {
+		take = total
+	}
+	conj := make([]*dl.Concept, 0, take)
+	seen := make(map[*dl.Concept]bool, take)
+	for t := 0; t < take; t++ {
+		var c *dl.Concept
+		// Retry on within-axiom duplicates: the interning factory would
+		// collapse them and the occurrence counts must stay exact.
+		for attempt := 0; ; attempt++ {
+			role := roles[rng.Intn(len(roles)-3)+3] // roles 3..: plain roles, QCR-safe
+			filler := cs[rng.Intn(len(cs))]
+			switch {
+			case b.qcrs > 0 && (b.somes == 0 || rng.Intn(2) == 0):
+				// n ≥ 2 for ≥: the factory canonicalizes ≥1 to ∃, which
+				// would count as a Some instead of a QCR.
+				if rng.Intn(2) == 0 {
+					c = f.Min(2+rng.Intn(2), role, filler)
+				} else {
+					// Lower bound 3 keeps accidental same-role Min/Max
+					// combinations coherent (Min draws at most 3).
+					c = f.Max(3+rng.Intn(4), role, filler)
+				}
+				if !seen[c] {
+					b.qcrs--
+				}
+			case b.somes > 0:
+				c = f.Some(role, filler)
+				if !seen[c] {
+					b.somes--
+				}
+			default:
+				c = f.All(role, filler)
+				if !seen[c] {
+					b.alls--
+				}
+			}
+			if !seen[c] || attempt > 64 {
+				break
+			}
+		}
+		seen[c] = true
+		conj = append(conj, c)
+	}
+	return f.And(conj...)
+}
+
+// geometric draws a small geometric-ish offset with mean ≈ mean.
+func geometric(rng *rand.Rand, mean int) int {
+	g := 0
+	for rng.Intn(mean+1) != 0 {
+		g++
+		if g > 6*mean {
+			break
+		}
+	}
+	return g * mean / 2
+}
+
+func sanitize(name string) string {
+	out := make([]rune, 0, len(name))
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			out = append(out, r)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

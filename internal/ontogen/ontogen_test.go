@@ -1,0 +1,199 @@
+package ontogen
+
+import (
+	"testing"
+
+	"parowl/internal/core"
+	"parowl/internal/dl"
+	"parowl/internal/el"
+	"parowl/internal/reasoner"
+	"parowl/internal/tableau"
+)
+
+// TestTableIVMetricsExact checks every generated Table IV corpus matches
+// the paper's published metric row exactly.
+func TestTableIVMetricsExact(t *testing.T) {
+	for _, p := range TableIV {
+		tb, err := p.Generate(1)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		m := dl.ComputeMetrics(tb)
+		if m.Concepts != p.Concepts {
+			t.Errorf("%s: concepts = %d, want %d", p.Name, m.Concepts, p.Concepts)
+		}
+		if m.Axioms != p.Axioms {
+			t.Errorf("%s: axioms = %d, want %d", p.Name, m.Axioms, p.Axioms)
+		}
+		if m.SubClassOf != p.SubClassOf {
+			t.Errorf("%s: subClassOf = %d, want %d", p.Name, m.SubClassOf, p.SubClassOf)
+		}
+		if m.Expressivity != p.PaperExpressivity {
+			t.Errorf("%s: expressivity = %s, want %s", p.Name, m.Expressivity, p.PaperExpressivity)
+		}
+	}
+}
+
+// TestTableVMetricsExact checks the QCR corpora including the occurrence
+// columns.
+func TestTableVMetricsExact(t *testing.T) {
+	for _, p := range TableV {
+		tb, err := p.Generate(1)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		m := dl.ComputeMetrics(tb)
+		checks := []struct {
+			label     string
+			got, want int
+		}{
+			{"concepts", m.Concepts, p.Concepts},
+			{"axioms", m.Axioms, p.Axioms},
+			{"subClassOf", m.SubClassOf, p.SubClassOf},
+			{"qcrs", m.QCRs, p.QCRs},
+			{"somes", m.Somes, p.Somes},
+			{"alls", m.Alls, p.Alls},
+			{"equivalent", m.Equivalent, p.Equivalent},
+			{"disjoint", m.Disjoint, p.Disjoint},
+		}
+		for _, c := range checks {
+			if c.got != c.want {
+				t.Errorf("%s: %s = %d, want %d", p.Name, c.label, c.got, c.want)
+			}
+		}
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	p := TableV[0]
+	a, err := p.Generate(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Generate(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	axa, axb := a.Axioms(), b.Axioms()
+	if len(axa) != len(axb) {
+		t.Fatalf("axiom counts differ: %d vs %d", len(axa), len(axb))
+	}
+	for i := range axa {
+		if axa[i].String() != axb[i].String() {
+			t.Fatalf("axiom %d differs:\n%s\n%s", i, axa[i], axb[i])
+		}
+	}
+	c, err := p.Generate(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := len(c.Axioms()) == len(axa)
+	if same {
+		diff := false
+		for i := range axa {
+			if axa[i].String() != c.Axioms()[i].String() {
+				diff = true
+				break
+			}
+		}
+		if !diff {
+			t.Error("different seeds produced identical ontologies")
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("EMAP#EMAP"); !ok {
+		t.Error("EMAP#EMAP missing")
+	}
+	if _, ok := ByName("bridg.biomedical_domain"); !ok {
+		t.Error("bridg missing")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("unknown name found")
+	}
+}
+
+// TestMiniELClassifiable generates a scaled-down EL corpus and classifies
+// it for real with both the EL reasoner and the tableau, comparing
+// taxonomies.
+func TestMiniELClassifiable(t *testing.T) {
+	p := Mini(TableIV[0], 100) // WBbt at 1/100 scale: ~68 concepts
+	tb, err := p.Generate(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elr, err := el.New(tb, el.Options{})
+	if err != nil {
+		t.Fatalf("generated EL corpus rejected by EL reasoner: %v", err)
+	}
+	resEL, err := core.Classify(tb, core.Options{Reasoner: elr, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tableau.New(tb, tableau.Options{})
+	resTab, err := core.Classify(tb, core.Options{Reasoner: tab, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resEL.Taxonomy.Equal(resTab.Taxonomy) {
+		t.Error("EL and tableau classifications disagree on generated corpus")
+	}
+	if resEL.Taxonomy.NumClasses() < p.Concepts/2 {
+		t.Errorf("degenerate taxonomy: %d classes for %d concepts", resEL.Taxonomy.NumClasses(), p.Concepts)
+	}
+}
+
+// TestMiniQCRClassifiable generates a scaled-down Table V corpus and
+// classifies it with the real tableau (QCR rules exercised end-to-end).
+func TestMiniQCRClassifiable(t *testing.T) {
+	p := Mini(TableV[4], 10) // bridg at 1/10: ~32 concepts, ~97 QCRs
+	tb, err := p.Generate(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := dl.ComputeMetrics(tb)
+	if m.QCRs == 0 {
+		t.Fatal("mini bridg lost its QCRs")
+	}
+	tab := tableau.New(tb, tableau.Options{})
+	res, err := core.Classify(tb, core.Options{Reasoner: tab, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.SequentialBruteForce(tb, tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Taxonomy.Equal(want) {
+		t.Error("parallel vs brute-force mismatch on QCR corpus")
+	}
+}
+
+// TestOracleConsistentOnCorpus: classification with the oracle plug-in
+// agrees with brute force under the same oracle, for a full-size corpus.
+func TestOracleConsistentOnCorpus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size corpus in -short mode")
+	}
+	p := TableIV[2] // obo.PREVIOUS: 1663 concepts, smallest Table IV row
+	tb, err := p.Generate(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := reasoner.NewOracle(tb, reasoner.OracleOptions{})
+	res, err := core.Classify(tb, core.Options{Reasoner: o, Workers: 8, CollectTrace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.SubsTests == 0 {
+		t.Fatal("no tests recorded")
+	}
+	if res.Trace.InitialPossible == 0 {
+		t.Fatal("no initial possible pairs")
+	}
+	// Spot-check taxonomy coherence: every named concept present.
+	if got := res.Taxonomy.NumClasses(); got < p.Concepts/2 {
+		t.Errorf("only %d classes", got)
+	}
+}

@@ -1,0 +1,33 @@
+package owlfss
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks the parser never panics and that anything it accepts
+// can be written and re-parsed (closure under round trip).
+func FuzzParse(f *testing.F) {
+	f.Add(sample)
+	f.Add("Ontology()")
+	f.Add("Prefix(:=<u:>)Ontology(SubClassOf(:A :B))")
+	f.Add("Ontology(SubClassOf(A ObjectMinCardinality(2 r B)))")
+	f.Add("Ontology(EquivalentClasses(A ObjectUnionOf(B ObjectComplementOf(C))))")
+	f.Add("Ontology(Declaration(Class(A)) AnnotationAssertion(l A \"x\"@en))")
+	f.Add("Ontology(SubClassOf(A ObjectSomeValuesFrom(r ObjectAllValuesFrom(s B))))")
+	f.Add("Ontology(SubObjectPropertyOf(r s) TransitiveObjectProperty(r))")
+	f.Add("Ontology(UnknownAxiom(a b (c d)))")
+	f.Fuzz(func(t *testing.T, src string) {
+		tb, err := ParseString(src, "fuzz")
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		var buf strings.Builder
+		if err := Write(&buf, tb); err != nil {
+			t.Fatalf("accepted input failed to write: %v", err)
+		}
+		if _, err := ParseString(buf.String(), "fuzz2"); err != nil {
+			t.Fatalf("writer output does not re-parse: %v\ninput: %q\noutput:\n%s", err, src, buf.String())
+		}
+	})
+}

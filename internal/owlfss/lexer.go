@@ -1,0 +1,159 @@
+// Package owlfss parses and writes the subset of the OWL 2
+// Functional-Style Syntax needed for the paper's test corpora (the
+// *_functional ontologies of Table V and any ORE-style class-axiom
+// ontology): prefix declarations, class/property declarations, SubClassOf,
+// EquivalentClasses, DisjointClasses, SubObjectPropertyOf,
+// TransitiveObjectProperty, the boolean and restriction class expressions
+// (including the qualified cardinalities the paper's complexity
+// experiments revolve around), and annotation assertions.
+package owlfss
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind classifies lexer tokens.
+type tokKind uint8
+
+const (
+	tokEOF    tokKind = iota
+	tokLParen         // (
+	tokRParen         // )
+	tokEquals         // =
+	tokIRI            // <http://...>
+	tokName           // keyword, prefixed name, or integer
+	tokString         // "..."
+	tokCaret          // ^^ (datatype literal suffix)
+	tokAt             // @ (language tag)
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokString:
+		return fmt.Sprintf("%q", t.text)
+	default:
+		return t.text
+	}
+}
+
+// lexer tokenizes functional-style syntax.
+type lexer struct {
+	src  []rune
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: []rune(src), line: 1}
+}
+
+func (l *lexer) peekRune() rune {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) advance() rune {
+	r := l.src[l.pos]
+	l.pos++
+	if r == '\n' {
+		l.line++
+	}
+	return r
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		r := l.peekRune()
+		switch {
+		case r == '#': // comment to end of line (OBO-style convenience)
+			for l.pos < len(l.src) && l.peekRune() != '\n' {
+				l.advance()
+			}
+		case unicode.IsSpace(r):
+			l.advance()
+		default:
+			goto tokenStart
+		}
+	}
+	return token{kind: tokEOF, line: l.line}, nil
+
+tokenStart:
+	line := l.line
+	r := l.peekRune()
+	switch {
+	case r == '(':
+		l.advance()
+		return token{tokLParen, "(", line}, nil
+	case r == ')':
+		l.advance()
+		return token{tokRParen, ")", line}, nil
+	case r == '=':
+		l.advance()
+		return token{tokEquals, "=", line}, nil
+	case r == '@':
+		l.advance()
+		return token{tokAt, "@", line}, nil
+	case r == '^':
+		l.advance()
+		if l.peekRune() == '^' {
+			l.advance()
+		}
+		return token{tokCaret, "^^", line}, nil
+	case r == '<':
+		l.advance()
+		var b strings.Builder
+		for l.pos < len(l.src) {
+			c := l.advance()
+			if c == '>' {
+				return token{tokIRI, b.String(), line}, nil
+			}
+			b.WriteRune(c)
+		}
+		return token{}, fmt.Errorf("owlfss: line %d: unterminated IRI", line)
+	case r == '"':
+		l.advance()
+		var b strings.Builder
+		for l.pos < len(l.src) {
+			c := l.advance()
+			switch c {
+			case '\\':
+				if l.pos < len(l.src) {
+					b.WriteRune(l.advance())
+				}
+			case '"':
+				return token{tokString, b.String(), line}, nil
+			default:
+				b.WriteRune(c)
+			}
+		}
+		return token{}, fmt.Errorf("owlfss: line %d: unterminated string", line)
+	case r == '>':
+		return token{}, fmt.Errorf("owlfss: line %d: unexpected '>'", line)
+	default:
+		var b strings.Builder
+		for l.pos < len(l.src) {
+			c := l.peekRune()
+			if unicode.IsSpace(c) || c == '(' || c == ')' || c == '"' || c == '<' || c == '>' || c == '=' || c == '@' || c == '^' {
+				break
+			}
+			b.WriteRune(l.advance())
+		}
+		if b.Len() == 0 {
+			return token{}, fmt.Errorf("owlfss: line %d: unexpected character %q", line, r)
+		}
+		return token{tokName, b.String(), line}, nil
+	}
+}

@@ -1,0 +1,192 @@
+package owlfss
+
+import (
+	"strings"
+	"testing"
+
+	"parowl/internal/dl"
+	"parowl/internal/ontogen"
+)
+
+const sample = `
+Prefix(:=<http://example.org/onto#>)
+Prefix(obo=<http://purl.obolibrary.org/obo/>)
+Ontology(<http://example.org/onto>
+  Declaration(Class(:Animal))
+  Declaration(Class(:Cat))
+  Declaration(ObjectProperty(:eats))
+  SubClassOf(:Cat :Animal)
+  SubClassOf(:Cat ObjectSomeValuesFrom(:eats :Mouse))
+  EquivalentClasses(:Carnivore ObjectIntersectionOf(:Animal ObjectAllValuesFrom(:eats :Animal)))
+  DisjointClasses(:Cat :Mouse)
+  SubObjectPropertyOf(:eats :interactsWith)
+  TransitiveObjectProperty(:partOf)
+  SubClassOf(obo:GO_1 ObjectMinCardinality(2 :eats :Mouse))
+  SubClassOf(obo:GO_2 ObjectMaxCardinality(3 :eats))
+  SubClassOf(obo:GO_3 ObjectExactCardinality(1 :eats :Mouse))
+  SubClassOf(:Weird ObjectUnionOf(:Cat ObjectComplementOf(:Animal)))
+  AnnotationAssertion(rdfs:label :Cat "the cat"@en)
+)
+`
+
+func TestParseSample(t *testing.T) {
+	tb, err := ParseString(sample, "sample")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := dl.ComputeMetrics(tb)
+	if m.SubClassOf != 6 {
+		t.Errorf("SubClassOf = %d, want 6", m.SubClassOf)
+	}
+	if m.Equivalent != 1 || m.Disjoint != 1 {
+		t.Errorf("equiv=%d disjoint=%d", m.Equivalent, m.Disjoint)
+	}
+	// ∃eats.Mouse plus ExactCardinality's ≥1 (canonicalized to ∃).
+	if m.Somes != 2 || m.Alls != 1 {
+		t.Errorf("somes=%d alls=%d, want 2 and 1", m.Somes, m.Alls)
+	}
+	// Exact(1) = Min1 ⊓ Max1; Min1 canonicalizes to ∃ (a Some), Max with
+	// filler counts as QCR. Min2 + Max1(exact) = 2 QCRs; Max3 unqualified.
+	if m.QCRs != 2 {
+		t.Errorf("qcrs = %d, want 2", m.QCRs)
+	}
+	if m.Cards != 1 {
+		t.Errorf("cards = %d, want 1", m.Cards)
+	}
+	// Prefix expansion.
+	found := false
+	for _, c := range tb.NamedConcepts() {
+		if c.Name == "http://purl.obolibrary.org/obo/GO_1" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("obo: prefix not expanded")
+	}
+	// Annotation recorded.
+	ann := 0
+	for _, ax := range tb.Axioms() {
+		if ax.Kind == dl.AxAnnotation {
+			ann++
+		}
+	}
+	if ann != 1 {
+		t.Errorf("annotations = %d, want 1", ann)
+	}
+}
+
+func TestParseTopBottom(t *testing.T) {
+	src := `Ontology(
+SubClassOf(owl:Thing <http://x#A>)
+SubClassOf(<http://x#B> owl:Nothing)
+)`
+	tb, err := ParseString(src, "tb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gcis := tb.AsGCIs()
+	f := tb.Factory
+	if gcis[0].Sub != f.Top() {
+		t.Error("owl:Thing not mapped to ⊤")
+	}
+	if gcis[1].Sup != f.Bottom() {
+		t.Error("owl:Nothing not mapped to ⊥")
+	}
+}
+
+func TestSkipsUnsupportedAxioms(t *testing.T) {
+	src := `Ontology(
+ClassAssertion(<http://x#A> <http://x#ind>)
+DataPropertyAssertion(<http://x#p> <http://x#i> "3"^^xsd:int)
+SubClassOf(<http://x#A> <http://x#B>)
+)`
+	tb, err := ParseString(src, "skip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := dl.ComputeMetrics(tb).SubClassOf; got != 1 {
+		t.Errorf("SubClassOf = %d, want 1", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`Ontology(SubClassOf(:A)`,            // missing operand and paren
+		`Ontology(SubClassOf(:A :B)`,         // unterminated ontology
+		`Prefix(:=<http://x>`,                // unterminated prefix
+		`Ontology(SubClassOf(:A "literal"))`, // literal as class
+		`Ontology(EquivalentClasses(:A))`,    // too few operands
+		`Ontology(SubClassOf(:A <unclosed))`, // unterminated IRI
+		`Ontology(SubClassOf(:A "unclosed))`, // unterminated string
+	}
+	for _, src := range cases {
+		if _, err := ParseString(src, "bad"); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestRoundTripSample(t *testing.T) {
+	tb, err := ParseString(sample, "sample")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := Write(&b, tb); err != nil {
+		t.Fatal(err)
+	}
+	tb2, err := ParseString(b.String(), "sample")
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, b.String())
+	}
+	m1, m2 := dl.ComputeMetrics(tb), dl.ComputeMetrics(tb2)
+	m1.Name, m2.Name = "", ""
+	if m1 != m2 {
+		t.Errorf("metrics changed over round trip:\n%+v\n%+v", m1, m2)
+	}
+}
+
+// TestRoundTripGenerated round-trips a generated Table V mini corpus:
+// metrics must be preserved exactly.
+func TestRoundTripGenerated(t *testing.T) {
+	p := ontogen.Mini(ontogen.TableV[0], 20)
+	tb, err := p.Generate(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := Write(&b, tb); err != nil {
+		t.Fatal(err)
+	}
+	tb2, err := ParseString(b.String(), tb.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, m2 := dl.ComputeMetrics(tb), dl.ComputeMetrics(tb2)
+	if m1 != m2 {
+		t.Errorf("metrics changed over round trip:\n%+v\n%+v", m1, m2)
+	}
+}
+
+func TestRoundTripFullTableIVProfile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large corpus in -short mode")
+	}
+	p := ontogen.TableIV[2] // obo.PREVIOUS, 1663 concepts
+	tb, err := p.Generate(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := Write(&b, tb); err != nil {
+		t.Fatal(err)
+	}
+	tb2, err := ParseString(b.String(), tb.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, m2 := dl.ComputeMetrics(tb), dl.ComputeMetrics(tb2)
+	if m1 != m2 {
+		t.Errorf("metrics changed:\n%+v\n%+v", m1, m2)
+	}
+}

@@ -1,0 +1,469 @@
+package owlfss
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"parowl/internal/dl"
+)
+
+// Parse reads a functional-style-syntax ontology and returns the TBox.
+// Unsupported axiom kinds that carry no terminological content (e.g.
+// individual assertions, data-property axioms) are skipped; annotation
+// assertions on declared classes are recorded as annotation axioms so
+// metric counts survive round trips.
+func Parse(r io.Reader, name string) (*dl.TBox, error) {
+	src, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("owlfss: read: %w", err)
+	}
+	return ParseString(string(src), name)
+}
+
+// ParseString parses an ontology from a string.
+func ParseString(src, name string) (*dl.TBox, error) {
+	p := &parser{
+		lex:      newLexer(src),
+		tbox:     dl.NewTBox(name),
+		prefixes: map[string]string{},
+	}
+	if err := p.run(); err != nil {
+		return nil, err
+	}
+	return p.tbox, nil
+}
+
+type parser struct {
+	lex      *lexer
+	tbox     *dl.TBox
+	prefixes map[string]string
+	peeked   *token
+}
+
+func (p *parser) next() (token, error) {
+	if p.peeked != nil {
+		t := *p.peeked
+		p.peeked = nil
+		return t, nil
+	}
+	return p.lex.next()
+}
+
+func (p *parser) peek() (token, error) {
+	if p.peeked == nil {
+		t, err := p.lex.next()
+		if err != nil {
+			return token{}, err
+		}
+		p.peeked = &t
+	}
+	return *p.peeked, nil
+}
+
+func (p *parser) expect(kind tokKind, what string) (token, error) {
+	t, err := p.next()
+	if err != nil {
+		return token{}, err
+	}
+	if t.kind != kind {
+		return token{}, fmt.Errorf("owlfss: line %d: expected %s, got %s", t.line, what, t)
+	}
+	return t, nil
+}
+
+// run parses the prefix block and the Ontology(...) body.
+func (p *parser) run() error {
+	for {
+		t, err := p.next()
+		if err != nil {
+			return err
+		}
+		switch {
+		case t.kind == tokEOF:
+			return nil
+		case t.kind == tokName && t.text == "Prefix":
+			if err := p.parsePrefix(); err != nil {
+				return err
+			}
+		case t.kind == tokName && t.text == "Ontology":
+			if err := p.parseOntology(); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("owlfss: line %d: expected Prefix or Ontology, got %s", t.line, t)
+		}
+	}
+}
+
+func (p *parser) parsePrefix() error {
+	if _, err := p.expect(tokLParen, "("); err != nil {
+		return err
+	}
+	name, err := p.next()
+	if err != nil {
+		return err
+	}
+	pfx := ""
+	if name.kind == tokName {
+		pfx = name.text
+		if _, err := p.expect(tokEquals, "="); err != nil {
+			return err
+		}
+	} else if name.kind != tokEquals {
+		return fmt.Errorf("owlfss: line %d: bad prefix declaration", name.line)
+	}
+	iri, err := p.expect(tokIRI, "IRI")
+	if err != nil {
+		return err
+	}
+	p.prefixes[strings.TrimSuffix(pfx, ":")] = iri.text
+	_, err = p.expect(tokRParen, ")")
+	return err
+}
+
+func (p *parser) parseOntology() error {
+	if _, err := p.expect(tokLParen, "("); err != nil {
+		return err
+	}
+	// Optional ontology IRI (and version IRI).
+	for {
+		t, err := p.peek()
+		if err != nil {
+			return err
+		}
+		if t.kind != tokIRI {
+			break
+		}
+		p.next() //nolint:errcheck // peeked token
+	}
+	for {
+		t, err := p.next()
+		if err != nil {
+			return err
+		}
+		switch t.kind {
+		case tokRParen:
+			return nil
+		case tokName:
+			if err := p.parseAxiom(t.text, t.line); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("owlfss: line %d: expected axiom, got %s", t.line, t)
+		}
+	}
+}
+
+// resolve expands a prefixed name to a canonical concept/role name.
+func (p *parser) resolve(t token) string {
+	if t.kind == tokIRI {
+		return t.text
+	}
+	name := t.text
+	if i := strings.Index(name, ":"); i >= 0 {
+		if base, ok := p.prefixes[name[:i]]; ok {
+			return base + name[i+1:]
+		}
+	} else if base, ok := p.prefixes[""]; ok && strings.HasPrefix(name, ":") {
+		return base + name[1:]
+	}
+	return name
+}
+
+// entity reads an IRI or prefixed name.
+func (p *parser) entity() (string, error) {
+	t, err := p.next()
+	if err != nil {
+		return "", err
+	}
+	if t.kind != tokIRI && t.kind != tokName {
+		return "", fmt.Errorf("owlfss: line %d: expected entity, got %s", t.line, t)
+	}
+	return p.resolve(t), nil
+}
+
+// conceptForIRI maps well-known IRIs to ⊤/⊥ and everything else to a
+// named concept.
+func (p *parser) conceptForIRI(iri string) *dl.Concept {
+	f := p.tbox.Factory
+	switch iri {
+	case "http://www.w3.org/2002/07/owl#Thing", "owl:Thing":
+		return f.Top()
+	case "http://www.w3.org/2002/07/owl#Nothing", "owl:Nothing":
+		return f.Bottom()
+	}
+	return p.tbox.Declare(iri)
+}
+
+func (p *parser) parseAxiom(kw string, line int) error {
+	if _, err := p.expect(tokLParen, "("); err != nil {
+		return err
+	}
+	switch kw {
+	case "Declaration":
+		return p.parseDeclaration()
+	case "SubClassOf":
+		sub, err := p.classExpr()
+		if err != nil {
+			return err
+		}
+		sup, err := p.classExpr()
+		if err != nil {
+			return err
+		}
+		p.tbox.SubClassOf(sub, sup)
+		return p.closeParen()
+	case "EquivalentClasses":
+		exprs, err := p.classExprList(2)
+		if err != nil {
+			return err
+		}
+		for i := 1; i < len(exprs); i++ {
+			p.tbox.EquivalentClasses(exprs[0], exprs[i])
+		}
+		return nil // classExprList consumed the ')'
+	case "DisjointClasses":
+		exprs, err := p.classExprList(2)
+		if err != nil {
+			return err
+		}
+		p.tbox.DisjointClasses(exprs...)
+		return nil
+	case "SubObjectPropertyOf":
+		sub, err := p.entity()
+		if err != nil {
+			return err
+		}
+		sup, err := p.entity()
+		if err != nil {
+			return err
+		}
+		f := p.tbox.Factory
+		p.tbox.SubObjectPropertyOf(f.Role(sub), f.Role(sup))
+		return p.closeParen()
+	case "TransitiveObjectProperty":
+		r, err := p.entity()
+		if err != nil {
+			return err
+		}
+		p.tbox.TransitiveObjectProperty(p.tbox.Factory.Role(r))
+		return p.closeParen()
+	case "AnnotationAssertion":
+		return p.parseAnnotation()
+	default:
+		// Unsupported axiom (data properties, assertions, keys...):
+		// skip its balanced argument list.
+		return p.skipBalanced(1)
+	}
+}
+
+func (p *parser) parseDeclaration() error {
+	kind, err := p.expect(tokName, "entity kind")
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(tokLParen, "("); err != nil {
+		return err
+	}
+	name, err := p.entity()
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(tokRParen, ")"); err != nil {
+		return err
+	}
+	switch kind.text {
+	case "Class":
+		p.tbox.DeclarationAxiom(p.tbox.Declare(name))
+	case "ObjectProperty":
+		p.tbox.Factory.Role(name)
+	}
+	return p.closeParen()
+}
+
+// parseAnnotation records AnnotationAssertion(prop subject value) against
+// the subject when it is a class name, skipping the value tokens.
+func (p *parser) parseAnnotation() error {
+	if _, err := p.entity(); err != nil { // annotation property
+		return err
+	}
+	subj, err := p.entity()
+	if err != nil {
+		return err
+	}
+	// Value: literal (string with optional ^^type/@lang), IRI, or name.
+	depth := 1
+	for {
+		t, err := p.next()
+		if err != nil {
+			return err
+		}
+		switch t.kind {
+		case tokLParen:
+			depth++
+		case tokRParen:
+			depth--
+			if depth == 0 {
+				p.tbox.AnnotationAxiom(p.tbox.Declare(subj))
+				return nil
+			}
+		case tokEOF:
+			return fmt.Errorf("owlfss: unterminated annotation")
+		}
+	}
+}
+
+func (p *parser) closeParen() error {
+	_, err := p.expect(tokRParen, ")")
+	return err
+}
+
+// skipBalanced consumes tokens until the given paren depth closes.
+func (p *parser) skipBalanced(depth int) error {
+	for depth > 0 {
+		t, err := p.next()
+		if err != nil {
+			return err
+		}
+		switch t.kind {
+		case tokLParen:
+			depth++
+		case tokRParen:
+			depth--
+		case tokEOF:
+			return fmt.Errorf("owlfss: unexpected end of input")
+		}
+	}
+	return nil
+}
+
+// classExprList parses class expressions until ')' and requires at least
+// minLen of them. It consumes the closing paren.
+func (p *parser) classExprList(minLen int) ([]*dl.Concept, error) {
+	var out []*dl.Concept
+	for {
+		t, err := p.peek()
+		if err != nil {
+			return nil, err
+		}
+		if t.kind == tokRParen {
+			p.next() //nolint:errcheck // peeked token
+			if len(out) < minLen {
+				return nil, fmt.Errorf("owlfss: line %d: expected at least %d class expressions", t.line, minLen)
+			}
+			return out, nil
+		}
+		c, err := p.classExpr()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+}
+
+// classExpr parses one class expression.
+func (p *parser) classExpr() (*dl.Concept, error) {
+	t, err := p.next()
+	if err != nil {
+		return nil, err
+	}
+	f := p.tbox.Factory
+	switch t.kind {
+	case tokIRI:
+		return p.conceptForIRI(p.resolve(t)), nil
+	case tokName:
+		switch t.text {
+		case "ObjectIntersectionOf", "ObjectUnionOf":
+			if _, err := p.expect(tokLParen, "("); err != nil {
+				return nil, err
+			}
+			args, err := p.classExprList(1)
+			if err != nil {
+				return nil, err
+			}
+			if t.text == "ObjectIntersectionOf" {
+				return f.And(args...), nil
+			}
+			return f.Or(args...), nil
+		case "ObjectComplementOf":
+			if _, err := p.expect(tokLParen, "("); err != nil {
+				return nil, err
+			}
+			c, err := p.classExpr()
+			if err != nil {
+				return nil, err
+			}
+			return f.Not(c), p.closeParen()
+		case "ObjectSomeValuesFrom", "ObjectAllValuesFrom":
+			if _, err := p.expect(tokLParen, "("); err != nil {
+				return nil, err
+			}
+			role, err := p.entity()
+			if err != nil {
+				return nil, err
+			}
+			c, err := p.classExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.closeParen(); err != nil {
+				return nil, err
+			}
+			if t.text == "ObjectSomeValuesFrom" {
+				return f.Some(f.Role(role), c), nil
+			}
+			return f.All(f.Role(role), c), nil
+		case "ObjectMinCardinality", "ObjectMaxCardinality", "ObjectExactCardinality":
+			return p.cardinality(t.text)
+		default:
+			return p.conceptForIRI(p.resolve(t)), nil
+		}
+	default:
+		return nil, fmt.Errorf("owlfss: line %d: expected class expression, got %s", t.line, t)
+	}
+}
+
+// cardinality parses ObjectMin/Max/ExactCardinality(n R [C]).
+func (p *parser) cardinality(kw string) (*dl.Concept, error) {
+	if _, err := p.expect(tokLParen, "("); err != nil {
+		return nil, err
+	}
+	nt, err := p.expect(tokName, "cardinality")
+	if err != nil {
+		return nil, err
+	}
+	n, err := strconv.Atoi(nt.text)
+	if err != nil || n < 0 {
+		return nil, fmt.Errorf("owlfss: line %d: bad cardinality %q", nt.line, nt.text)
+	}
+	role, err := p.entity()
+	if err != nil {
+		return nil, err
+	}
+	f := p.tbox.Factory
+	filler := f.Top()
+	t, err := p.peek()
+	if err != nil {
+		return nil, err
+	}
+	if t.kind != tokRParen {
+		filler, err = p.classExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := p.closeParen(); err != nil {
+		return nil, err
+	}
+	r := f.Role(role)
+	switch kw {
+	case "ObjectMinCardinality":
+		return f.Min(n, r, filler), nil
+	case "ObjectMaxCardinality":
+		return f.Max(n, r, filler), nil
+	default: // Exact = Min ⊓ Max
+		return f.And(f.Min(n, r, filler), f.Max(n, r, filler)), nil
+	}
+}

@@ -1,0 +1,137 @@
+package owlfss
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"parowl/internal/core"
+	"parowl/internal/dl"
+	"parowl/internal/tableau"
+)
+
+// randomTBox builds a random ALCHQ TBox with absorbable axiom shapes.
+func randomTBox(rng *rand.Rand, n int) *dl.TBox {
+	tb := dl.NewTBox("rt")
+	f := tb.Factory
+	cs := make([]*dl.Concept, n)
+	for i := range cs {
+		cs[i] = tb.Declare(fmt.Sprintf("N%d", i))
+	}
+	roles := []*dl.Role{f.Role("r"), f.Role("s")}
+	if rng.Intn(2) == 0 {
+		tb.SubObjectPropertyOf(roles[0], roles[1])
+	}
+	if rng.Intn(3) == 0 {
+		tb.TransitiveObjectProperty(roles[1])
+	}
+	var expr func(depth int) *dl.Concept
+	expr = func(depth int) *dl.Concept {
+		if depth <= 0 || rng.Intn(3) == 0 {
+			return cs[rng.Intn(n)]
+		}
+		switch rng.Intn(7) {
+		case 0:
+			return f.Not(cs[rng.Intn(n)])
+		case 1:
+			return f.And(expr(depth-1), expr(depth-1))
+		case 2:
+			return f.Or(expr(depth-1), expr(depth-1))
+		case 3:
+			return f.Some(roles[rng.Intn(2)], expr(depth-1))
+		case 4:
+			return f.All(roles[rng.Intn(2)], expr(depth-1))
+		case 5:
+			return f.Min(2+rng.Intn(2), roles[rng.Intn(2)], cs[rng.Intn(n)])
+		default:
+			return f.Max(1+rng.Intn(3), roles[rng.Intn(2)], cs[rng.Intn(n)])
+		}
+	}
+	for _, c := range cs {
+		tb.DeclarationAxiom(c) // real corpora declare every class
+	}
+	axioms := 3 + rng.Intn(5)
+	for i := 0; i < axioms; i++ {
+		sub := cs[rng.Intn(n)]
+		switch rng.Intn(5) {
+		case 0:
+			tb.EquivalentClasses(sub, f.And(cs[rng.Intn(n)], expr(1)))
+		case 1:
+			tb.DisjointClasses(sub, cs[rng.Intn(n)])
+		default:
+			tb.SubClassOf(sub, expr(2))
+		}
+	}
+	return tb
+}
+
+// TestQuickSemanticRoundTrip: writing a random TBox to functional syntax
+// and parsing it back must preserve its classification semantics exactly.
+func TestQuickSemanticRoundTrip(t *testing.T) {
+	classifyFP := func(tb *dl.TBox) (string, error) {
+		r := tableau.New(tb, tableau.Options{})
+		res, err := core.Classify(tb, core.Options{Reasoner: r, Workers: 2})
+		if err != nil {
+			return "", err
+		}
+		return res.Taxonomy.Fingerprint(), nil
+	}
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tb := randomTBox(rng, 3+rng.Intn(4))
+		var buf strings.Builder
+		if err := Write(&buf, tb); err != nil {
+			t.Fatalf("seed %d write: %v", seed, err)
+		}
+		tb2, err := ParseString(buf.String(), tb.Name)
+		if err != nil {
+			t.Fatalf("seed %d parse: %v\n%s", seed, err, buf.String())
+		}
+		fp1, err := classifyFP(tb)
+		if err != nil {
+			t.Logf("seed %d original classify: %v", seed, err)
+			return true // budget blowups on random inputs are acceptable
+		}
+		fp2, err := classifyFP(tb2)
+		if err != nil {
+			t.Logf("seed %d reparsed classify: %v", seed, err)
+			return false // must not get HARDER after a round trip
+		}
+		if fp1 != fp2 {
+			t.Logf("seed %d: fingerprints differ\n%s\nvs\n%s\nsource:\n%s", seed, fp1, fp2, buf.String())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSyntacticRoundTripMetrics: metric counts survive a write/parse
+// cycle for random TBoxes.
+func TestQuickSyntacticRoundTripMetrics(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tb := randomTBox(rng, 3+rng.Intn(4))
+		var buf strings.Builder
+		if err := Write(&buf, tb); err != nil {
+			t.Fatalf("seed %d write: %v", seed, err)
+		}
+		tb2, err := ParseString(buf.String(), tb.Name)
+		if err != nil {
+			t.Fatalf("seed %d parse: %v", seed, err)
+		}
+		m1, m2 := dl.ComputeMetrics(tb), dl.ComputeMetrics(tb2)
+		if m1 != m2 {
+			t.Logf("seed %d:\n%+v\n%+v\nsource:\n%s", seed, m1, m2, buf.String())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

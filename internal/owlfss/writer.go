@@ -1,0 +1,114 @@
+package owlfss
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"parowl/internal/dl"
+)
+
+// Write serializes the TBox in OWL 2 functional-style syntax. Concept and
+// role names are written as full IRIs when they look like IRIs and as bare
+// names otherwise; the output parses back into an equivalent TBox
+// (round-trip tested).
+func Write(w io.Writer, t *dl.TBox) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "Prefix(:=<urn:parowl:%s#>)\n", t.Name)
+	fmt.Fprintf(bw, "Ontology(<urn:parowl:%s>\n", t.Name)
+	// Concepts that occur in no axiom would be lost on reparse: emit a
+	// synthetic declaration for each so the concept set round-trips.
+	mentioned := make(map[*dl.Concept]bool)
+	var note func(c *dl.Concept)
+	note = func(c *dl.Concept) {
+		mentioned[c] = true
+		for _, a := range c.Args {
+			note(a)
+		}
+	}
+	for _, ax := range t.Axioms() {
+		if ax.Sub != nil {
+			note(ax.Sub)
+		}
+		if ax.Sup != nil {
+			note(ax.Sup)
+		}
+	}
+	for _, c := range t.NamedConcepts() {
+		if !mentioned[c] {
+			fmt.Fprintf(bw, "Declaration(Class(%s))\n", entity(c.Name))
+		}
+	}
+	for _, ax := range t.Axioms() {
+		switch ax.Kind {
+		case dl.AxDeclaration:
+			fmt.Fprintf(bw, "Declaration(Class(%s))\n", entity(ax.Sub.Name))
+		case dl.AxAnnotation:
+			fmt.Fprintf(bw, "AnnotationAssertion(rdfs:label %s \"%s\")\n", entity(ax.Sub.Name), ax.Sub.Name)
+		case dl.AxSubClassOf:
+			fmt.Fprintf(bw, "SubClassOf(%s %s)\n", expr(ax.Sub), expr(ax.Sup))
+		case dl.AxEquivalent:
+			fmt.Fprintf(bw, "EquivalentClasses(%s %s)\n", expr(ax.Sub), expr(ax.Sup))
+		case dl.AxDisjoint:
+			fmt.Fprintf(bw, "DisjointClasses(%s %s)\n", expr(ax.Sub), expr(ax.Sup))
+		case dl.AxSubRole:
+			fmt.Fprintf(bw, "SubObjectPropertyOf(%s %s)\n", entity(ax.SubRole.Name), entity(ax.SupRole.Name))
+		case dl.AxTransitiveRole:
+			fmt.Fprintf(bw, "TransitiveObjectProperty(%s)\n", entity(ax.SubRole.Name))
+		}
+	}
+	fmt.Fprintln(bw, ")")
+	return bw.Flush()
+}
+
+// entity renders a name as an IRI reference when needed.
+func entity(name string) string {
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '_', r == '-', r == '.', r == ':':
+		default:
+			return "<" + name + ">"
+		}
+	}
+	if name == "" {
+		return "<urn:empty>"
+	}
+	return name
+}
+
+// expr renders a class expression.
+func expr(c *dl.Concept) string {
+	switch c.Op {
+	case dl.OpTop:
+		return "owl:Thing"
+	case dl.OpBottom:
+		return "owl:Nothing"
+	case dl.OpName:
+		return entity(c.Name)
+	case dl.OpNot:
+		return "ObjectComplementOf(" + expr(c.Args[0]) + ")"
+	case dl.OpAnd, dl.OpOr:
+		kw := "ObjectIntersectionOf("
+		if c.Op == dl.OpOr {
+			kw = "ObjectUnionOf("
+		}
+		out := kw
+		for i, a := range c.Args {
+			if i > 0 {
+				out += " "
+			}
+			out += expr(a)
+		}
+		return out + ")"
+	case dl.OpSome:
+		return "ObjectSomeValuesFrom(" + entity(c.Role.Name) + " " + expr(c.Args[0]) + ")"
+	case dl.OpAll:
+		return "ObjectAllValuesFrom(" + entity(c.Role.Name) + " " + expr(c.Args[0]) + ")"
+	case dl.OpMin:
+		return fmt.Sprintf("ObjectMinCardinality(%d %s %s)", c.N, entity(c.Role.Name), expr(c.Args[0]))
+	case dl.OpMax:
+		return fmt.Sprintf("ObjectMaxCardinality(%d %s %s)", c.N, entity(c.Role.Name), expr(c.Args[0]))
+	}
+	return "owl:Thing"
+}

@@ -1,0 +1,68 @@
+package reasoner
+
+import (
+	"sync"
+
+	"parowl/internal/dl"
+)
+
+// Cached memoizes the answers of an underlying plug-in so repeated tests
+// of the same pair cost one map lookup. The classifier already avoids
+// duplicate tests through its tested() structure, but plug-in users (the
+// sequential baselines, examples) benefit, and the paper's Situation 2.1
+// (skip already-tested pairs) maps here for re-entrant runs.
+//
+// Cached is safe for concurrent use. Errors are not cached.
+type Cached struct {
+	r Interface
+
+	mu   sync.RWMutex
+	sat  map[*dl.Concept]bool
+	subs map[[2]*dl.Concept]bool
+}
+
+// NewCached wraps r with a memo table.
+func NewCached(r Interface) *Cached {
+	return &Cached{
+		r:    r,
+		sat:  make(map[*dl.Concept]bool),
+		subs: make(map[[2]*dl.Concept]bool),
+	}
+}
+
+// IsSatisfiable implements Interface.
+func (c *Cached) IsSatisfiable(x *dl.Concept) (bool, error) {
+	c.mu.RLock()
+	v, ok := c.sat[x]
+	c.mu.RUnlock()
+	if ok {
+		return v, nil
+	}
+	v, err := c.r.IsSatisfiable(x)
+	if err != nil {
+		return false, err
+	}
+	c.mu.Lock()
+	c.sat[x] = v
+	c.mu.Unlock()
+	return v, nil
+}
+
+// Subsumes implements Interface.
+func (c *Cached) Subsumes(sup, sub *dl.Concept) (bool, error) {
+	key := [2]*dl.Concept{sup, sub}
+	c.mu.RLock()
+	v, ok := c.subs[key]
+	c.mu.RUnlock()
+	if ok {
+		return v, nil
+	}
+	v, err := c.r.Subsumes(sup, sub)
+	if err != nil {
+		return false, err
+	}
+	c.mu.Lock()
+	c.subs[key] = v
+	c.mu.Unlock()
+	return v, nil
+}

@@ -1,0 +1,62 @@
+// Package reasoner defines the plug-in interface between the parallel
+// classifier and the underlying OWL reasoner, mirroring the paper's
+// architecture: "in order to keep our architecture universal we use OWL
+// reasoners as plug-ins for deciding satisfiability and subsumption"
+// (Sec. I). The paper plugs in HermiT 1.3.8; this repository provides
+// three interchangeable plug-ins:
+//
+//   - the tableau reasoner (internal/tableau) — the full calculus,
+//   - the EL saturation reasoner (internal/el) — fast and complete for
+//     the EL/ELH+ corpora of Table IV,
+//   - the Oracle — a precomputed subsumption closure with a synthetic
+//     per-test cost model, standing in for HermiT in scalability
+//     experiments where only scheduling behaviour matters.
+//
+// The package also supplies a thread-safe memoizing decorator (Cached)
+// and shared call statistics.
+package reasoner
+
+import (
+	"sync/atomic"
+
+	"parowl/internal/dl"
+)
+
+// Interface is the classifier's view of a reasoner plug-in. All methods
+// must be safe for concurrent use: the classifier calls them from every
+// worker thread.
+//
+// Subsumes(sup, sub) answers sub ⊑ sup — the paper's subs?(sup, sub).
+// IsSatisfiable answers the paper's sat?().
+type Interface interface {
+	IsSatisfiable(c *dl.Concept) (bool, error)
+	Subsumes(sup, sub *dl.Concept) (bool, error)
+}
+
+// Factory builds a plug-in reasoner for a TBox. Classifier options carry a
+// Factory so the same classification code runs against any plug-in.
+type Factory func(t *dl.TBox) (Interface, error)
+
+// Stats counts plug-in calls with atomic counters.
+type Stats struct {
+	SatCalls  atomic.Int64
+	SubsCalls atomic.Int64
+}
+
+// Counting wraps a reasoner so every call is tallied in Stats.
+type Counting struct {
+	R Interface
+	S *Stats
+}
+
+// IsSatisfiable implements Interface.
+func (c Counting) IsSatisfiable(x *dl.Concept) (bool, error) {
+	c.S.SatCalls.Add(1)
+	return c.R.IsSatisfiable(x)
+}
+
+// Subsumes implements Interface.
+func (c Counting) Subsumes(sup, sub *dl.Concept) (bool, error) {
+	c.S.SubsCalls.Add(1)
+	return c.R.Subsumes(sup, sub)
+}

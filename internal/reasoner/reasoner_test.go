@@ -1,0 +1,224 @@
+package reasoner
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"parowl/internal/dl"
+)
+
+func oracleTBox() *dl.TBox {
+	tb := dl.NewTBox("oracle")
+	f := tb.Factory
+	a, b, c, d := tb.Declare("A"), tb.Declare("B"), tb.Declare("C"), tb.Declare("D")
+	u := tb.Declare("U")
+	tb.SubClassOf(b, a)
+	tb.SubClassOf(c, b)
+	tb.EquivalentClasses(d, a) // D ≡ A via told axioms
+	tb.SubClassOf(u, f.Bottom())
+	tb.Freeze()
+	return tb
+}
+
+func TestOracleClosure(t *testing.T) {
+	tb := oracleTBox()
+	f := tb.Factory
+	o := NewOracle(tb, OracleOptions{})
+	cases := []struct {
+		sup, sub string
+		want     bool
+	}{
+		{"A", "B", true},
+		{"A", "C", true}, // transitive
+		{"B", "C", true},
+		{"C", "B", false},
+		{"A", "D", true},
+		{"D", "A", true}, // equivalence both ways
+		{"D", "C", true}, // via A
+	}
+	for _, c := range cases {
+		got, err := o.Subsumes(f.Name(c.sup), f.Name(c.sub))
+		if err != nil {
+			t.Fatalf("%s ⊒ %s: %v", c.sup, c.sub, err)
+		}
+		if got != c.want {
+			t.Errorf("%s ⊒ %s = %v, want %v", c.sup, c.sub, got, c.want)
+		}
+	}
+}
+
+func TestOracleTopBottom(t *testing.T) {
+	tb := oracleTBox()
+	f := tb.Factory
+	o := NewOracle(tb, OracleOptions{})
+	if ok, _ := o.Subsumes(f.Top(), f.Name("C")); !ok {
+		t.Error("C ⊑ ⊤ false")
+	}
+	if ok, _ := o.Subsumes(f.Name("C"), f.Top()); ok {
+		t.Error("⊤ ⊑ C true")
+	}
+	if sat, _ := o.IsSatisfiable(f.Name("U")); sat {
+		t.Error("U satisfiable despite U ⊑ ⊥")
+	}
+	if ok, _ := o.Subsumes(f.Name("C"), f.Name("U")); !ok {
+		t.Error("unsat U not subsumed by everything")
+	}
+	if _, err := o.Subsumes(f.Name("C"), f.Name("NotDeclared")); err == nil {
+		t.Error("undeclared concept accepted")
+	}
+}
+
+func TestOracleTopEquivalence(t *testing.T) {
+	tb := dl.NewTBox("topeq")
+	f := tb.Factory
+	a, b := tb.Declare("A"), tb.Declare("B")
+	tb.EquivalentClasses(a, f.Top())
+	tb.SubClassOf(b, a)
+	tb.Freeze()
+	o := NewOracle(tb, OracleOptions{})
+	if ok, err := o.Subsumes(a, f.Top()); err != nil || !ok {
+		t.Errorf("⊤ ⊑ A = %v, %v; want true", ok, err)
+	}
+	// ⊤ ⊑ A and B ⊑ anything-below-top transitively: B ⊑ A directly too.
+	if ok, _ := o.Subsumes(a, b); !ok {
+		t.Error("B ⊑ A false")
+	}
+}
+
+func TestUniformCostDeterministic(t *testing.T) {
+	tb := oracleTBox()
+	f := tb.Factory
+	m := UniformCost(time.Millisecond, 0.3, 42)
+	a, b := f.Name("A"), f.Name("B")
+	c1, c2 := m(a, b, true), m(a, b, true)
+	if c1 != c2 {
+		t.Error("cost not deterministic")
+	}
+	if c1 < 700*time.Microsecond || c1 > 1300*time.Microsecond {
+		t.Errorf("cost %v outside jitter band", c1)
+	}
+	if m(a, b, true) == m(b, a, true) && m(a, f.Name("C"), true) == m(a, b, true) {
+		t.Error("suspiciously constant costs")
+	}
+}
+
+func TestHeavyTailCost(t *testing.T) {
+	tb := dl.NewTBox("ht")
+	var cs []*dl.Concept
+	for i := 0; i < 400; i++ {
+		cs = append(cs, tb.Declare(string(rune('A'+i%26))+string(rune('0'+i/26))))
+	}
+	m := HeavyTailCost(time.Millisecond, 0.05, 100, 7)
+	tail, body := 0, 0
+	for i := 0; i < len(cs); i++ {
+		for j := 0; j < 20; j++ {
+			c := m(cs[i], cs[(i+j+1)%len(cs)], true)
+			if c >= 50*time.Millisecond {
+				tail++
+			} else {
+				body++
+			}
+		}
+	}
+	frac := float64(tail) / float64(tail+body)
+	if frac < 0.02 || frac > 0.10 {
+		t.Errorf("tail fraction = %.3f, want ≈0.05", frac)
+	}
+}
+
+type countedFake struct {
+	mu    sync.Mutex
+	calls int
+}
+
+func (c *countedFake) IsSatisfiable(*dl.Concept) (bool, error) {
+	c.mu.Lock()
+	c.calls++
+	c.mu.Unlock()
+	return true, nil
+}
+func (c *countedFake) Subsumes(_, _ *dl.Concept) (bool, error) {
+	c.mu.Lock()
+	c.calls++
+	c.mu.Unlock()
+	return true, nil
+}
+
+func TestCachedDedupes(t *testing.T) {
+	tb := oracleTBox()
+	f := tb.Factory
+	fake := &countedFake{}
+	c := NewCached(fake)
+	a, b := f.Name("A"), f.Name("B")
+	for i := 0; i < 10; i++ {
+		if _, err := c.Subsumes(a, b); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.IsSatisfiable(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if fake.calls != 2 {
+		t.Errorf("underlying calls = %d, want 2", fake.calls)
+	}
+	// Direction matters for subsumption.
+	if _, err := c.Subsumes(b, a); err != nil {
+		t.Fatal(err)
+	}
+	if fake.calls != 3 {
+		t.Errorf("underlying calls = %d, want 3", fake.calls)
+	}
+}
+
+type errReasoner struct{}
+
+func (errReasoner) IsSatisfiable(*dl.Concept) (bool, error) { return false, errors.New("boom") }
+func (errReasoner) Subsumes(_, _ *dl.Concept) (bool, error) { return false, errors.New("boom") }
+
+func TestCachedDoesNotCacheErrors(t *testing.T) {
+	tb := oracleTBox()
+	f := tb.Factory
+	c := NewCached(errReasoner{})
+	if _, err := c.IsSatisfiable(f.Name("A")); err == nil {
+		t.Fatal("error swallowed")
+	}
+	if _, err := c.IsSatisfiable(f.Name("A")); err == nil {
+		t.Fatal("error cached as success")
+	}
+}
+
+func TestCountingWrapper(t *testing.T) {
+	tb := oracleTBox()
+	f := tb.Factory
+	var stats Stats
+	c := Counting{R: &countedFake{}, S: &stats}
+	_, _ = c.Subsumes(f.Name("A"), f.Name("B"))
+	_, _ = c.IsSatisfiable(f.Name("A"))
+	_, _ = c.IsSatisfiable(f.Name("B"))
+	if stats.SubsCalls.Load() != 1 || stats.SatCalls.Load() != 2 {
+		t.Errorf("stats = %d subs, %d sat", stats.SubsCalls.Load(), stats.SatCalls.Load())
+	}
+}
+
+func TestCachedConcurrent(t *testing.T) {
+	tb := oracleTBox()
+	f := tb.Factory
+	c := NewCached(NewOracle(tb, OracleOptions{}))
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				ok, err := c.Subsumes(f.Name("A"), f.Name("C"))
+				if err != nil || !ok {
+					t.Errorf("C ⊑ A = %v, %v", ok, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

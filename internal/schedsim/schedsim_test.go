@@ -1,0 +1,151 @@
+package schedsim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"parowl/internal/core"
+)
+
+func uniformTrace(tasksPerCycle, cycles int, each time.Duration) *core.Trace {
+	tr := &core.Trace{}
+	for c := 0; c < cycles; c++ {
+		cyc := &core.Cycle{Phase: core.PhaseRandom, Index: c + 1}
+		for t := 0; t < tasksPerCycle; t++ {
+			cyc.Tasks = append(cyc.Tasks, each)
+		}
+		tr.Cycles = append(tr.Cycles, cyc)
+	}
+	return tr
+}
+
+func TestSingleWorkerSpeedupNearOne(t *testing.T) {
+	tr := uniformTrace(16, 2, time.Millisecond)
+	r := Simulate(tr, 1, Overhead{}, core.RoundRobin)
+	if r.Speedup < 0.99 || r.Speedup > 1.01 {
+		t.Errorf("speedup(w=1) = %.3f, want ≈1", r.Speedup)
+	}
+	if r.Elapsed != r.Runtime {
+		t.Errorf("elapsed %v != runtime %v with no overhead", r.Elapsed, r.Runtime)
+	}
+}
+
+func TestPerfectScalingWithoutOverhead(t *testing.T) {
+	tr := uniformTrace(64, 1, time.Millisecond)
+	for _, w := range []int{2, 4, 8, 16} {
+		r := Simulate(tr, w, Overhead{}, core.RoundRobin)
+		if r.Speedup < float64(w)*0.99 || r.Speedup > float64(w)*1.01 {
+			t.Errorf("speedup(w=%d) = %.2f, want ≈%d", w, r.Speedup, w)
+		}
+	}
+}
+
+func TestSpeedupNeverExceedsWorkers(t *testing.T) {
+	check := func(seed int64) bool {
+		tasks := int(seed%37) + 1
+		tr := uniformTrace(tasks, 3, time.Duration(seed%977+13)*time.Microsecond)
+		for _, w := range []int{1, 3, 9, 40} {
+			r := Simulate(tr, w, DefaultOverhead, core.RoundRobin)
+			if r.Speedup > float64(w)+1e-9 {
+				return false
+			}
+			if r.Speedup < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOverheadCausesPeakAndDegradation(t *testing.T) {
+	// A small workload (few tasks per worker at high w) must peak and
+	// then degrade, as in Fig. 9(a).
+	tr := &core.Trace{}
+	cyc := &core.Cycle{Phase: core.PhaseGroup, Index: 1}
+	for i := 0; i < 2000; i++ {
+		cyc.Tasks = append(cyc.Tasks, 50*time.Microsecond)
+	}
+	tr.Cycles = []*core.Cycle{cyc}
+	var prev float64
+	peaked := false
+	for _, w := range []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512} {
+		r := Simulate(tr, w, DefaultOverhead, core.RoundRobin)
+		if r.Speedup < prev {
+			peaked = true
+		}
+		prev = r.Speedup
+	}
+	if !peaked {
+		t.Error("no degradation observed even at w=512")
+	}
+}
+
+func TestHeavyTailCapsSpeedup(t *testing.T) {
+	// One task dominating the cycle bounds speedup by
+	// total/longest — the Fig. 10(b) plateau.
+	tr := &core.Trace{}
+	cyc := &core.Cycle{Phase: core.PhaseGroup, Index: 1}
+	cyc.Tasks = append(cyc.Tasks, 100*time.Millisecond)
+	for i := 0; i < 300; i++ {
+		cyc.Tasks = append(cyc.Tasks, time.Millisecond)
+	}
+	tr.Cycles = []*core.Cycle{cyc}
+	bound := 400.0 / 100.0 // total 400ms / longest 100ms = 4
+	for _, w := range []int{8, 40, 80} {
+		r := Simulate(tr, w, Overhead{}, core.WorkSharing)
+		if r.Speedup > bound+0.01 {
+			t.Errorf("speedup(w=%d) = %.2f exceeds heavy-tail bound %.2f", w, r.Speedup, bound)
+		}
+	}
+	r := Simulate(tr, 80, Overhead{}, core.WorkSharing)
+	if r.Speedup < 3.5 {
+		t.Errorf("speedup(w=80) = %.2f, want ≈4 plateau", r.Speedup)
+	}
+}
+
+func TestRoundRobinVsWorkSharing(t *testing.T) {
+	// With skewed task sizes, greedy work-sharing beats blind round-robin.
+	tr := &core.Trace{}
+	cyc := &core.Cycle{Phase: core.PhaseGroup, Index: 1}
+	for i := 0; i < 16; i++ {
+		d := time.Millisecond
+		if i%4 == 0 {
+			d = 10 * time.Millisecond
+		}
+		cyc.Tasks = append(cyc.Tasks, d)
+	}
+	tr.Cycles = []*core.Cycle{cyc}
+	rr := Simulate(tr, 4, Overhead{}, core.RoundRobin)
+	ws := Simulate(tr, 4, Overhead{}, core.WorkSharing)
+	if ws.Elapsed > rr.Elapsed {
+		t.Errorf("work-sharing (%v) slower than round-robin (%v) on skewed tasks", ws.Elapsed, rr.Elapsed)
+	}
+}
+
+func TestSweepAndPeak(t *testing.T) {
+	run := func(w int) (*core.Trace, error) {
+		// Workload whose task count scales with w (like phase 1 groups).
+		return uniformTrace(w, 1, time.Duration(1000/w)*time.Millisecond), nil
+	}
+	points, err := Sweep(run, []int{1, 2, 4, 8}, Overhead{}, core.RoundRobin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("points = %d", len(points))
+	}
+	if p := PeakWorkers(points); p != 8 {
+		t.Errorf("peak = %d, want 8 under zero overhead", p)
+	}
+}
+
+func TestEmptyTraceIsZero(t *testing.T) {
+	r := Simulate(&core.Trace{}, 4, DefaultOverhead, core.RoundRobin)
+	if r.Elapsed != 0 || r.Runtime != 0 || r.Speedup != 0 {
+		t.Errorf("empty trace: %+v", r)
+	}
+}

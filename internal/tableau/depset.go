@@ -1,0 +1,97 @@
+// Package tableau implements a sound and terminating tableau decision
+// procedure for concept satisfiability and subsumption in ALCHQ with
+// transitive roles (SHQ without inverse roles) with respect to a general
+// TBox. It plays the role HermiT 1.3.8 plays in the paper: the OWL
+// reasoner plug-in behind the classifier's sat?() and subs?() calls
+// (paper Sec. I, V).
+//
+// Features: lazy unfolding with absorption, GCI internalization,
+// ⊓/⊔/∃/∀/∀⁺/≥/≤/choose rules, equality blocking, dependency-directed
+// backjumping, and a node budget that turns runaway tests into errors
+// instead of hangs.
+package tableau
+
+// depSet is an immutable set of branch-point identifiers used for
+// dependency-directed backjumping: every constraint in the completion
+// graph carries the set of nondeterministic choices it depends on, and a
+// clash reports the union of the involved sets so the solver can jump
+// straight back to the most recent responsible choice.
+//
+// The zero value (nil) is the empty set. Sets are small in practice, so a
+// sorted slice representation keeps unions cheap and allocation-light.
+type depSet []int32
+
+// emptyDeps is the empty dependency set.
+var emptyDeps depSet
+
+// has reports whether branch b is in the set.
+func (d depSet) has(b int32) bool {
+	for _, x := range d {
+		if x == b {
+			return true
+		}
+		if x > b {
+			return false
+		}
+	}
+	return false
+}
+
+// max returns the largest branch in the set, or -1 if empty.
+func (d depSet) max() int32 {
+	if len(d) == 0 {
+		return -1
+	}
+	return d[len(d)-1]
+}
+
+// union returns d ∪ o without mutating either operand.
+func (d depSet) union(o depSet) depSet {
+	if len(o) == 0 {
+		return d
+	}
+	if len(d) == 0 {
+		return o
+	}
+	out := make(depSet, 0, len(d)+len(o))
+	i, j := 0, 0
+	for i < len(d) && j < len(o) {
+		switch {
+		case d[i] < o[j]:
+			out = append(out, d[i])
+			i++
+		case d[i] > o[j]:
+			out = append(out, o[j])
+			j++
+		default:
+			out = append(out, d[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, d[i:]...)
+	out = append(out, o[j:]...)
+	return out
+}
+
+// with returns d ∪ {b}.
+func (d depSet) with(b int32) depSet {
+	if d.has(b) {
+		return d
+	}
+	return d.union(depSet{b})
+}
+
+// without returns d \ {b}.
+func (d depSet) without(b int32) depSet {
+	if !d.has(b) {
+		return d
+	}
+	out := make(depSet, 0, len(d)-1)
+	for _, x := range d {
+		if x != b {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,264 @@
+package tableau
+
+import (
+	"parowl/internal/dl"
+)
+
+// node is one individual in the completion graph. Because the logic has no
+// inverse roles, completion graphs are trees: every non-root node has
+// exactly one parent and an edge label (a set of roles) on the edge from
+// that parent.
+//
+// Nodes are shared copy-on-write between a graph and its branch-point
+// snapshots: a node with epoch < the graph's epoch is immutable and must
+// be copied (graph.mutable) before mutation.
+type node struct {
+	epoch  int32
+	id     int32
+	parent int32 // -1 for the root
+
+	// label maps each concept in L(x) to the dependency set it was
+	// derived under; order preserves insertion for deterministic rule
+	// application.
+	label map[*dl.Concept]depSet
+	order []*dl.Concept
+
+	// edge maps each role on the incoming edge to its dependency set.
+	edge      map[*dl.Role]depSet
+	edgeOrder []*dl.Role
+
+	children []int32
+	pruned   bool // true once merged away or detached
+
+	// minApplied records the ≥-restrictions whose witnesses this node has
+	// already generated, so the ≥-rule fires once per (node, concept).
+	minApplied map[*dl.Concept]bool
+}
+
+// appliedMin reports whether the ≥-rule already fired for c at n.
+func (n *node) appliedMin(c *dl.Concept) bool { return n.minApplied[c] }
+
+func (n *node) clone(epoch int32) *node {
+	c := &node{
+		epoch:  epoch,
+		id:     n.id,
+		parent: n.parent,
+		label:  make(map[*dl.Concept]depSet, len(n.label)+4),
+		order:  append(make([]*dl.Concept, 0, len(n.order)+4), n.order...),
+		pruned: n.pruned,
+	}
+	for k, v := range n.label {
+		c.label[k] = v
+	}
+	if n.minApplied != nil {
+		c.minApplied = make(map[*dl.Concept]bool, len(n.minApplied))
+		for k, v := range n.minApplied {
+			c.minApplied[k] = v
+		}
+	}
+	if n.edge != nil {
+		c.edge = make(map[*dl.Role]depSet, len(n.edge))
+		for k, v := range n.edge {
+			c.edge[k] = v
+		}
+		c.edgeOrder = append([]*dl.Role(nil), n.edgeOrder...)
+	}
+	c.children = append([]int32(nil), n.children...)
+	return c
+}
+
+// hasRole reports whether the incoming edge carries some role S ⊑* r, and
+// returns the union of the dependency sets of all such roles.
+func (n *node) hasRole(r *dl.Role) (bool, depSet) {
+	found := false
+	deps := emptyDeps
+	for _, s := range n.edgeOrder {
+		if s.IsSubRoleOf(r) {
+			found = true
+			deps = deps.union(n.edge[s])
+		}
+	}
+	return found, deps
+}
+
+// pairKey canonically identifies an unordered node pair.
+type pairKey struct{ a, b int32 }
+
+func mkPair(x, y int32) pairKey {
+	if x > y {
+		x, y = y, x
+	}
+	return pairKey{x, y}
+}
+
+// graph is the mutable tableau state: all nodes plus the inequality
+// relation introduced by the ≥-rule. Graphs are snapshotted at
+// nondeterministic choice points; the snapshot shares all nodes
+// copy-on-write, so cloning costs one slice copy and mutation copies only
+// the touched nodes.
+type graph struct {
+	epoch    int32
+	nodes    []*node
+	distinct map[pairKey]depSet
+}
+
+func newGraph() *graph {
+	return &graph{distinct: make(map[pairKey]depSet)}
+}
+
+// clone returns a snapshot sharing every node with g; both sides copy
+// nodes before mutating them.
+func (g *graph) clone() *graph {
+	c := &graph{
+		epoch:    g.epoch + 1,
+		nodes:    append(make([]*node, 0, cap(g.nodes)), g.nodes...),
+		distinct: make(map[pairKey]depSet, len(g.distinct)),
+	}
+	for k, v := range g.distinct {
+		c.distinct[k] = v
+	}
+	// The original keeps mutating: bump its epoch too so neither side
+	// writes to the shared nodes.
+	g.epoch += 2
+	return c
+}
+
+// mutable returns a node owned by this graph, copying it first if it is
+// shared with a snapshot.
+func (g *graph) mutable(id int32) *node {
+	n := g.nodes[id]
+	if n.epoch != g.epoch {
+		n = n.clone(g.epoch)
+		g.nodes[id] = n
+	}
+	return n
+}
+
+// newNode appends a fresh unlabeled node with the given parent (-1 = root).
+func (g *graph) newNode(parent int32) *node {
+	n := &node{
+		epoch:  g.epoch,
+		id:     int32(len(g.nodes)),
+		parent: parent,
+		label:  make(map[*dl.Concept]depSet),
+	}
+	g.nodes = append(g.nodes, n)
+	if parent >= 0 {
+		p := g.mutable(parent)
+		p.children = append(p.children, n.id)
+	}
+	return n
+}
+
+// add inserts concept c into L(n) with dependency set deps. It reports
+// whether the label changed. If c was already present, the existing
+// (typically older, hence more general) dependency set is kept.
+func (g *graph) add(id int32, c *dl.Concept, deps depSet) bool {
+	if _, ok := g.nodes[id].label[c]; ok {
+		return false
+	}
+	n := g.mutable(id)
+	n.label[c] = deps
+	n.order = append(n.order, c)
+	return true
+}
+
+// addEdgeRole puts role r on the incoming edge of n.
+func (g *graph) addEdgeRole(id int32, r *dl.Role, deps depSet) bool {
+	if e := g.nodes[id].edge; e != nil {
+		if _, ok := e[r]; ok {
+			return false
+		}
+	}
+	n := g.mutable(id)
+	if n.edge == nil {
+		n.edge = make(map[*dl.Role]depSet)
+	}
+	n.edge[r] = deps
+	n.edgeOrder = append(n.edgeOrder, r)
+	return true
+}
+
+// markMin records that the ≥-rule fired for c at node id.
+func (g *graph) markMin(id int32, c *dl.Concept) {
+	n := g.mutable(id)
+	if n.minApplied == nil {
+		n.minApplied = make(map[*dl.Concept]bool)
+	}
+	n.minApplied[c] = true
+}
+
+// setDistinct records x ≠ y.
+func (g *graph) setDistinct(x, y int32, deps depSet) {
+	key := mkPair(x, y)
+	if _, ok := g.distinct[key]; !ok {
+		g.distinct[key] = deps
+	}
+}
+
+// areDistinct reports whether x ≠ y has been asserted.
+func (g *graph) areDistinct(x, y int32) (bool, depSet) {
+	d, ok := g.distinct[mkPair(x, y)]
+	return ok, d
+}
+
+// neighbors returns the live children of x whose incoming edge carries a
+// sub-role of r, in creation order.
+func (g *graph) neighbors(x *node, r *dl.Role) []*node {
+	var out []*node
+	for _, ci := range x.children {
+		c := g.nodes[ci]
+		if c.pruned {
+			continue
+		}
+		if ok, _ := c.hasRole(r); ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// prune detaches the subtree rooted at id (used when merging nodes).
+func (g *graph) prune(id int32) {
+	n := g.mutable(id)
+	n.pruned = true
+	for _, ci := range n.children {
+		g.prune(ci)
+	}
+}
+
+// blocked reports whether node n is blocked: some live ancestor y (other
+// than n) has exactly the same label (equality blocking, sound for SHQ
+// without inverse roles). Generating rules (∃, ≥) do not fire on blocked
+// nodes.
+func (g *graph) blocked(n *node) bool {
+	for p := n.parent; p >= 0; p = g.nodes[p].parent {
+		anc := g.nodes[p]
+		if len(anc.label) != len(n.label) {
+			continue
+		}
+		same := true
+		for c := range n.label {
+			if _, ok := anc.label[c]; !ok {
+				same = false
+				break
+			}
+		}
+		if same {
+			return true
+		}
+	}
+	return false
+}
+
+// live iterates over non-pruned nodes in id order.
+func (g *graph) live(fn func(*node) bool) {
+	for _, n := range g.nodes {
+		if n.pruned {
+			continue
+		}
+		if !fn(n) {
+			return
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package tableau
+
+import (
+	"sync"
+
+	"parowl/internal/dl"
+)
+
+// pmodel is a pseudo model: a summary of the root label of a clash-free
+// completion graph for a concept. Two concepts whose pseudo models are
+// mergeable have a joint model obtained by gluing the two completion
+// graphs at the root, so their conjunction is satisfiable — the classic
+// model-merging optimization of Racer and FaCT++ used to decide
+// NON-subsumption without a tableau run (subs?(D, C) is false whenever
+// pmodel(C) and pmodel(¬D) merge).
+type pmodel struct {
+	sat bool // false: the concept itself is unsatisfiable
+	pos map[*dl.Concept]bool
+	neg map[*dl.Concept]bool
+	// exists are the roles of ∃/≥ root entries (successor-creating);
+	// univ are the roles of ∀/≤ root entries (successor-constraining).
+	exists []*dl.Role
+	univ   []*dl.Role
+}
+
+// extractPModel summarizes the root node of a completed graph.
+func extractPModel(g *graph) *pmodel {
+	root := g.nodes[0]
+	m := &pmodel{sat: true, pos: map[*dl.Concept]bool{}, neg: map[*dl.Concept]bool{}}
+	seenEx := map[*dl.Role]bool{}
+	seenUv := map[*dl.Role]bool{}
+	for _, c := range root.order {
+		switch c.Op {
+		case dl.OpName:
+			m.pos[c] = true
+		case dl.OpNot:
+			m.neg[c.Args[0]] = true
+		case dl.OpSome, dl.OpMin:
+			if !seenEx[c.Role] {
+				seenEx[c.Role] = true
+				m.exists = append(m.exists, c.Role)
+			}
+		case dl.OpAll, dl.OpMax:
+			if !seenUv[c.Role] {
+				seenUv[c.Role] = true
+				m.univ = append(m.univ, c.Role)
+			}
+		}
+	}
+	return m
+}
+
+// mergeable reports whether the glued interpretation is clash-free:
+// no complementary atomic pair at the root, and neither side creates
+// successors on a role the other side constrains (taking the role
+// hierarchy into account — an s-successor is also an r-successor for
+// every s ⊑* r).
+func mergeable(a, b *pmodel) bool {
+	if !a.sat || !b.sat {
+		return false
+	}
+	for c := range a.pos {
+		if b.neg[c] {
+			return false
+		}
+	}
+	for c := range b.pos {
+		if a.neg[c] {
+			return false
+		}
+	}
+	if rolesInteract(a.exists, b.univ) || rolesInteract(b.exists, a.univ) {
+		return false
+	}
+	return true
+}
+
+func rolesInteract(exists, univ []*dl.Role) bool {
+	for _, s := range exists {
+		for _, r := range univ {
+			if s.IsSubRoleOf(r) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// modelCache memoizes pseudo models per concept; safe for concurrent use.
+type modelCache struct {
+	mu sync.RWMutex
+	m  map[*dl.Concept]*pmodel
+}
+
+func (mc *modelCache) get(c *dl.Concept) (*pmodel, bool) {
+	mc.mu.RLock()
+	defer mc.mu.RUnlock()
+	pm, ok := mc.m[c]
+	return pm, ok
+}
+
+func (mc *modelCache) put(c *dl.Concept, pm *pmodel) {
+	mc.mu.Lock()
+	if mc.m == nil {
+		mc.m = make(map[*dl.Concept]*pmodel)
+	}
+	mc.m[c] = pm
+	mc.mu.Unlock()
+}
+
+// pseudoModel returns the cached pseudo model of c, running a
+// satisfiability test to build it on first use. Errors (budget blowups)
+// yield a nil model, which disables merging for c.
+func (r *Reasoner) pseudoModel(c *dl.Concept) *pmodel {
+	if pm, ok := r.models.get(c); ok {
+		return pm
+	}
+	s := &solver{p: r.prep, g: newGraph(), maxNodes: r.opts.MaxNodes, maxBranches: int32(r.opts.MaxBranches)}
+	root := s.g.newNode(-1)
+	s.g.add(root.id, r.tbox.Factory.Top(), emptyDeps)
+	s.g.add(root.id, c, emptyDeps)
+	sat, _, err := s.solve()
+	r.stats.Nodes.Add(int64(s.created))
+	if err != nil {
+		return nil
+	}
+	var pm *pmodel
+	if sat {
+		pm = extractPModel(s.g)
+	} else {
+		pm = &pmodel{sat: false}
+	}
+	r.models.put(c, pm)
+	return pm
+}

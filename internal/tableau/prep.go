@@ -1,0 +1,95 @@
+package tableau
+
+import (
+	"parowl/internal/dl"
+)
+
+// prep holds the read-only per-TBox preprocessing shared by all
+// satisfiability tests: the absorption (lazy-unfolding) map and the
+// internalized global axioms. A prep is built once per Reasoner and never
+// mutated afterwards, so concurrent tests can share it freely.
+type prep struct {
+	factory *dl.Factory
+
+	// unfold maps a named concept A to the NNF right-hand sides of all
+	// absorbed axioms A ⊑ D: when A enters a node label, each D follows
+	// (lazy unfolding). This is the absorption optimization every
+	// production tableau reasoner applies to keep GCIs from exploding the
+	// search space.
+	unfold map[*dl.Concept][]*dl.Concept
+
+	// negUnfold is the dual map for absorbed ¬A ⊑ D axioms (from GCIs
+	// whose left side is a negated name).
+	negUnfold map[*dl.Concept][]*dl.Concept
+
+	// universals are the internalized leftovers: every GCI C ⊑ D that
+	// could not be absorbed contributes NNF(¬C ⊔ D), which must hold at
+	// every node of every completion graph.
+	universals []*dl.Concept
+
+	// transSubs caches, per role R, the sub-roles S ⊑* R with S
+	// transitive; the ∀⁺-rule consults it.
+	transSubs map[*dl.Role][]*dl.Role
+}
+
+// newPrep preprocesses the TBox. The TBox must be frozen (or at least no
+// longer mutated) before reasoning starts.
+func newPrep(t *dl.TBox) *prep {
+	f := t.Factory
+	p := &prep{
+		factory:   f,
+		unfold:    make(map[*dl.Concept][]*dl.Concept),
+		negUnfold: make(map[*dl.Concept][]*dl.Concept),
+		transSubs: make(map[*dl.Role][]*dl.Role),
+	}
+	for _, gci := range t.AsGCIs() {
+		p.absorb(gci.Sub, gci.Sup)
+	}
+	roles := f.Roles()
+	for _, r := range roles {
+		var subs []*dl.Role
+		for _, s := range roles {
+			if s.Transitive && s.IsSubRoleOf(r) {
+				subs = append(subs, s)
+			}
+		}
+		if len(subs) > 0 {
+			p.transSubs[r] = subs
+		}
+	}
+	return p
+}
+
+// absorb places one GCI sub ⊑ sup either into the unfolding maps (when the
+// left side is a possibly negated concept name) or into the internalized
+// universal set.
+func (p *prep) absorb(sub, sup *dl.Concept) {
+	f := p.factory
+	switch {
+	case sub.Op == dl.OpName:
+		p.unfold[sub] = append(p.unfold[sub], sup)
+	case sub.Op == dl.OpNot: // NNF guarantees the argument is a name
+		p.negUnfold[sub.Args[0]] = append(p.negUnfold[sub.Args[0]], sup)
+	case sub.Op == dl.OpTop:
+		p.universals = append(p.universals, sup)
+	case sub.Op == dl.OpBottom:
+		// ⊥ ⊑ D is a tautology.
+	case sub.Op == dl.OpAnd:
+		// Binary absorption: A ⊓ R ⊑ S with a named operand A becomes
+		// A ⊑ ¬R ⊔ S, turning a global disjunction into one that fires
+		// only at nodes labeled A. Disjointness (S = ⊥) is the special
+		// case A ⊑ ¬R.
+		for i, a := range sub.Args {
+			if a.Op == dl.OpName {
+				rest := make([]*dl.Concept, 0, len(sub.Args)-1)
+				rest = append(rest, sub.Args[:i]...)
+				rest = append(rest, sub.Args[i+1:]...)
+				p.unfold[a] = append(p.unfold[a], f.Or(f.Not(f.And(rest...)), sup))
+				return
+			}
+		}
+		p.universals = append(p.universals, f.Or(f.Not(sub), sup))
+	default:
+		p.universals = append(p.universals, f.Or(f.Not(sub), sup))
+	}
+}

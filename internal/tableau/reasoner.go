@@ -1,0 +1,112 @@
+package tableau
+
+import (
+	"sync/atomic"
+
+	"parowl/internal/dl"
+)
+
+// DefaultMaxNodes is the default node budget per satisfiability test.
+const DefaultMaxNodes = 200_000
+
+// DefaultMaxBranches is the default branching budget per test.
+const DefaultMaxBranches = 2_000_000
+
+// Options configures a Reasoner.
+type Options struct {
+	// MaxNodes bounds the number of completion-graph nodes any single
+	// satisfiability test may create; 0 means DefaultMaxNodes. Exceeding
+	// the budget returns ErrBudget instead of hanging.
+	MaxNodes int
+	// MaxBranches bounds the number of nondeterministic choice points a
+	// single test may explore; 0 means DefaultMaxBranches. Exceeding it
+	// returns ErrBranchBudget.
+	MaxBranches int
+	// ModelMerging enables the pseudo-model merging optimization: a
+	// subsumption test subs?(D, C) whose cached pseudo models of C and
+	// ¬D merge is answered false without a tableau run. Off by default
+	// (the paper evaluates its architecture without enhanced reasoner
+	// optimizations).
+	ModelMerging bool
+}
+
+// Stats counts reasoner activity with atomic counters, safe to read while
+// tests run on other goroutines.
+type Stats struct {
+	SatTests   atomic.Int64 // calls answered by a tableau run
+	SubsTests  atomic.Int64 // Subsumes calls (each is one sat test)
+	Nodes      atomic.Int64 // completion-graph nodes created, cumulative
+	MergeSkips atomic.Int64 // non-subsumptions decided by model merging
+}
+
+// Reasoner decides satisfiability and subsumption with respect to one
+// TBox. The preprocessed state is read-only, so a single Reasoner is safe
+// for concurrent use by many workers — exactly how the classifier shares
+// its plug-in reasoner across the thread pool.
+type Reasoner struct {
+	tbox   *dl.TBox
+	prep   *prep
+	opts   Options
+	stats  Stats
+	models modelCache
+}
+
+// New preprocesses the TBox (absorption + internalization) and returns a
+// ready Reasoner. The TBox is frozen as a side effect.
+func New(t *dl.TBox, opts Options) *Reasoner {
+	t.Freeze()
+	if opts.MaxNodes <= 0 {
+		opts.MaxNodes = DefaultMaxNodes
+	}
+	if opts.MaxBranches <= 0 {
+		opts.MaxBranches = DefaultMaxBranches
+	}
+	return &Reasoner{tbox: t, prep: newPrep(t), opts: opts}
+}
+
+// TBox returns the TBox this reasoner answers for.
+func (r *Reasoner) TBox() *dl.TBox { return r.tbox }
+
+// Stats exposes the activity counters.
+func (r *Reasoner) Stats() *Stats { return &r.stats }
+
+// IsSatisfiable reports whether concept c is satisfiable with respect to
+// the TBox.
+func (r *Reasoner) IsSatisfiable(c *dl.Concept) (bool, error) {
+	r.stats.SatTests.Add(1)
+	s := &solver{p: r.prep, g: newGraph(), maxNodes: r.opts.MaxNodes, maxBranches: int32(r.opts.MaxBranches)}
+	root := s.g.newNode(-1)
+	s.g.add(root.id, r.tbox.Factory.Top(), emptyDeps)
+	s.g.add(root.id, c, emptyDeps)
+	sat, _, err := s.solve()
+	r.stats.Nodes.Add(int64(s.created))
+	return sat, err
+}
+
+// Subsumes reports whether sup subsumes sub (sub ⊑ sup) with respect to
+// the TBox, by testing the unsatisfiability of sub ⊓ ¬sup. With
+// Options.ModelMerging, mergeable cached pseudo models of sub and ¬sup
+// decide the (far more common) negative answer without a tableau run.
+func (r *Reasoner) Subsumes(sup, sub *dl.Concept) (bool, error) {
+	r.stats.SubsTests.Add(1)
+	f := r.tbox.Factory
+	if r.opts.ModelMerging {
+		pmSub := r.pseudoModel(sub)
+		if pmSub != nil && !pmSub.sat {
+			return true, nil // unsatisfiable sub is subsumed by everything
+		}
+		pmNeg := r.pseudoModel(f.Not(sup))
+		if pmNeg != nil && !pmNeg.sat {
+			return true, nil // ¬sup unsatisfiable: sup ≡ ⊤
+		}
+		if pmSub != nil && pmNeg != nil && mergeable(pmSub, pmNeg) {
+			r.stats.MergeSkips.Add(1)
+			return false, nil
+		}
+	}
+	sat, err := r.IsSatisfiable(f.And(sub, f.Not(sup)))
+	if err != nil {
+		return false, err
+	}
+	return !sat, nil
+}

@@ -1,0 +1,509 @@
+package tableau
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"parowl/internal/dl"
+)
+
+// ErrBudget is returned when a satisfiability test exceeds the reasoner's
+// node budget. It indicates the test was abandoned, not answered.
+var ErrBudget = errors.New("tableau: node budget exhausted")
+
+// ErrBranchBudget is returned when a satisfiability test exceeds the
+// reasoner's branching budget.
+var ErrBranchBudget = errors.New("tableau: branch budget exhausted")
+
+// solver carries the mutable state of one satisfiability test.
+type solver struct {
+	p           *prep
+	g           *graph
+	nextBranch  int32
+	maxNodes    int
+	created     int
+	maxBranches int32
+}
+
+// alternative is one arm of a nondeterministic choice point.
+type alternative struct {
+	apply func(deps depSet)
+}
+
+// choice is a nondeterministic rule instance: its base dependency set and
+// the alternatives to branch over.
+type choice struct {
+	base depSet
+	alts []alternative
+}
+
+// solve runs the tableau calculus to completion on the current graph.
+// It returns (true, nil) when a complete clash-free graph was found,
+// (false, deps) when every expansion clashes (deps are the clash's branch
+// dependencies, used for backjumping), or an error when the node budget
+// was exhausted.
+func (s *solver) solve() (bool, depSet, error) {
+	for {
+		if deps, clash := s.findClash(); clash {
+			return false, deps, nil
+		}
+		if s.applyDeterministic() {
+			continue
+		}
+		if ch := s.findChoice(); ch != nil {
+			return s.branch(ch)
+		}
+		created, err := s.applyGenerating()
+		if err != nil {
+			return false, nil, err
+		}
+		if created {
+			continue
+		}
+		return true, nil, nil
+	}
+}
+
+// branch explores the alternatives of a choice point with
+// dependency-directed backjumping.
+func (s *solver) branch(ch *choice) (bool, depSet, error) {
+	b := s.nextBranch
+	s.nextBranch++
+	if s.maxBranches > 0 && s.nextBranch > s.maxBranches {
+		return false, nil, fmt.Errorf("%w (limit %d)", ErrBranchBudget, s.maxBranches)
+	}
+	carried := emptyDeps
+	for _, alt := range ch.alts {
+		snapshot := s.g.clone()
+		alt.apply(ch.base.union(carried).with(b))
+		sat, clashDeps, err := s.solve()
+		if err != nil {
+			return false, nil, err
+		}
+		if sat {
+			return true, nil, nil
+		}
+		s.g = snapshot
+		if !clashDeps.has(b) {
+			// The clash did not involve this choice: jump straight over
+			// the remaining alternatives.
+			return false, clashDeps, nil
+		}
+		carried = carried.union(clashDeps.without(b))
+	}
+	return false, ch.base.union(carried), nil
+}
+
+// findClash scans for ⊥, complementary pairs, and violated at-most
+// restrictions whose neighbors are all pairwise distinct.
+func (s *solver) findClash() (depSet, bool) {
+	var out depSet
+	found := false
+	s.g.live(func(n *node) bool {
+		for _, c := range n.order {
+			switch {
+			case c.Op == dl.OpBottom:
+				out = n.label[c]
+				found = true
+				return false
+			case c.Op == dl.OpNot:
+				if d, ok := n.label[c.Args[0]]; ok {
+					out = n.label[c].union(d)
+					found = true
+					return false
+				}
+			case c.Op == dl.OpOr:
+				// A disjunction all of whose disjuncts are complemented
+				// in the label can never be satisfied here.
+				if deps, dead := s.deadDisjunction(n, c); dead {
+					out = deps
+					found = true
+					return false
+				}
+			case c.Op == dl.OpMax:
+				if deps, clash := s.maxClash(n, c); clash {
+					out = deps
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return out, found
+}
+
+// unitDisjunct counts the open disjuncts of c at n (neither the disjunct
+// nor its complement in the label). When exactly one is open it is
+// returned together with the union of the closed disjuncts' complement
+// dependencies; when c is already satisfied, open is -1.
+func (s *solver) unitDisjunct(n *node, c *dl.Concept) (open int, forced *dl.Concept, deps depSet) {
+	for _, d := range c.Args {
+		if _, ok := n.label[d]; ok {
+			return -1, nil, nil
+		}
+		if nd, ok := n.label[s.p.factory.Not(d)]; ok {
+			deps = deps.union(nd)
+			continue
+		}
+		open++
+		forced = d
+	}
+	if open != 1 {
+		return open, nil, nil
+	}
+	return 1, forced, deps
+}
+
+// openDisjuncts returns the open disjuncts of c at n for branching, with
+// the dependency union of the closed ones; nil when no branching applies
+// (satisfied, 0 open = clash handled elsewhere, 1 open = unit-propagated).
+func (s *solver) openDisjuncts(n *node, c *dl.Concept) ([]*dl.Concept, depSet) {
+	var open []*dl.Concept
+	deps := emptyDeps
+	for _, d := range c.Args {
+		if _, ok := n.label[d]; ok {
+			return nil, nil
+		}
+		if nd, ok := n.label[s.p.factory.Not(d)]; ok {
+			deps = deps.union(nd)
+			continue
+		}
+		open = append(open, d)
+	}
+	if len(open) <= 1 {
+		return nil, nil
+	}
+	// Try non-generating disjuncts first: a ∀/≤/¬A arm often completes
+	// without growing the graph, whereas names unfold and ∃/≥ spawn
+	// subtrees. Stable ordering keeps runs deterministic.
+	sort.SliceStable(open, func(i, j int) bool {
+		return disjunctCost(open[i]) < disjunctCost(open[j])
+	})
+	return open, deps
+}
+
+// disjunctCost ranks disjuncts by how much search trying them first tends
+// to cause.
+func disjunctCost(c *dl.Concept) int {
+	switch c.Op {
+	case dl.OpAll, dl.OpMax, dl.OpNot, dl.OpTop:
+		return 0
+	case dl.OpName, dl.OpAnd, dl.OpOr:
+		return 1
+	default: // OpSome, OpMin: generating
+		return 2
+	}
+}
+
+// deadDisjunction reports whether every disjunct of c is closed at n
+// (its complement is in the label) while c itself is unsatisfied.
+func (s *solver) deadDisjunction(n *node, c *dl.Concept) (depSet, bool) {
+	deps := n.label[c]
+	for _, d := range c.Args {
+		if _, ok := n.label[d]; ok {
+			return nil, false // satisfied
+		}
+		nd, ok := n.label[s.p.factory.Not(d)]
+		if !ok {
+			return nil, false // still open
+		}
+		deps = deps.union(nd)
+	}
+	return deps, true
+}
+
+// maxClash reports whether ≤n R.C at node x is violated by more than n
+// pairwise-distinct R-neighbors whose labels contain C.
+func (s *solver) maxClash(x *node, c *dl.Concept) (depSet, bool) {
+	members, deps := s.maxWitnesses(x, c)
+	if len(members) <= c.N {
+		return nil, false
+	}
+	for i := range members {
+		for j := i + 1; j < len(members); j++ {
+			dis, dd := s.g.areDistinct(members[i].id, members[j].id)
+			if !dis {
+				return nil, false // a merge is still possible
+			}
+			deps = deps.union(dd)
+		}
+	}
+	return deps.union(x.label[c]), true
+}
+
+// maxWitnesses returns the R-neighbors of x with C in their label,
+// together with the union of the edge and label dependency sets involved.
+func (s *solver) maxWitnesses(x *node, c *dl.Concept) ([]*node, depSet) {
+	deps := emptyDeps
+	var members []*node
+	for _, y := range s.g.neighbors(x, c.Role) {
+		if d, ok := y.label[c.Args[0]]; ok {
+			_, ed := y.hasRole(c.Role)
+			deps = deps.union(d).union(ed)
+			members = append(members, y)
+		}
+	}
+	return members, deps
+}
+
+// applyDeterministic runs one pass of all deterministic rules and reports
+// whether anything changed.
+func (s *solver) applyDeterministic() bool {
+	changed := false
+	s.g.live(func(n *node) bool {
+		// Internalized global axioms hold at every node.
+		for _, u := range s.p.universals {
+			if s.g.add(n.id, u, emptyDeps) {
+				changed = true
+			}
+		}
+		// Scan a snapshot of the label order: rules may append.
+		for i := 0; i < len(n.order); i++ {
+			c := n.order[i]
+			deps := n.label[c]
+			switch c.Op {
+			case dl.OpName: // lazy unfolding of absorbed axioms
+				for _, d := range s.p.unfold[c] {
+					if s.g.add(n.id, d, deps) {
+						changed = true
+					}
+				}
+			case dl.OpNot:
+				for _, d := range s.p.negUnfold[c.Args[0]] {
+					if s.g.add(n.id, d, deps) {
+						changed = true
+					}
+				}
+			case dl.OpAnd: // ⊓-rule
+				for _, a := range c.Args {
+					if s.g.add(n.id, a, deps) {
+						changed = true
+					}
+				}
+			case dl.OpOr:
+				// Boolean constraint propagation: if all but one disjunct
+				// are complemented in the label, the remaining one is
+				// forced — no branching needed. This keeps internalized
+				// GCIs (¬C ⊔ D at every node) from exploding the search.
+				if open, forced, fdeps := s.unitDisjunct(n, c); open == 1 {
+					if s.g.add(n.id, forced, deps.union(fdeps)) {
+						changed = true
+					}
+				}
+			case dl.OpAll: // ∀-rule and ∀⁺-rule
+				for _, y := range s.g.neighbors(n, c.Role) {
+					_, ed := y.hasRole(c.Role)
+					if s.g.add(y.id, c.Args[0], deps.union(ed)) {
+						changed = true
+					}
+				}
+				for _, t := range s.p.transSubs[c.Role] {
+					prop := s.p.factory.All(t, c.Args[0])
+					for _, y := range s.g.neighbors(n, t) {
+						_, ed := y.hasRole(t)
+						if s.g.add(y.id, prop, deps.union(ed)) {
+							changed = true
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return changed
+}
+
+// findChoice locates the first applicable nondeterministic rule instance,
+// scanning nodes and labels in deterministic order: ⊔-rule, then the
+// choose-rule for at-most restrictions, then neighbor merging.
+func (s *solver) findChoice() *choice {
+	var out *choice
+	s.g.live(func(n *node) bool {
+		for _, c := range n.order {
+			switch c.Op {
+			case dl.OpOr: // ⊔-rule, branching only over open disjuncts
+				open, closedDeps := s.openDisjuncts(n, c)
+				if open == nil {
+					continue // satisfied, unit-propagated, or dead
+				}
+				ch := &choice{base: n.label[c].union(closedDeps)}
+				for _, d := range open {
+					d := d
+					y := n.id
+					ch.alts = append(ch.alts, alternative{apply: func(deps depSet) {
+						s.g.add(y, d, deps)
+					}})
+				}
+				out = ch
+				return false
+			case dl.OpMax:
+				if ch := s.chooseOrMerge(n, c); ch != nil {
+					out = ch
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// chooseOrMerge handles the two nondeterministic parts of the ≤-rule for
+// constraint c = ≤n R.C at node x: first the choose-rule (every R-neighbor
+// must decide C vs ¬C), then, if more than n witnesses exist, merging a
+// non-distinct pair.
+func (s *solver) chooseOrMerge(x *node, c *dl.Concept) *choice {
+	f := s.p.factory
+	cc := c.Args[0]
+	ncc := f.Not(cc)
+	neighbors := s.g.neighbors(x, c.Role)
+	if len(neighbors) <= c.N {
+		// With at most n R-neighbors in total, ≤n R.C can never be
+		// violated whatever the choose-rule decides: skipping the
+		// branching here is sound and complete, and avoids exponential
+		// search on QCR-dense ontologies.
+		return nil
+	}
+	for _, y := range neighbors {
+		_, okC := y.label[cc]
+		_, okN := y.label[ncc]
+		if okC || okN {
+			continue
+		}
+		_, ed := y.hasRole(c.Role)
+		yid := y.id
+		return &choice{
+			base: x.label[c].union(ed),
+			alts: []alternative{
+				{apply: func(deps depSet) { s.g.add(yid, cc, deps) }},
+				{apply: func(deps depSet) { s.g.add(yid, ncc, deps) }},
+			},
+		}
+	}
+	members, wdeps := s.maxWitnesses(x, c)
+	if len(members) <= c.N {
+		return nil
+	}
+	ch := &choice{base: x.label[c].union(wdeps)}
+	for i := range members {
+		for j := i + 1; j < len(members); j++ {
+			if dis, _ := s.g.areDistinct(members[i].id, members[j].id); dis {
+				continue
+			}
+			older, younger := members[i].id, members[j].id
+			ch.alts = append(ch.alts, alternative{apply: func(deps depSet) {
+				s.merge(younger, older, deps)
+			}})
+		}
+	}
+	if len(ch.alts) == 0 {
+		return nil // all pairs distinct: findClash reports this as a clash
+	}
+	return ch
+}
+
+// merge folds node src into dst (both children of the same parent):
+// labels and edge roles are unioned into dst, src's subtree is pruned,
+// and src's inequalities transfer to dst.
+func (s *solver) merge(src, dst int32, deps depSet) {
+	sn := s.g.nodes[src]
+	for _, c := range sn.order {
+		s.g.add(dst, c, sn.label[c].union(deps))
+	}
+	for _, r := range sn.edgeOrder {
+		s.g.addEdgeRole(dst, r, sn.edge[r].union(deps))
+	}
+	for key, dd := range s.g.distinct {
+		var other int32 = -1
+		switch {
+		case key.a == src:
+			other = key.b
+		case key.b == src:
+			other = key.a
+		}
+		if other >= 0 && other != dst {
+			s.g.setDistinct(dst, other, dd.union(deps))
+		}
+	}
+	s.g.prune(src)
+}
+
+// applyGenerating runs the ∃- and ≥-rules on unblocked nodes. It returns
+// whether any node was created, or an error if the node budget ran out.
+func (s *solver) applyGenerating() (bool, error) {
+	created := false
+	var budgetErr error
+	s.g.live(func(n *node) bool {
+		if len(n.order) == 0 {
+			return true
+		}
+		blockedKnown, isBlocked := false, false
+		blocked := func() bool {
+			if !blockedKnown {
+				isBlocked = s.g.blocked(n)
+				blockedKnown = true
+			}
+			return isBlocked
+		}
+		for _, c := range n.order {
+			deps := n.label[c]
+			switch c.Op {
+			case dl.OpSome: // ∃-rule
+				exists := false
+				for _, y := range s.g.neighbors(n, c.Role) {
+					if _, ok := y.label[c.Args[0]]; ok {
+						exists = true
+						break
+					}
+				}
+				if exists || blocked() {
+					continue
+				}
+				if err := s.spawn(n, c.Role, c.Args[0], deps, 1, false); err != nil {
+					budgetErr = err
+					return false
+				}
+				created = true
+			case dl.OpMin: // ≥-rule
+				if n.appliedMin(c) || blocked() {
+					continue
+				}
+				if err := s.spawn(n, c.Role, c.Args[0], deps, c.N, true); err != nil {
+					budgetErr = err
+					return false
+				}
+				s.g.markMin(n.id, c)
+				created = true
+			}
+		}
+		return true
+	})
+	return created, budgetErr
+}
+
+// spawn creates count children of n with edge role r and label {filler};
+// when distinct is set, the children are asserted pairwise distinct.
+func (s *solver) spawn(n *node, r *dl.Role, filler *dl.Concept, deps depSet, count int, distinct bool) error {
+	ids := make([]int32, count)
+	for i := 0; i < count; i++ {
+		if s.created >= s.maxNodes {
+			return fmt.Errorf("%w (limit %d)", ErrBudget, s.maxNodes)
+		}
+		s.created++
+		y := s.g.newNode(n.id)
+		s.g.addEdgeRole(y.id, r, deps)
+		s.g.add(y.id, s.p.factory.Top(), emptyDeps)
+		s.g.add(y.id, filler, deps)
+		ids[i] = y.id
+	}
+	if distinct {
+		for i := range ids {
+			for j := i + 1; j < len(ids); j++ {
+				s.g.setDistinct(ids[i], ids[j], deps)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,173 @@
+package taxonomy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"parowl/internal/dl"
+)
+
+// Diff describes the differences between two taxonomies over the shared
+// concept vocabulary (compared by concept name). It is the regression
+// primitive ontology pipelines use to review the effect of axiom changes.
+type Diff struct {
+	// AddedSubsumptions are name pairs (sub, sup) entailed by the new
+	// taxonomy but not the old (strict, transitive).
+	AddedSubsumptions [][2]string
+	// RemovedSubsumptions are entailed by the old but not the new.
+	RemovedSubsumptions [][2]string
+	// NewlyUnsatisfiable / NoLongerUnsatisfiable track ⊥ membership.
+	NewlyUnsatisfiable    []string
+	NoLongerUnsatisfiable []string
+	// OnlyInOld / OnlyInNew are concepts present in one side only.
+	OnlyInOld, OnlyInNew []string
+}
+
+// Empty reports whether the two taxonomies agree completely.
+func (d *Diff) Empty() bool {
+	return len(d.AddedSubsumptions) == 0 && len(d.RemovedSubsumptions) == 0 &&
+		len(d.NewlyUnsatisfiable) == 0 && len(d.NoLongerUnsatisfiable) == 0 &&
+		len(d.OnlyInOld) == 0 && len(d.OnlyInNew) == 0
+}
+
+// String renders a compact human-readable report.
+func (d *Diff) String() string {
+	if d.Empty() {
+		return "taxonomies are identical\n"
+	}
+	var b strings.Builder
+	section := func(title string, items []string) {
+		if len(items) == 0 {
+			return
+		}
+		fmt.Fprintf(&b, "%s (%d):\n", title, len(items))
+		for _, it := range items {
+			fmt.Fprintf(&b, "  %s\n", it)
+		}
+	}
+	pairSection := func(title string, pairs [][2]string) {
+		if len(pairs) == 0 {
+			return
+		}
+		fmt.Fprintf(&b, "%s (%d):\n", title, len(pairs))
+		for _, p := range pairs {
+			fmt.Fprintf(&b, "  %s ⊑ %s\n", p[0], p[1])
+		}
+	}
+	pairSection("added subsumptions", d.AddedSubsumptions)
+	pairSection("removed subsumptions", d.RemovedSubsumptions)
+	section("newly unsatisfiable", d.NewlyUnsatisfiable)
+	section("no longer unsatisfiable", d.NoLongerUnsatisfiable)
+	section("only in old", d.OnlyInOld)
+	section("only in new", d.OnlyInNew)
+	return b.String()
+}
+
+// Compare computes the Diff from old to new.
+func Compare(old, new *Taxonomy) *Diff {
+	d := &Diff{}
+	oldC := conceptsByName(old)
+	newC := conceptsByName(new)
+	var shared []string
+	for name := range oldC {
+		if _, ok := newC[name]; ok {
+			shared = append(shared, name)
+		} else {
+			d.OnlyInOld = append(d.OnlyInOld, name)
+		}
+	}
+	for name := range newC {
+		if _, ok := oldC[name]; !ok {
+			d.OnlyInNew = append(d.OnlyInNew, name)
+		}
+	}
+	sort.Strings(shared)
+	sort.Strings(d.OnlyInOld)
+	sort.Strings(d.OnlyInNew)
+
+	// Unsatisfiability changes.
+	for _, name := range shared {
+		ou := old.NodeOf(oldC[name]) == old.Bottom()
+		nu := new.NodeOf(newC[name]) == new.Bottom()
+		switch {
+		case !ou && nu:
+			d.NewlyUnsatisfiable = append(d.NewlyUnsatisfiable, name)
+		case ou && !nu:
+			d.NoLongerUnsatisfiable = append(d.NoLongerUnsatisfiable, name)
+		}
+	}
+
+	// Entailed strict subsumptions over the shared vocabulary. Ancestor
+	// sets keep this O(shared · edges) instead of O(shared²) probes.
+	oldUp := entailedSubsumers(old, oldC, shared)
+	newUp := entailedSubsumers(new, newC, shared)
+	for _, sub := range shared {
+		o, n := oldUp[sub], newUp[sub]
+		for sup := range n {
+			if !o[sup] {
+				d.AddedSubsumptions = append(d.AddedSubsumptions, [2]string{sub, sup})
+			}
+		}
+		for sup := range o {
+			if !n[sup] {
+				d.RemovedSubsumptions = append(d.RemovedSubsumptions, [2]string{sub, sup})
+			}
+		}
+	}
+	sortPairs(d.AddedSubsumptions)
+	sortPairs(d.RemovedSubsumptions)
+	return d
+}
+
+func sortPairs(ps [][2]string) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i][0] != ps[j][0] {
+			return ps[i][0] < ps[j][0]
+		}
+		return ps[i][1] < ps[j][1]
+	})
+}
+
+func conceptsByName(t *Taxonomy) map[string]*dl.Concept {
+	out := map[string]*dl.Concept{}
+	for _, n := range t.Nodes() {
+		for _, c := range n.Concepts {
+			if c.Op == dl.OpName {
+				out[c.Name] = c
+			}
+		}
+	}
+	return out
+}
+
+// entailedSubsumers maps each shared concept name to the set of shared
+// names it is strictly or equivalently below (excluding itself).
+func entailedSubsumers(t *Taxonomy, byName map[string]*dl.Concept, shared []string) map[string]map[string]bool {
+	out := make(map[string]map[string]bool, len(shared))
+	for _, name := range shared {
+		c := byName[name]
+		set := map[string]bool{}
+		node := t.NodeOf(c)
+		if node == t.Bottom() {
+			// Unsatisfiable: below everything; recorded separately, and
+			// listing every pair would drown the report.
+			out[name] = set
+			continue
+		}
+		for _, eq := range node.Concepts {
+			if eq.Op == dl.OpName && eq.Name != name {
+				set[eq.Name] = true
+			}
+		}
+		for _, anc := range t.Ancestors(c) {
+			for _, ac := range anc.Concepts {
+				if ac.Op == dl.OpName {
+					set[ac.Name] = true
+				}
+			}
+		}
+		out[name] = set
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+package taxonomy
+
+import (
+	"strings"
+	"testing"
+
+	"parowl/internal/dl"
+)
+
+func buildTax(t *testing.T, f *dl.Factory, edges [][2]string, unsat ...string) *Taxonomy {
+	t.Helper()
+	b := NewBuilder(f)
+	for _, e := range edges {
+		b.AddEdge(f.Name(e[0]), f.Name(e[1]))
+	}
+	for _, u := range unsat {
+		b.MarkUnsatisfiable(f.Name(u))
+	}
+	tax, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tax
+}
+
+func TestDiffIdentical(t *testing.T) {
+	f := dl.NewFactory()
+	edges := [][2]string{{"A", "B"}, {"B", "C"}}
+	d := Compare(buildTax(t, f, edges), buildTax(t, f, edges))
+	if !d.Empty() {
+		t.Errorf("diff of identical taxonomies not empty:\n%s", d)
+	}
+	if !strings.Contains(d.String(), "identical") {
+		t.Error("String for empty diff")
+	}
+}
+
+func TestDiffAddedRemoved(t *testing.T) {
+	f := dl.NewFactory()
+	old := buildTax(t, f, [][2]string{{"A", "B"}, {"A", "C"}})
+	new_ := buildTax(t, f, [][2]string{{"A", "B"}, {"B", "C"}}) // C moved under B
+	d := Compare(old, new_)
+	// New entails C ⊑ B (was not entailed before).
+	foundAdd := false
+	for _, p := range d.AddedSubsumptions {
+		if p == [2]string{"C", "B"} {
+			foundAdd = true
+		}
+	}
+	if !foundAdd {
+		t.Errorf("C ⊑ B not reported as added: %+v", d.AddedSubsumptions)
+	}
+	if len(d.RemovedSubsumptions) != 0 {
+		t.Errorf("unexpected removals: %+v", d.RemovedSubsumptions)
+	}
+	// Reverse direction swaps the report.
+	rd := Compare(new_, old)
+	if len(rd.RemovedSubsumptions) == 0 {
+		t.Error("reverse diff lost the removal")
+	}
+}
+
+func TestDiffUnsatChanges(t *testing.T) {
+	f := dl.NewFactory()
+	old := buildTax(t, f, [][2]string{{"A", "B"}})
+	new_ := buildTax(t, f, [][2]string{{"A", "B"}}, "B")
+	d := Compare(old, new_)
+	if len(d.NewlyUnsatisfiable) != 1 || d.NewlyUnsatisfiable[0] != "B" {
+		t.Errorf("NewlyUnsatisfiable = %v", d.NewlyUnsatisfiable)
+	}
+	back := Compare(new_, old)
+	if len(back.NoLongerUnsatisfiable) != 1 {
+		t.Errorf("NoLongerUnsatisfiable = %v", back.NoLongerUnsatisfiable)
+	}
+}
+
+func TestDiffVocabulary(t *testing.T) {
+	f := dl.NewFactory()
+	old := buildTax(t, f, [][2]string{{"A", "B"}})
+	new_ := buildTax(t, f, [][2]string{{"A", "C"}})
+	d := Compare(old, new_)
+	if len(d.OnlyInOld) != 1 || d.OnlyInOld[0] != "B" {
+		t.Errorf("OnlyInOld = %v", d.OnlyInOld)
+	}
+	if len(d.OnlyInNew) != 1 || d.OnlyInNew[0] != "C" {
+		t.Errorf("OnlyInNew = %v", d.OnlyInNew)
+	}
+	if !strings.Contains(d.String(), "only in old") {
+		t.Error("report missing vocabulary section")
+	}
+}
+
+func TestDiffEquivalenceCounts(t *testing.T) {
+	f := dl.NewFactory()
+	// Old: A and B unrelated; new: A ≡ B.
+	old := buildTax(t, f, [][2]string{{"R", "A"}, {"R", "B"}})
+	bld := NewBuilder(f)
+	bld.AddEdge(f.Name("R"), f.Name("A"))
+	bld.MarkEquivalent(f.Name("A"), f.Name("B"))
+	new_, err := bld.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Compare(old, new_)
+	// A ⊑ B and B ⊑ A both newly entailed.
+	if len(d.AddedSubsumptions) != 2 {
+		t.Errorf("AddedSubsumptions = %+v, want the equivalence pair", d.AddedSubsumptions)
+	}
+}

@@ -1,0 +1,300 @@
+// Package parowl is a parallel shared-memory OWL TBox classifier — a Go
+// reproduction of Quan & Haarslev, "A Parallel Shared-Memory Architecture
+// for OWL Ontology Classification" (ICPP 2017).
+//
+// The package classifies an ontology's named concepts into a subsumption
+// taxonomy using a pool of workers over shared atomic data structures,
+// with any reasoner plugged in behind the sat?/subs? interface:
+//
+//	tbox, err := parowl.LoadFile("anatomy.obo")
+//	...
+//	res, err := parowl.Classify(tbox, parowl.Options{Workers: 8})
+//	...
+//	fmt.Print(res.Taxonomy.Render())
+//
+// Three reasoner plug-ins ship with the package: a tableau reasoner for
+// ALCHQ with transitive roles (the default), an ELK-style saturation
+// reasoner for EL ontologies, and a deterministic oracle with a synthetic
+// cost model for scheduling experiments. See the examples directory and
+// cmd/benchfig for the reproduction of the paper's tables and figures.
+package parowl
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"parowl/internal/core"
+	"parowl/internal/dl"
+	"parowl/internal/el"
+	"parowl/internal/manchester"
+	"parowl/internal/module"
+	"parowl/internal/obo"
+	"parowl/internal/ontogen"
+	"parowl/internal/owlfss"
+	"parowl/internal/reasoner"
+	"parowl/internal/schedsim"
+	"parowl/internal/tableau"
+	"parowl/internal/taxonomy"
+)
+
+// Core ontology types, re-exported from the internal data model.
+type (
+	// TBox is a terminology: concepts, roles and axioms.
+	TBox = dl.TBox
+	// Concept is an interned concept expression.
+	Concept = dl.Concept
+	// Role is an object property.
+	Role = dl.Role
+	// Metrics is an ontology metrics row (paper Tables IV/V columns).
+	Metrics = dl.Metrics
+	// Taxonomy is a classification result: the subsumption DAG.
+	Taxonomy = taxonomy.Taxonomy
+	// TaxonomyNode is one equivalence class of a Taxonomy.
+	TaxonomyNode = taxonomy.Node
+	// TaxonomyDiff reports semantic differences between two taxonomies.
+	TaxonomyDiff = taxonomy.Diff
+	// Reasoner is the plug-in interface behind sat?() and subs?().
+	Reasoner = reasoner.Interface
+	// Options configures Classify; see the field docs in internal/core.
+	Options = core.Options
+	// Result is a classification outcome: taxonomy, stats and trace.
+	Result = core.Result
+	// Stats counts reasoner calls and pruned pairs.
+	Stats = core.Stats
+	// Trace is the per-cycle instrumentation record.
+	Trace = core.Trace
+	// Profile is a synthetic-corpus generator profile.
+	Profile = ontogen.Profile
+	// CostModel assigns virtual durations to oracle subsumption tests.
+	CostModel = reasoner.CostModel
+)
+
+// Classification modes and scheduling policies (re-exported constants).
+const (
+	// ModeOptimized enables the Section IV pruning optimizations.
+	ModeOptimized = core.Optimized
+	// ModeBasic runs the Section III algorithms without pruning.
+	ModeBasic = core.Basic
+	// RoundRobin dispatches task i to worker i mod w (the paper's policy).
+	RoundRobin = core.RoundRobin
+	// WorkSharing lets any idle worker take the next task.
+	WorkSharing = core.WorkSharing
+)
+
+// Concept constructor kinds (re-exported for plug-in authors inspecting
+// concept expressions).
+const (
+	OpTop    = dl.OpTop
+	OpBottom = dl.OpBottom
+	OpName   = dl.OpName
+	OpNot    = dl.OpNot
+	OpAnd    = dl.OpAnd
+	OpOr     = dl.OpOr
+	OpSome   = dl.OpSome
+	OpAll    = dl.OpAll
+	OpMin    = dl.OpMin
+	OpMax    = dl.OpMax
+)
+
+// NewTBox returns an empty TBox to build programmatically.
+func NewTBox(name string) *TBox { return dl.NewTBox(name) }
+
+// LoadFile loads an ontology from disk, dispatching on the extension:
+// .obo parses as OBO 1.2, .omn as Manchester syntax, anything else as OWL
+// functional-style syntax.
+func LoadFile(path string) (*TBox, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".obo":
+		return obo.Parse(f, name)
+	case ".omn", ".manchester":
+		return manchester.Parse(f, name)
+	default:
+		return owlfss.Parse(f, name)
+	}
+}
+
+// WriteFunctional writes the TBox as OWL functional-style syntax.
+func WriteFunctional(w io.Writer, t *TBox) error { return owlfss.Write(w, t) }
+
+// WriteOBO writes an EL TBox as an OBO document.
+func WriteOBO(w io.Writer, t *TBox) error { return obo.Write(w, t) }
+
+// WriteManchester writes the TBox in Manchester syntax.
+func WriteManchester(w io.Writer, t *TBox) error { return manchester.Write(w, t) }
+
+// WriteManchesterFile writes the TBox in Manchester syntax to a file.
+func WriteManchesterFile(path string, t *TBox) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return manchester.Write(f, t)
+}
+
+// WriteFunctionalFile writes the TBox as OWL functional-style syntax.
+func WriteFunctionalFile(path string, t *TBox) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return owlfss.Write(f, t)
+}
+
+// WriteOBOFile writes an EL TBox as an OBO document.
+func WriteOBOFile(path string, t *TBox) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return obo.Write(f, t)
+}
+
+// ComputeMetrics returns the ontology's metric row.
+func ComputeMetrics(t *TBox) Metrics { return dl.ComputeMetrics(t) }
+
+// ExtractModule computes the ⊥-locality module of t for the seed concept
+// names: the (usually much smaller) sub-ontology that preserves every
+// entailment between the seeds. Classify the module instead of the full
+// ontology when only a fragment's taxonomy is needed.
+func ExtractModule(t *TBox, seedConcepts []string) (*TBox, error) {
+	return module.Extract(t, seedConcepts)
+}
+
+// CompareTaxonomies reports the entailment differences from old to new
+// (added/removed subsumptions, unsatisfiability and vocabulary changes).
+func CompareTaxonomies(old, new *Taxonomy) *TaxonomyDiff {
+	return taxonomy.Compare(old, new)
+}
+
+// NewTableauReasoner returns the built-in tableau plug-in (ALCHQ with
+// transitive roles; handles every ontology this package can represent).
+func NewTableauReasoner(t *TBox) Reasoner {
+	return tableau.New(t, tableau.Options{})
+}
+
+// NewTableauReasonerMM returns the tableau plug-in with the pseudo-model
+// merging optimization enabled: non-subsumptions whose cached pseudo
+// models merge are answered without a tableau run (the classic
+// Racer/FaCT++ optimization; benchmarked as an ablation).
+func NewTableauReasonerMM(t *TBox) Reasoner {
+	return tableau.New(t, tableau.Options{ModelMerging: true})
+}
+
+// NewELReasoner returns the saturation-based plug-in; it fails if the
+// TBox leaves the EL fragment.
+func NewELReasoner(t *TBox) (Reasoner, error) {
+	return el.New(t, el.Options{})
+}
+
+// NewAutoReasoner picks the EL reasoner when the ontology fits the EL
+// fragment and the tableau otherwise.
+func NewAutoReasoner(t *TBox) Reasoner {
+	if r, err := el.New(t, el.Options{}); err == nil {
+		return r
+	}
+	return NewTableauReasoner(t)
+}
+
+// NewOracleReasoner returns the deterministic told-closure oracle with an
+// optional per-test cost model (used by the figure harness; see
+// internal/reasoner for the cost-model constructors re-exported below).
+func NewOracleReasoner(t *TBox, subsCost CostModel) Reasoner {
+	return reasoner.NewOracle(t, reasoner.OracleOptions{SubsCost: subsCost})
+}
+
+// UniformCost and HeavyTailCost build the two cost regimes of the paper's
+// evaluation (Sec. V-B): uniform per-test times, and a few very expensive
+// tests for QCR-heavy ontologies.
+var (
+	UniformCost   = reasoner.UniformCost
+	HeavyTailCost = reasoner.HeavyTailCost
+)
+
+// Classify runs parallel TBox classification (paper Algorithm 1). If
+// opts.Reasoner is nil, NewAutoReasoner picks one.
+func Classify(t *TBox, opts Options) (*Result, error) {
+	return ClassifyContext(context.Background(), t, opts)
+}
+
+// ClassifyContext is Classify with cancellation support.
+func ClassifyContext(ctx context.Context, t *TBox, opts Options) (*Result, error) {
+	if opts.Reasoner == nil {
+		opts.Reasoner = NewAutoReasoner(t)
+	}
+	return core.ClassifyContext(ctx, t, opts)
+}
+
+// ClassifySequential is the brute-force sequential baseline (every pair
+// tested, one goroutine).
+func ClassifySequential(t *TBox, r Reasoner) (*Taxonomy, error) {
+	if r == nil {
+		r = NewAutoReasoner(t)
+	}
+	return core.SequentialBruteForce(t, r)
+}
+
+// ClassifyEnhancedTraversal is the classical insertion-based sequential
+// algorithm used by Racer/FaCT++/HermiT (the paper's sequential
+// comparator).
+func ClassifyEnhancedTraversal(t *TBox, r Reasoner) (*Taxonomy, error) {
+	if r == nil {
+		r = NewAutoReasoner(t)
+	}
+	return core.EnhancedTraversal(t, r)
+}
+
+// Profiles returns the 14 corpus profiles of the paper's Tables IV and V.
+func Profiles() []Profile {
+	out := append([]Profile(nil), ontogen.TableIV...)
+	return append(out, ontogen.TableV...)
+}
+
+// ProfileByName looks up a Table IV/V profile.
+func ProfileByName(name string) (Profile, bool) { return ontogen.ByName(name) }
+
+// Generate builds a synthetic corpus from a profile.
+func Generate(p Profile, seed int64) (*TBox, error) { return p.Generate(seed) }
+
+// MiniProfile scales a profile down by the given factor (for quick runs
+// and small machines), preserving its qualitative shape.
+func MiniProfile(p Profile, scale int) Profile { return ontogen.Mini(p, scale) }
+
+// SpeedupPoint is one (workers, speedup) sample of a scalability curve.
+type SpeedupPoint = schedsim.SweepPoint
+
+// SpeedupSweep reproduces the paper's scalability methodology: for each
+// worker count w it classifies the ontology with a w-worker pool (the
+// group partitions depend on w), collects the dispatched task stream with
+// each test charged its plug-in cost, and replays it on w virtual workers
+// with the calibrated overhead model. Speedup is the paper's metric: the
+// sum of all thread runtimes divided by the elapsed time.
+func SpeedupSweep(t *TBox, r Reasoner, workers []int, opts Options) ([]SpeedupPoint, error) {
+	if r == nil {
+		return nil, fmt.Errorf("parowl: SpeedupSweep needs a reasoner (use NewOracleReasoner)")
+	}
+	run := func(w int) (*core.Trace, error) {
+		o := opts
+		o.Reasoner = r
+		o.Workers = w
+		o.CollectTrace = true
+		res, err := core.Classify(t, o)
+		if err != nil {
+			return nil, err
+		}
+		return res.Trace, nil
+	}
+	return schedsim.Sweep(run, workers, schedsim.DefaultOverhead, opts.Scheduling)
+}

@@ -1,0 +1,211 @@
+package parowl
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func buildSmallTBox(t *testing.T) *TBox {
+	t.Helper()
+	tb := NewTBox("small")
+	f := tb.Factory
+	animal, cat, dog := tb.Declare("Animal"), tb.Declare("Cat"), tb.Declare("Dog")
+	mammal := tb.Declare("Mammal")
+	tb.SubClassOf(mammal, animal)
+	tb.SubClassOf(cat, mammal)
+	tb.SubClassOf(dog, mammal)
+	tb.DisjointClasses(cat, dog)
+	tb.SubClassOf(cat, f.Some(f.Role("eats"), tb.Declare("Mouse")))
+	return tb
+}
+
+func TestClassifyDefaults(t *testing.T) {
+	tb := buildSmallTBox(t)
+	res, err := Classify(tb, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := tb.Factory
+	if !res.Taxonomy.IsAncestor(f.Name("Animal"), f.Name("Cat")) {
+		t.Error("Cat ⊑ Animal missing")
+	}
+	if res.Taxonomy.IsAncestor(f.Name("Dog"), f.Name("Cat")) {
+		t.Error("Cat ⊑ Dog wrongly derived")
+	}
+	if res.Stats.SubsTests == 0 {
+		t.Error("no tests recorded")
+	}
+}
+
+func TestBaselinesAgree(t *testing.T) {
+	tb := buildSmallTBox(t)
+	par, err := Classify(tb, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := ClassifySequential(tb, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trav, err := ClassifyEnhancedTraversal(tb, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !par.Taxonomy.Equal(seq) {
+		t.Error("parallel vs sequential mismatch")
+	}
+	if !par.Taxonomy.Equal(trav) {
+		t.Error("parallel vs traversal mismatch")
+	}
+}
+
+func TestLoadFileOBOAndFSS(t *testing.T) {
+	dir := t.TempDir()
+	oboPath := filepath.Join(dir, "mini.obo")
+	oboSrc := "[Term]\nid: A\n\n[Term]\nid: B\nis_a: A\n"
+	if err := os.WriteFile(oboPath, []byte(oboSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tb, err := LoadFile(oboPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumNamed() != 2 {
+		t.Errorf("obo concepts = %d", tb.NumNamed())
+	}
+
+	fssPath := filepath.Join(dir, "mini.ofn")
+	fssSrc := "Ontology(\nSubClassOf(<urn:B> <urn:A>)\n)"
+	if err := os.WriteFile(fssPath, []byte(fssSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tb2, err := LoadFile(fssPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb2.NumNamed() != 2 {
+		t.Errorf("fss concepts = %d", tb2.NumNamed())
+	}
+	if _, err := LoadFile(filepath.Join(dir, "absent.obo")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestWriteFiles(t *testing.T) {
+	dir := t.TempDir()
+	tb := buildSmallTBox(t)
+	ofn := filepath.Join(dir, "out.ofn")
+	if err := WriteFunctionalFile(ofn, tb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFile(ofn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumNamed() != tb.NumNamed() {
+		t.Errorf("round trip lost concepts: %d vs %d", back.NumNamed(), tb.NumNamed())
+	}
+	oboPath := filepath.Join(dir, "out.obo")
+	if err := WriteOBOFile(oboPath, tb); err != nil {
+		t.Fatal(err)
+	}
+	omnPath := filepath.Join(dir, "out.omn")
+	if err := WriteManchesterFile(omnPath, tb); err != nil {
+		t.Fatal(err)
+	}
+	backOmn, err := LoadFile(omnPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if backOmn.NumNamed() != tb.NumNamed() {
+		t.Errorf("manchester round trip lost concepts: %d vs %d", backOmn.NumNamed(), tb.NumNamed())
+	}
+	// Classification semantics must survive the Manchester round trip.
+	want, err := Classify(tb, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Classify(backOmn, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Taxonomy.Fingerprint() != want.Taxonomy.Fingerprint() {
+		t.Error("manchester round trip changed classification")
+	}
+}
+
+func TestProfilesAndGenerate(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 14 {
+		t.Fatalf("profiles = %d, want 14", len(ps))
+	}
+	p, ok := ProfileByName("rnao_functional")
+	if !ok {
+		t.Fatal("rnao_functional missing")
+	}
+	tb, err := Generate(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := ComputeMetrics(tb)
+	if m.QCRs != 446 {
+		t.Errorf("rnao QCRs = %d, want 446", m.QCRs)
+	}
+}
+
+func TestReasonerConstructors(t *testing.T) {
+	tb := buildSmallTBox(t)
+	if _, err := NewELReasoner(tb); err != nil {
+		t.Errorf("EL reasoner rejected EL ontology: %v", err)
+	}
+	alc := NewTBox("alc")
+	f := alc.Factory
+	alc.SubClassOf(alc.Declare("A"), f.Not(alc.Declare("B")))
+	if _, err := NewELReasoner(alc); err == nil {
+		t.Error("EL reasoner accepted negation")
+	}
+	// Auto must fall back to the tableau and still classify.
+	res, err := Classify(alc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Taxonomy == nil {
+		t.Fatal("nil taxonomy")
+	}
+}
+
+func TestSpeedupSweepShape(t *testing.T) {
+	p, _ := ProfileByName("obo.PREVIOUS")
+	tb, err := Generate(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := NewOracleReasoner(tb, UniformCost(200_000, 0.2, 1)) // 200µs per test
+	points, err := SpeedupSweep(tb, oracle, []int{1, 4, 16}, Options{RandomCycles: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	if points[0].Speedup > 1.2 {
+		t.Errorf("speedup(1) = %.2f", points[0].Speedup)
+	}
+	if points[2].Speedup < points[0].Speedup {
+		t.Errorf("no scaling: %v", points)
+	}
+}
+
+func TestTaxonomyRender(t *testing.T) {
+	tb := buildSmallTBox(t)
+	res, err := Classify(tb, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Taxonomy.Render()
+	if !strings.Contains(out, "Mammal") || !strings.Contains(out, "  ") {
+		t.Errorf("Render output suspicious:\n%s", out)
+	}
+}
