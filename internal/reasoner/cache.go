@@ -6,63 +6,117 @@ import (
 	"parowl/internal/dl"
 )
 
+// cacheShards is the number of independent lock domains in Cached. A
+// power of two so the shard index is a mask; 64 shards keep the
+// probability of two of ~100 workers colliding on a lock low without
+// bloating the structure.
+const cacheShards = 64
+
 // Cached memoizes the answers of an underlying plug-in so repeated tests
 // of the same pair cost one map lookup. The classifier already avoids
 // duplicate tests through its tested() structure, but plug-in users (the
 // sequential baselines, examples) benefit, and the paper's Situation 2.1
 // (skip already-tested pairs) maps here for re-entrant runs.
 //
-// Cached is safe for concurrent use. Errors are not cached.
+// The table is sharded: keys (built from the dense concept IDs assigned
+// by the interning Factory) hash to one of cacheShards independent
+// mutex-protected maps, so workers testing different pairs almost never
+// contend on the same lock. Each shard also performs single-flight
+// suppression: when N workers miss on the same key concurrently, one
+// runs the underlying test and the other N-1 wait for its answer instead
+// of redundantly re-running a potentially expensive tableau test (the
+// thundering-herd fix).
+//
+// Cached is safe for concurrent use. Errors are not cached: every waiter
+// of a failed flight receives the error, and the next caller retries.
 type Cached struct {
-	r Interface
+	r    Interface
+	sat  [cacheShards]cacheShard
+	subs [cacheShards]cacheShard
+}
 
-	mu   sync.RWMutex
-	sat  map[*dl.Concept]bool
-	subs map[[2]*dl.Concept]bool
+// cacheShard is one lock domain: settled answers plus in-flight calls.
+type cacheShard struct {
+	mu       sync.Mutex
+	vals     map[uint64]bool
+	inflight map[uint64]*flight
+}
+
+// flight is one in-progress underlying call; waiters block on done.
+type flight struct {
+	done chan struct{}
+	val  bool
+	err  error
 }
 
 // NewCached wraps r with a memo table.
 func NewCached(r Interface) *Cached {
-	return &Cached{
-		r:    r,
-		sat:  make(map[*dl.Concept]bool),
-		subs: make(map[[2]*dl.Concept]bool),
+	return &Cached{r: r}
+}
+
+// shardOf hashes a key to its shard with a 64-bit mix (splitmix64
+// finalizer) so that the dense, correlated concept IDs spread evenly.
+func shardOf(key uint64) uint64 {
+	key ^= key >> 33
+	key *= 0xff51afd7ed558ccd
+	key ^= key >> 33
+	return key & (cacheShards - 1)
+}
+
+// satKey and subsKey build cache keys from the dense per-factory concept
+// IDs. A Cached instance serves a single TBox/Factory, so IDs identify
+// concepts uniquely.
+func satKey(c *dl.Concept) uint64         { return uint64(uint32(c.ID)) }
+func subsKey(sup, sub *dl.Concept) uint64 { return uint64(uint32(sup.ID))<<32 | uint64(uint32(sub.ID)) }
+
+// do returns the cached answer for key, joining an in-flight call when
+// one exists, and otherwise runs fn exactly once for all concurrent
+// callers of this key.
+func (s *cacheShard) do(key uint64, fn func() (bool, error)) (bool, error) {
+	s.mu.Lock()
+	if v, ok := s.vals[key]; ok {
+		s.mu.Unlock()
+		return v, nil
 	}
+	if f, ok := s.inflight[key]; ok {
+		s.mu.Unlock()
+		<-f.done
+		return f.val, f.err
+	}
+	f := &flight{done: make(chan struct{})}
+	if s.inflight == nil {
+		s.inflight = make(map[uint64]*flight)
+	}
+	s.inflight[key] = f
+	s.mu.Unlock()
+
+	f.val, f.err = fn()
+
+	s.mu.Lock()
+	delete(s.inflight, key)
+	if f.err == nil {
+		if s.vals == nil {
+			s.vals = make(map[uint64]bool)
+		}
+		s.vals[key] = f.val
+	}
+	s.mu.Unlock()
+	close(f.done)
+	return f.val, f.err
 }
 
 // IsSatisfiable implements Interface.
 func (c *Cached) IsSatisfiable(x *dl.Concept) (bool, error) {
-	c.mu.RLock()
-	v, ok := c.sat[x]
-	c.mu.RUnlock()
-	if ok {
-		return v, nil
-	}
-	v, err := c.r.IsSatisfiable(x)
-	if err != nil {
-		return false, err
-	}
-	c.mu.Lock()
-	c.sat[x] = v
-	c.mu.Unlock()
-	return v, nil
+	key := satKey(x)
+	return c.sat[shardOf(key)].do(key, func() (bool, error) {
+		return c.r.IsSatisfiable(x)
+	})
 }
 
 // Subsumes implements Interface.
 func (c *Cached) Subsumes(sup, sub *dl.Concept) (bool, error) {
-	key := [2]*dl.Concept{sup, sub}
-	c.mu.RLock()
-	v, ok := c.subs[key]
-	c.mu.RUnlock()
-	if ok {
-		return v, nil
-	}
-	v, err := c.r.Subsumes(sup, sub)
-	if err != nil {
-		return false, err
-	}
-	c.mu.Lock()
-	c.subs[key] = v
-	c.mu.Unlock()
-	return v, nil
+	key := subsKey(sup, sub)
+	return c.subs[shardOf(key)].do(key, func() (bool, error) {
+		return c.r.Subsumes(sup, sub)
+	})
 }

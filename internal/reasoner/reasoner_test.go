@@ -2,7 +2,9 @@ package reasoner
 
 import (
 	"errors"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -199,6 +201,92 @@ func TestCountingWrapper(t *testing.T) {
 	_, _ = c.IsSatisfiable(f.Name("B"))
 	if stats.SubsCalls.Load() != 1 || stats.SatCalls.Load() != 2 {
 		t.Errorf("stats = %d subs, %d sat", stats.SubsCalls.Load(), stats.SatCalls.Load())
+	}
+}
+
+// gatedReasoner counts Subsumes calls and holds each call open until the
+// test releases it, so concurrent cache misses can be arranged reliably.
+type gatedReasoner struct {
+	calls   atomic.Int64
+	entered *atomic.Int64 // callers that have started a Subsumes request
+	waitFor int64         // hold fn open until this many callers entered
+	release chan struct{} // closed by fn once all callers are in
+}
+
+func (g *gatedReasoner) IsSatisfiable(*dl.Concept) (bool, error) { return true, nil }
+
+func (g *gatedReasoner) Subsumes(_, _ *dl.Concept) (bool, error) {
+	g.calls.Add(1)
+	// Wait until every test goroutine has issued its request, then give
+	// the stragglers a moment to reach the in-flight wait before
+	// answering: all of them must join this flight, not start their own.
+	for g.entered.Load() < g.waitFor {
+		runtime.Gosched()
+	}
+	time.Sleep(10 * time.Millisecond)
+	close(g.release)
+	return true, nil
+}
+
+// TestCachedSingleFlight proves the thundering-herd suppression: N
+// workers missing on the same (sup, sub) key concurrently trigger exactly
+// one underlying call, and all N receive its answer.
+func TestCachedSingleFlight(t *testing.T) {
+	tb := oracleTBox()
+	f := tb.Factory
+	const workers = 16
+	var entered atomic.Int64
+	g := &gatedReasoner{entered: &entered, waitFor: workers, release: make(chan struct{})}
+	c := NewCached(g)
+	a, b := f.Name("A"), f.Name("B")
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			entered.Add(1)
+			ok, err := c.Subsumes(a, b)
+			if err != nil || !ok {
+				t.Errorf("Subsumes = %v, %v", ok, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := g.calls.Load(); n != 1 {
+		t.Errorf("underlying calls = %d, want 1 (single-flight)", n)
+	}
+	// The settled answer is served from the cache afterwards.
+	if ok, err := c.Subsumes(a, b); err != nil || !ok {
+		t.Errorf("cached Subsumes = %v, %v", ok, err)
+	}
+	if n := g.calls.Load(); n != 1 {
+		t.Errorf("underlying calls after cache hit = %d, want 1", n)
+	}
+}
+
+// TestCachedSingleFlightErrorPropagates: a failed flight hands its error
+// to every waiter and is not cached, so the next caller retries.
+func TestCachedSingleFlightErrorPropagates(t *testing.T) {
+	tb := oracleTBox()
+	f := tb.Factory
+	c := NewCached(errReasoner{})
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			_, errs[w] = c.Subsumes(f.Name("A"), f.Name("B"))
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err == nil {
+			t.Errorf("worker %d: error lost", w)
+		}
+	}
+	if _, err := c.Subsumes(f.Name("A"), f.Name("B")); err == nil {
+		t.Error("error cached as success")
 	}
 }
 
