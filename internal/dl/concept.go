@@ -14,6 +14,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Op identifies the outermost constructor of a Concept.
@@ -80,7 +81,10 @@ type Concept struct {
 	// OpAnd / OpOr.
 	Args []*Concept
 
-	neg *Concept // cached NNF negation, set lazily under the factory lock
+	// neg caches the NNF negation. It is set at most once (interning
+	// makes the complement unique) and read lock-free on the reasoner
+	// hot path, where ¬C lookups happen once per disjunct per rule pass.
+	neg atomic.Pointer[Concept]
 }
 
 // IsAtomic reports whether c is ⊤, ⊥ or a concept name.
@@ -151,8 +155,8 @@ func NewFactory() *Factory {
 	}
 	f.top = f.intern("⊤", &Concept{Op: OpTop})
 	f.bottom = f.intern("⊥", &Concept{Op: OpBottom})
-	f.top.neg = f.bottom
-	f.bottom.neg = f.top
+	f.top.neg.Store(f.bottom)
+	f.bottom.neg.Store(f.top)
 	return f
 }
 
@@ -172,6 +176,22 @@ func (f *Factory) intern(key string, c *Concept) *Concept {
 	}
 	c.ID = int32(len(f.byID))
 	f.concepts[key] = c
+	f.byID = append(f.byID, c)
+	return c
+}
+
+// internBytes is intern for composite keys built as byte slices. On the
+// hit path (the overwhelmingly common case once a classification run has
+// warmed up) the map lookup uses string(key) without allocating; the key
+// is materialized as a string only when a new concept is stored.
+func (f *Factory) internBytes(key []byte, c *Concept) *Concept {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if got, ok := f.concepts[string(key)]; ok {
+		return got
+	}
+	c.ID = int32(len(f.byID))
+	f.concepts[string(key)] = c
 	f.byID = append(f.byID, c)
 	return c
 }
@@ -202,35 +222,25 @@ func (f *Factory) Name(name string) *Concept {
 	return f.intern("N"+name, &Concept{Op: OpName, Name: name})
 }
 
-// Not returns the negation-normal-form complement of c.
+// Not returns the negation-normal-form complement of c. After the first
+// call for a given c the answer is served from a lock-free cache — the
+// tableau rules ask for complements constantly, so this must not touch
+// the factory mutex on the hit path.
 func (f *Factory) Not(c *Concept) *Concept {
-	f.mu.Lock()
-	if c.neg != nil {
-		n := c.neg
-		f.mu.Unlock()
+	if n := c.neg.Load(); n != nil {
 		return n
 	}
-	f.mu.Unlock()
 	n := f.buildNot(c)
-	f.mu.Lock()
-	if c.neg == nil {
-		c.neg = n
-		if n.neg == nil {
-			n.neg = c
-		}
-	} else {
-		n = c.neg
+	if !c.neg.CompareAndSwap(nil, n) {
+		return c.neg.Load()
 	}
-	f.mu.Unlock()
+	n.neg.CompareAndSwap(nil, c)
 	return n
 }
 
-// cachedNeg returns the already-computed complement of c, or nil. It takes
-// the factory lock because neg is written under it.
+// cachedNeg returns the already-computed complement of c, or nil.
 func (f *Factory) cachedNeg(c *Concept) *Concept {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return c.neg
+	return c.neg.Load()
 }
 
 // buildNot constructs ¬c pushed into NNF.
@@ -314,18 +324,30 @@ func (f *Factory) nary(op Op, args []*Concept) *Concept {
 		return absorbing
 	}
 	sort.Slice(flat, func(i, j int) bool { return flat[i].ID < flat[j].ID })
-	// Dedupe and detect complementary pairs.
+	// Dedupe (adjacent after sorting) and detect complementary pairs.
 	uniq := flat[:0]
-	seen := make(map[*Concept]bool, len(flat))
-	for _, a := range flat {
-		if seen[a] {
+	for i, a := range flat {
+		if i > 0 && a == flat[i-1] {
 			continue
 		}
-		seen[a] = true
 		uniq = append(uniq, a)
 	}
 	for _, a := range uniq {
-		if n := f.cachedNeg(a); n != nil && seen[n] {
+		n := f.cachedNeg(a)
+		if n == nil {
+			continue
+		}
+		// uniq is sorted by ID: binary search for the complement.
+		lo, hi := 0, len(uniq)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if uniq[mid].ID < n.ID {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < len(uniq) && uniq[lo] == n {
 			return absorbing
 		}
 	}
@@ -335,7 +357,8 @@ func (f *Factory) nary(op Op, args []*Concept) *Concept {
 	case 1:
 		return uniq[0]
 	}
-	key := make([]byte, 0, 2+8*len(uniq))
+	var keyBuf [66]byte // enough for 13 operands in place; longer keys spill
+	key := keyBuf[:0]
 	if op == OpAnd {
 		key = append(key, '&')
 	} else {
@@ -346,7 +369,7 @@ func (f *Factory) nary(op Op, args []*Concept) *Concept {
 	}
 	own := make([]*Concept, len(uniq))
 	copy(own, uniq)
-	return f.intern(string(key), &Concept{Op: op, Args: own})
+	return f.internBytes(key, &Concept{Op: op, Args: own})
 }
 
 // Some returns ∃R.C. ∃R.⊥ collapses to ⊥.
@@ -398,12 +421,13 @@ func (f *Factory) Max(n int, r *Role, c *Concept) *Concept {
 }
 
 func (f *Factory) quant(tag byte, op Op, r *Role, n int, c *Concept) *Concept {
-	key := make([]byte, 0, 20)
+	var keyBuf [16]byte
+	key := keyBuf[:0]
 	key = append(key, tag)
 	key = appendID(key, r.ID)
 	key = appendID(key, int32(n))
 	key = appendID(key, c.ID)
-	return f.intern(string(key), &Concept{Op: op, Role: r, N: n, Args: []*Concept{c}})
+	return f.internBytes(key, &Concept{Op: op, Role: r, N: n, Args: []*Concept{c}})
 }
 
 func appendID(b []byte, id int32) []byte {

@@ -1,5 +1,7 @@
 package dl
 
+import "parowl/internal/bitset"
+
 // Role is an interned object property (paper: role, R ∈ N_R). Roles carry
 // the role-hierarchy and transitivity information contributed by
 // SubObjectPropertyOf and TransitiveObjectProperty axioms; the tableau's
@@ -18,6 +20,11 @@ type Role struct {
 
 	supers    []*Role        // direct super-roles (from SubObjectPropertyOf)
 	ancestors map[*Role]bool // reflexive-transitive closure, built by Freeze
+
+	// ancBits is the same closure as a bitset over dense role IDs, built
+	// by Freeze. IsSubRoleOf is the innermost test of the tableau's
+	// ∀/∀⁺/≤ rules; a word-indexed bit probe beats a map lookup there.
+	ancBits *bitset.Set
 }
 
 // Role returns the interned role with the given name, creating it if
@@ -67,6 +74,7 @@ func (r *Role) AddSuper(s *Role) {
 	}
 	r.supers = append(r.supers, s)
 	r.ancestors = nil
+	r.ancBits = nil
 }
 
 // Supers returns the direct super-roles of r.
@@ -78,6 +86,11 @@ func (r *Role) Supers() []*Role { return r.supers }
 func (r *Role) IsSubRoleOf(s *Role) bool {
 	if r == s {
 		return true
+	}
+	if r.ancBits != nil {
+		// Roles interned after Freeze are outside the closure: they can
+		// have gained no super-role axioms, so the answer is false.
+		return int(s.ID) < r.ancBits.Len() && r.ancBits.Test(int(s.ID))
 	}
 	if r.ancestors != nil {
 		return r.ancestors[s]
@@ -121,7 +134,15 @@ func (r *Role) Ancestors() map[*Role]bool {
 	return anc
 }
 
-// freeze caches the ancestor closure so concurrent readers never compute it.
-func (r *Role) freeze() {
+// freeze caches the ancestor closure so concurrent readers never compute
+// it: once as a map (the Ancestors API) and once as a bitset over the
+// dense role IDs known at freeze time (the IsSubRoleOf hot path).
+func (r *Role) freeze(numRoles int) {
 	r.ancestors = r.Ancestors()
+	r.ancBits = bitset.New(numRoles)
+	for anc := range r.ancestors {
+		if int(anc.ID) < numRoles {
+			r.ancBits.Set(int(anc.ID))
+		}
+	}
 }

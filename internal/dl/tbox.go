@@ -81,6 +81,14 @@ type TBox struct {
 	named   []*Concept // declared/used named concepts, in first-use order
 	nameSet map[*Concept]bool
 	frozen  bool
+
+	// frozenConcepts/frozenRoles record how many concepts and roles the
+	// Factory had interned when Freeze ran. IDs below these bounds form
+	// the stable dense identity space that ID-indexed reasoner structures
+	// (unfolding tables, label indexes, caches) are sized against; later
+	// interning only appends IDs above the bounds.
+	frozenConcepts int
+	frozenRoles    int
 }
 
 // NewTBox returns an empty TBox with a fresh Factory.
@@ -176,20 +184,32 @@ func (t *TBox) AnnotationAxiom(c *Concept) {
 	t.axioms = append(t.axioms, Axiom{Kind: AxAnnotation, Sub: c})
 }
 
-// Freeze finalizes the TBox: role-hierarchy closures are cached and further
-// mutation panics. Freeze is idempotent.
+// Freeze finalizes the TBox: role-hierarchy closures are cached (as maps
+// and as dense-ID bitsets), the dense concept/role ID bounds are
+// snapshotted for ID-indexed reasoner structures, and further mutation
+// panics. Freeze is idempotent.
 func (t *TBox) Freeze() {
 	if t.frozen {
 		return
 	}
 	t.frozen = true
+	t.frozenConcepts = t.Factory.NumConcepts()
+	t.frozenRoles = t.Factory.NumRoles()
 	for _, r := range t.Factory.Roles() {
-		r.freeze()
+		r.freeze(t.frozenRoles)
 	}
 }
 
 // Frozen reports whether Freeze has been called.
 func (t *TBox) Frozen() bool { return t.frozen }
+
+// FrozenConcepts returns the number of concepts interned at Freeze time
+// (0 before Freeze). Concept IDs in [0, FrozenConcepts) are stable dense
+// identities.
+func (t *TBox) FrozenConcepts() int { return t.frozenConcepts }
+
+// FrozenRoles is FrozenConcepts for roles.
+func (t *TBox) FrozenRoles() int { return t.frozenRoles }
 
 // Axioms returns the axiom list. The caller must not mutate it.
 func (t *TBox) Axioms() []Axiom { return t.axioms }

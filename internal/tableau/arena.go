@@ -1,0 +1,97 @@
+package tableau
+
+import "parowl/internal/dl"
+
+// This file implements the solver arena: every object a satisfiability
+// test allocates — the solver itself, completion graphs, nodes, and
+// dependency sets — is recycled across tests instead of being handed to
+// the garbage collector. Classification runs millions of tableau tests
+// (paper Sec. V); steady-state, a test served by a warm arena performs no
+// per-test heap allocation on the deterministic path.
+//
+// Lifecycle:
+//
+//	Reasoner.solvers (sync.Pool) ── acquireSolver ──> solver
+//	    solver.allocGraph / allocNode / arena.alloc    (during the test)
+//	releaseSolver: reset every object handed out, then pool.Put
+//
+// The reset invariant: a pooled object is fully reset BEFORE the solver
+// returns to the pool, so no label, edge, inequality or dependency set
+// can leak from one test into the next (tested property-style in
+// arena_test.go).
+
+// allocNode returns a reset node owned by this solver, reusing one from a
+// previous test when available.
+func (s *solver) allocNode() *node {
+	if s.nodeUsed < len(s.nodeSlab) {
+		n := s.nodeSlab[s.nodeUsed]
+		s.nodeUsed++
+		s.nodesReused++
+		return n
+	}
+	n := &node{}
+	s.nodeSlab = append(s.nodeSlab, n)
+	s.nodeUsed++
+	s.nodesAllocated++
+	return n
+}
+
+// cloneNode copies n (copy-on-write fault) into an arena node.
+func (s *solver) cloneNode(n *node, epoch int32) *node {
+	c := s.allocNode()
+	c.epoch = epoch
+	c.id = n.id
+	c.parent = n.parent
+	c.pruned = n.pruned
+	c.label.copyFrom(&n.label)
+	c.edgeRoles = append(c.edgeRoles[:0], n.edgeRoles...)
+	c.edgeDeps = append(c.edgeDeps[:0], n.edgeDeps...)
+	c.children = append(c.children[:0], n.children...)
+	c.minApplied = append(c.minApplied[:0], n.minApplied...)
+	return c
+}
+
+// allocGraph returns a reset graph owned by this solver.
+func (s *solver) allocGraph() *graph {
+	if s.graphUsed < len(s.graphSlab) {
+		g := s.graphSlab[s.graphUsed]
+		s.graphUsed++
+		return g
+	}
+	g := &graph{s: s, distinct: make(map[pairKey]depSet)}
+	s.graphSlab = append(s.graphSlab, g)
+	s.graphUsed++
+	return g
+}
+
+// start prepares the solver for one satisfiability test of concept c: a
+// fresh base graph whose root carries {⊤, c}.
+func (s *solver) start(c *dl.Concept) {
+	s.g = s.allocGraph()
+	root := s.g.newNode(-1)
+	s.g.add(root.id, s.p.factory.Top(), emptyDeps)
+	s.g.add(root.id, c, emptyDeps)
+}
+
+// resetForReuse resets every object handed out during the last test so
+// the solver can serve the next one. Counters that feed Reasoner.Stats
+// are left for the releasing reasoner to harvest first.
+func (s *solver) resetForReuse() {
+	for _, n := range s.nodeSlab[:s.nodeUsed] {
+		n.reset()
+	}
+	s.nodeUsed = 0
+	for _, g := range s.graphSlab[:s.graphUsed] {
+		g.reset()
+	}
+	s.graphUsed = 0
+	s.arena.reset()
+	s.g = nil
+	s.nextBranch = 0
+	s.created = 0
+	s.nodesReused = 0
+	s.nodesAllocated = 0
+	s.nbuf = s.nbuf[:0]
+	s.mbuf = s.mbuf[:0]
+	s.idbuf = s.idbuf[:0]
+}

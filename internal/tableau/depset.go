@@ -95,3 +95,127 @@ func (d depSet) without(b int32) depSet {
 	}
 	return out
 }
+
+// depChunk is the slab size of a depArena; sets larger than one chunk get
+// a dedicated allocation (they are vanishingly rare).
+const depChunk = 4096
+
+// depArena bump-allocates the dependency sets of one satisfiability test
+// out of reusable slabs. All sets built during a test die with the test
+// (clash deps propagate no further than solver.solve's caller), so the
+// arena is reset wholesale when the pooled solver is recycled and its
+// slabs serve the next test without touching the garbage collector.
+//
+// Sets handed out by the arena follow the same immutability contract as
+// depSet itself: capacity is clipped to length, so a caller appending to
+// one cannot stomp a neighbouring set.
+type depArena struct {
+	cur   []int32   // active slab
+	off   int       // allocation offset into cur
+	used  [][]int32 // filled slabs, waiting for reset
+	spare [][]int32 // empty slabs from previous tests, ready for reuse
+}
+
+// alloc returns an uninitialized set of n ints from the arena.
+func (a *depArena) alloc(n int) []int32 {
+	if n > depChunk {
+		return make([]int32, n)
+	}
+	if a.off+n > len(a.cur) {
+		a.grow()
+	}
+	out := a.cur[a.off : a.off+n : a.off+n]
+	a.off += n
+	return out
+}
+
+// grow retires the active slab and installs an empty one.
+func (a *depArena) grow() {
+	if a.cur != nil {
+		a.used = append(a.used, a.cur)
+	}
+	if k := len(a.spare); k > 0 {
+		a.cur = a.spare[k-1]
+		a.spare = a.spare[:k-1]
+	} else {
+		a.cur = make([]int32, depChunk)
+	}
+	a.off = 0
+}
+
+// reset recycles every slab. All sets previously handed out become
+// invalid; the caller guarantees none outlive the test.
+func (a *depArena) reset() {
+	a.spare = append(a.spare, a.used...)
+	a.used = a.used[:0]
+	a.off = 0
+}
+
+// union returns d ∪ o allocated from the arena. Like depSet.union it
+// returns an operand unchanged when the other is empty, so the all-empty
+// runs of deterministic ontologies never allocate at all.
+func (a *depArena) union(d, o depSet) depSet {
+	if len(o) == 0 {
+		return d
+	}
+	if len(d) == 0 {
+		return o
+	}
+	buf := a.alloc(len(d) + len(o))
+	i, j, k := 0, 0, 0
+	for i < len(d) && j < len(o) {
+		switch {
+		case d[i] < o[j]:
+			buf[k] = d[i]
+			i++
+		case d[i] > o[j]:
+			buf[k] = o[j]
+			j++
+		default:
+			buf[k] = d[i]
+			i++
+			j++
+		}
+		k++
+	}
+	k += copy(buf[k:], d[i:])
+	k += copy(buf[k:], o[j:])
+	if k < len(buf) && len(buf) <= depChunk {
+		// The merge found duplicates: hand the unused tail back (this
+		// allocation is still at the tip of the active slab).
+		a.off -= len(buf) - k
+	}
+	return depSet(buf[:k:k])
+}
+
+// with returns d ∪ {b} allocated from the arena.
+func (a *depArena) with(d depSet, b int32) depSet {
+	if d.has(b) {
+		return d
+	}
+	buf := a.alloc(len(d) + 1)
+	i := 0
+	for i < len(d) && d[i] < b {
+		buf[i] = d[i]
+		i++
+	}
+	buf[i] = b
+	copy(buf[i+1:], d[i:])
+	return depSet(buf)
+}
+
+// without returns d \ {b} allocated from the arena.
+func (a *depArena) without(d depSet, b int32) depSet {
+	if !d.has(b) {
+		return d
+	}
+	buf := a.alloc(len(d) - 1)
+	k := 0
+	for _, x := range d {
+		if x != b {
+			buf[k] = x
+			k++
+		}
+	}
+	return depSet(buf)
+}

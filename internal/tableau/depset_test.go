@@ -1,0 +1,203 @@
+package tableau
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func depEq(a, b depSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestDepSetHas(t *testing.T) {
+	d := depSet{1, 3, 7}
+	for _, b := range []int32{1, 3, 7} {
+		if !d.has(b) {
+			t.Errorf("has(%d) = false, want true", b)
+		}
+	}
+	for _, b := range []int32{0, 2, 4, 8, 100} {
+		if d.has(b) {
+			t.Errorf("has(%d) = true, want false", b)
+		}
+	}
+	if emptyDeps.has(0) {
+		t.Error("empty set reports membership")
+	}
+	if got := emptyDeps.max(); got != -1 {
+		t.Errorf("empty max = %d, want -1", got)
+	}
+	if got := d.max(); got != 7 {
+		t.Errorf("max = %d, want 7", got)
+	}
+}
+
+func TestDepSetUnionCases(t *testing.T) {
+	cases := []struct {
+		name string
+		d, o depSet
+		want depSet
+	}{
+		{"both-empty", nil, nil, nil},
+		{"left-empty", nil, depSet{1, 2}, depSet{1, 2}},
+		{"right-empty", depSet{1, 2}, nil, depSet{1, 2}},
+		{"disjoint", depSet{1, 3}, depSet{2, 4}, depSet{1, 2, 3, 4}},
+		{"interleaved", depSet{0, 2, 4, 6}, depSet{1, 3, 5, 7}, depSet{0, 1, 2, 3, 4, 5, 6, 7}},
+		{"overlapping", depSet{1, 2, 3}, depSet{2, 3, 4}, depSet{1, 2, 3, 4}},
+		{"identical", depSet{5, 9}, depSet{5, 9}, depSet{5, 9}},
+		{"contained", depSet{1, 2, 3, 4}, depSet{2, 3}, depSet{1, 2, 3, 4}},
+		{"tail-run", depSet{1}, depSet{10, 20, 30}, depSet{1, 10, 20, 30}},
+	}
+	var a depArena
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.d.union(tc.o); !depEq(got, tc.want) {
+				t.Errorf("union = %v, want %v", got, tc.want)
+			}
+			if got := a.union(tc.d, tc.o); !depEq(got, tc.want) {
+				t.Errorf("arena union = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestDepSetUnionImmutable: union must not mutate its operands even when
+// one is returned unchanged or shares arena storage.
+func TestDepSetUnionImmutable(t *testing.T) {
+	var a depArena
+	d := a.union(depSet{1, 3}, depSet{2}) // {1,2,3} from the arena
+	e := a.union(d, depSet{0})            // forces a second allocation
+	f := a.union(d, depSet{2, 3})         // duplicates: tail given back
+	g := a.with(a.without(d, 3), 9)       // {1,2,9}
+	for _, tc := range []struct {
+		name string
+		got  depSet
+		want depSet
+	}{
+		{"d", d, depSet{1, 2, 3}},
+		{"e", e, depSet{0, 1, 2, 3}},
+		{"f", f, depSet{1, 2, 3}},
+		{"g", g, depSet{1, 2, 9}},
+	} {
+		if !depEq(tc.got, tc.want) {
+			t.Errorf("%s = %v, want %v", tc.name, tc.got, tc.want)
+		}
+	}
+}
+
+func TestDepSetWithWithout(t *testing.T) {
+	d := depSet{2, 4}
+	if got := d.with(3); !depEq(got, depSet{2, 3, 4}) {
+		t.Errorf("with(3) = %v", got)
+	}
+	if got := d.with(4); !depEq(got, d) {
+		t.Errorf("with(existing) = %v, want unchanged", got)
+	}
+	if got := d.without(2); !depEq(got, depSet{4}) {
+		t.Errorf("without(2) = %v", got)
+	}
+	if got := d.without(9); !depEq(got, d) {
+		t.Errorf("without(absent) = %v, want unchanged", got)
+	}
+	var a depArena
+	if got := a.with(d, 0); !depEq(got, depSet{0, 2, 4}) {
+		t.Errorf("arena with(0) = %v", got)
+	}
+	if got := a.with(d, 9); !depEq(got, depSet{2, 4, 9}) {
+		t.Errorf("arena with(9) = %v", got)
+	}
+	if got := a.without(d, 4); !depEq(got, depSet{2}) {
+		t.Errorf("arena without(4) = %v", got)
+	}
+}
+
+// TestDepArenaAgainstReference drives random union/with/without chains
+// through the arena and checks every result against the pure depSet
+// implementation, across several resets.
+func TestDepArenaAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var a depArena
+	for round := 0; round < 5; round++ {
+		var live []depSet // arena-built sets, mirror reference values below
+		var ref []depSet
+		mk := func() depSet {
+			n := rng.Intn(6)
+			m := map[int32]bool{}
+			for i := 0; i < n; i++ {
+				m[int32(rng.Intn(16))] = true
+			}
+			out := make(depSet, 0, len(m))
+			for b := range m {
+				out = append(out, b)
+			}
+			sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+			return out
+		}
+		live = append(live, mk())
+		ref = append(ref, append(depSet(nil), live[0]...))
+		for step := 0; step < 2000; step++ {
+			i, j := rng.Intn(len(live)), rng.Intn(len(live))
+			b := int32(rng.Intn(16))
+			var got, want depSet
+			switch rng.Intn(4) {
+			case 0:
+				got, want = a.union(live[i], live[j]), ref[i].union(ref[j])
+			case 1:
+				got, want = a.with(live[i], b), ref[i].with(b)
+			case 2:
+				got, want = a.without(live[i], b), ref[i].without(b)
+			default:
+				fresh := mk()
+				got, want = fresh, append(depSet(nil), fresh...)
+			}
+			if !depEq(got, want) {
+				t.Fatalf("round %d step %d: got %v, want %v", round, step, got, want)
+			}
+			live = append(live, got)
+			ref = append(ref, want)
+			if len(live) > 64 { // bound memory; arena sets stay valid until reset
+				live = live[len(live)-64:]
+				ref = ref[len(ref)-64:]
+			}
+		}
+		// Verify no arena set was corrupted by later allocations.
+		for k := range live {
+			if !depEq(live[k], ref[k]) {
+				t.Fatalf("round %d: set %d corrupted: got %v, want %v", round, k, live[k], ref[k])
+			}
+		}
+		a.reset()
+	}
+}
+
+// TestDepArenaOversized exercises the dedicated-allocation path for sets
+// larger than one chunk.
+func TestDepArenaOversized(t *testing.T) {
+	var a depArena
+	big := make(depSet, depChunk)
+	for i := range big {
+		big[i] = int32(2 * i)
+	}
+	odd := make(depSet, depChunk)
+	for i := range odd {
+		odd[i] = int32(2*i + 1)
+	}
+	got := a.union(big, odd)
+	if len(got) != 2*depChunk {
+		t.Fatalf("oversized union length = %d, want %d", len(got), 2*depChunk)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Fatalf("oversized union not sorted at %d", i)
+		}
+	}
+}

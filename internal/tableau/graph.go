@@ -4,6 +4,123 @@ import (
 	"parowl/internal/dl"
 )
 
+// minLabelBuckets is the initial open-addressing table size of a
+// labelSet; a power of two so probing can mask instead of mod.
+const minLabelBuckets = 16
+
+// labelHash spreads a dense concept ID over the bucket space
+// (Knuth multiplicative hashing).
+func labelHash(id int32) uint32 { return uint32(id) * 2654435761 }
+
+// sigMix turns a concept ID into a well-mixed 64-bit term for the
+// order-independent label signature (splitmix64 finalizer).
+func sigMix(id int32) uint64 {
+	z := uint64(uint32(id)) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// labelSet is L(x): the concepts at a node with their dependency sets.
+// Insertion order is preserved (deterministic rule application), and a
+// compact open-addressing index keyed by the dense concept IDs gives
+// O(1) membership and lookup without a Go map — the representation is a
+// handful of flat slices, so a pooled node resets by truncation and a
+// copy-on-write clone is four memcopies instead of a map rebuild.
+type labelSet struct {
+	order []*dl.Concept // concepts in insertion order
+	deps  []depSet      // deps[i] is the dependency set of order[i]
+	keys  []int32       // open addressing: concept ID + 1; 0 = empty slot
+	vals  []int32       // slot -> index into order
+	sig   uint64        // commutative signature for fast equality pre-check
+}
+
+func (l *labelSet) len() int { return len(l.order) }
+
+// find returns the position of c in order, or -1.
+func (l *labelSet) find(c *dl.Concept) int32 {
+	if len(l.keys) == 0 {
+		return -1
+	}
+	mask := uint32(len(l.keys) - 1)
+	k := c.ID + 1
+	for i := labelHash(c.ID) & mask; ; i = (i + 1) & mask {
+		switch l.keys[i] {
+		case 0:
+			return -1
+		case k:
+			return l.vals[i]
+		}
+	}
+}
+
+func (l *labelSet) has(c *dl.Concept) bool { return l.find(c) >= 0 }
+
+func (l *labelSet) get(c *dl.Concept) (depSet, bool) {
+	if i := l.find(c); i >= 0 {
+		return l.deps[i], true
+	}
+	return nil, false
+}
+
+// add appends c with deps if absent and reports whether it was added; an
+// existing entry keeps its (typically older, hence more general) deps.
+func (l *labelSet) add(c *dl.Concept, d depSet) bool {
+	if l.find(c) >= 0 {
+		return false
+	}
+	if 2*(len(l.order)+1) > len(l.keys) {
+		l.rehash()
+	}
+	l.insert(c.ID, int32(len(l.order)))
+	l.order = append(l.order, c)
+	l.deps = append(l.deps, d)
+	l.sig += sigMix(c.ID)
+	return true
+}
+
+func (l *labelSet) insert(id, pos int32) {
+	mask := uint32(len(l.keys) - 1)
+	i := labelHash(id) & mask
+	for l.keys[i] != 0 {
+		i = (i + 1) & mask
+	}
+	l.keys[i] = id + 1
+	l.vals[i] = pos
+}
+
+// rehash grows the index to keep the load factor at or below 1/2.
+func (l *labelSet) rehash() {
+	n := 2 * len(l.keys)
+	if n < minLabelBuckets {
+		n = minLabelBuckets
+	}
+	l.keys = make([]int32, n)
+	l.vals = make([]int32, n)
+	for i, c := range l.order {
+		l.insert(c.ID, int32(i))
+	}
+}
+
+// reset empties the set, keeping all backing storage for reuse.
+func (l *labelSet) reset() {
+	l.order = l.order[:0]
+	l.deps = l.deps[:0]
+	for i := range l.keys {
+		l.keys[i] = 0
+	}
+	l.sig = 0
+}
+
+// copyFrom makes l an independent copy of o, reusing l's storage.
+func (l *labelSet) copyFrom(o *labelSet) {
+	l.order = append(l.order[:0], o.order...)
+	l.deps = append(l.deps[:0], o.deps...)
+	l.keys = append(l.keys[:0], o.keys...)
+	l.vals = append(l.vals[:0], o.vals...)
+	l.sig = o.sig
+}
+
 // node is one individual in the completion graph. Because the logic has no
 // inverse roles, completion graphs are trees: every non-root node has
 // exactly one parent and an edge label (a set of roles) on the edge from
@@ -11,71 +128,74 @@ import (
 //
 // Nodes are shared copy-on-write between a graph and its branch-point
 // snapshots: a node with epoch < the graph's epoch is immutable and must
-// be copied (graph.mutable) before mutation.
+// be copied (graph.mutable) before mutation. Nodes come from the solver's
+// arena and are reset and recycled when the test ends.
 type node struct {
 	epoch  int32
 	id     int32
 	parent int32 // -1 for the root
 
-	// label maps each concept in L(x) to the dependency set it was
-	// derived under; order preserves insertion for deterministic rule
+	// label is L(x); order preserves insertion for deterministic rule
 	// application.
-	label map[*dl.Concept]depSet
-	order []*dl.Concept
+	label labelSet
 
-	// edge maps each role on the incoming edge to its dependency set.
-	edge      map[*dl.Role]depSet
-	edgeOrder []*dl.Role
+	// edgeRoles/edgeDeps are the roles on the incoming edge with their
+	// dependency sets, in insertion order. Edges carry a handful of roles
+	// at most, so parallel slices with linear scans beat any index.
+	edgeRoles []*dl.Role
+	edgeDeps  []depSet
 
 	children []int32
 	pruned   bool // true once merged away or detached
 
-	// minApplied records the ≥-restrictions whose witnesses this node has
-	// already generated, so the ≥-rule fires once per (node, concept).
-	minApplied map[*dl.Concept]bool
+	// minApplied records (by concept ID) the ≥-restrictions whose
+	// witnesses this node has already generated, so the ≥-rule fires once
+	// per (node, concept).
+	minApplied []int32
 }
 
 // appliedMin reports whether the ≥-rule already fired for c at n.
-func (n *node) appliedMin(c *dl.Concept) bool { return n.minApplied[c] }
+func (n *node) appliedMin(c *dl.Concept) bool {
+	for _, id := range n.minApplied {
+		if id == c.ID {
+			return true
+		}
+	}
+	return false
+}
 
-func (n *node) clone(epoch int32) *node {
-	c := &node{
-		epoch:  epoch,
-		id:     n.id,
-		parent: n.parent,
-		label:  make(map[*dl.Concept]depSet, len(n.label)+4),
-		order:  append(make([]*dl.Concept, 0, len(n.order)+4), n.order...),
-		pruned: n.pruned,
-	}
-	for k, v := range n.label {
-		c.label[k] = v
-	}
-	if n.minApplied != nil {
-		c.minApplied = make(map[*dl.Concept]bool, len(n.minApplied))
-		for k, v := range n.minApplied {
-			c.minApplied[k] = v
+// reset returns the node to its zero state, keeping backing storage. The
+// arena invariant: every pooled node is fully reset before reuse, so no
+// label, edge, child or ≥-marker can leak into the next test.
+func (n *node) reset() {
+	n.epoch, n.id, n.parent = 0, 0, 0
+	n.pruned = false
+	n.label.reset()
+	n.edgeRoles = n.edgeRoles[:0]
+	n.edgeDeps = n.edgeDeps[:0]
+	n.children = n.children[:0]
+	n.minApplied = n.minApplied[:0]
+}
+
+// hasAnyRole reports whether the incoming edge carries some role S ⊑* r.
+func (n *node) hasAnyRole(r *dl.Role) bool {
+	for _, s := range n.edgeRoles {
+		if s.IsSubRoleOf(r) {
+			return true
 		}
 	}
-	if n.edge != nil {
-		c.edge = make(map[*dl.Role]depSet, len(n.edge))
-		for k, v := range n.edge {
-			c.edge[k] = v
-		}
-		c.edgeOrder = append([]*dl.Role(nil), n.edgeOrder...)
-	}
-	c.children = append([]int32(nil), n.children...)
-	return c
+	return false
 }
 
 // hasRole reports whether the incoming edge carries some role S ⊑* r, and
 // returns the union of the dependency sets of all such roles.
-func (n *node) hasRole(r *dl.Role) (bool, depSet) {
+func (n *node) hasRole(r *dl.Role, a *depArena) (bool, depSet) {
 	found := false
 	deps := emptyDeps
-	for _, s := range n.edgeOrder {
+	for i, s := range n.edgeRoles {
 		if s.IsSubRoleOf(r) {
 			found = true
-			deps = deps.union(n.edge[s])
+			deps = a.union(deps, n.edgeDeps[i])
 		}
 	}
 	return found, deps
@@ -95,25 +215,29 @@ func mkPair(x, y int32) pairKey {
 // relation introduced by the ≥-rule. Graphs are snapshotted at
 // nondeterministic choice points; the snapshot shares all nodes
 // copy-on-write, so cloning costs one slice copy and mutation copies only
-// the touched nodes.
+// the touched nodes. Graphs and their nodes are arena objects owned by
+// the solver s.
 type graph struct {
+	s        *solver
 	epoch    int32
 	nodes    []*node
 	distinct map[pairKey]depSet
 }
 
-func newGraph() *graph {
-	return &graph{distinct: make(map[pairKey]depSet)}
+// reset empties the graph for reuse, keeping the node slice capacity and
+// the distinct map.
+func (g *graph) reset() {
+	g.epoch = 0
+	g.nodes = g.nodes[:0]
+	clear(g.distinct)
 }
 
 // clone returns a snapshot sharing every node with g; both sides copy
 // nodes before mutating them.
 func (g *graph) clone() *graph {
-	c := &graph{
-		epoch:    g.epoch + 1,
-		nodes:    append(make([]*node, 0, cap(g.nodes)), g.nodes...),
-		distinct: make(map[pairKey]depSet, len(g.distinct)),
-	}
+	c := g.s.allocGraph()
+	c.epoch = g.epoch + 1
+	c.nodes = append(c.nodes[:0], g.nodes...)
 	for k, v := range g.distinct {
 		c.distinct[k] = v
 	}
@@ -128,7 +252,7 @@ func (g *graph) clone() *graph {
 func (g *graph) mutable(id int32) *node {
 	n := g.nodes[id]
 	if n.epoch != g.epoch {
-		n = n.clone(g.epoch)
+		n = g.s.cloneNode(n, g.epoch)
 		g.nodes[id] = n
 	}
 	return n
@@ -136,12 +260,10 @@ func (g *graph) mutable(id int32) *node {
 
 // newNode appends a fresh unlabeled node with the given parent (-1 = root).
 func (g *graph) newNode(parent int32) *node {
-	n := &node{
-		epoch:  g.epoch,
-		id:     int32(len(g.nodes)),
-		parent: parent,
-		label:  make(map[*dl.Concept]depSet),
-	}
+	n := g.s.allocNode()
+	n.epoch = g.epoch
+	n.id = int32(len(g.nodes))
+	n.parent = parent
 	g.nodes = append(g.nodes, n)
 	if parent >= 0 {
 		p := g.mutable(parent)
@@ -154,38 +276,30 @@ func (g *graph) newNode(parent int32) *node {
 // whether the label changed. If c was already present, the existing
 // (typically older, hence more general) dependency set is kept.
 func (g *graph) add(id int32, c *dl.Concept, deps depSet) bool {
-	if _, ok := g.nodes[id].label[c]; ok {
+	if g.nodes[id].label.has(c) {
 		return false
 	}
 	n := g.mutable(id)
-	n.label[c] = deps
-	n.order = append(n.order, c)
-	return true
+	return n.label.add(c, deps)
 }
 
 // addEdgeRole puts role r on the incoming edge of n.
 func (g *graph) addEdgeRole(id int32, r *dl.Role, deps depSet) bool {
-	if e := g.nodes[id].edge; e != nil {
-		if _, ok := e[r]; ok {
+	for _, have := range g.nodes[id].edgeRoles {
+		if have == r {
 			return false
 		}
 	}
 	n := g.mutable(id)
-	if n.edge == nil {
-		n.edge = make(map[*dl.Role]depSet)
-	}
-	n.edge[r] = deps
-	n.edgeOrder = append(n.edgeOrder, r)
+	n.edgeRoles = append(n.edgeRoles, r)
+	n.edgeDeps = append(n.edgeDeps, deps)
 	return true
 }
 
 // markMin records that the ≥-rule fired for c at node id.
 func (g *graph) markMin(id int32, c *dl.Concept) {
 	n := g.mutable(id)
-	if n.minApplied == nil {
-		n.minApplied = make(map[*dl.Concept]bool)
-	}
-	n.minApplied[c] = true
+	n.minApplied = append(n.minApplied, c.ID)
 }
 
 // setDistinct records x ≠ y.
@@ -202,22 +316,6 @@ func (g *graph) areDistinct(x, y int32) (bool, depSet) {
 	return ok, d
 }
 
-// neighbors returns the live children of x whose incoming edge carries a
-// sub-role of r, in creation order.
-func (g *graph) neighbors(x *node, r *dl.Role) []*node {
-	var out []*node
-	for _, ci := range x.children {
-		c := g.nodes[ci]
-		if c.pruned {
-			continue
-		}
-		if ok, _ := c.hasRole(r); ok {
-			out = append(out, c)
-		}
-	}
-	return out
-}
-
 // prune detaches the subtree rooted at id (used when merging nodes).
 func (g *graph) prune(id int32) {
 	n := g.mutable(id)
@@ -230,16 +328,17 @@ func (g *graph) prune(id int32) {
 // blocked reports whether node n is blocked: some live ancestor y (other
 // than n) has exactly the same label (equality blocking, sound for SHQ
 // without inverse roles). Generating rules (∃, ≥) do not fire on blocked
-// nodes.
+// nodes. The commutative label signature rejects almost every ancestor in
+// one comparison; the element-wise check runs only on signature matches.
 func (g *graph) blocked(n *node) bool {
 	for p := n.parent; p >= 0; p = g.nodes[p].parent {
 		anc := g.nodes[p]
-		if len(anc.label) != len(n.label) {
+		if anc.label.sig != n.label.sig || anc.label.len() != n.label.len() {
 			continue
 		}
 		same := true
-		for c := range n.label {
-			if _, ok := anc.label[c]; !ok {
+		for _, c := range n.label.order {
+			if !anc.label.has(c) {
 				same = false
 				break
 			}

@@ -23,13 +23,15 @@ type pmodel struct {
 	univ   []*dl.Role
 }
 
-// extractPModel summarizes the root node of a completed graph.
+// extractPModel summarizes the root node of a completed graph. The pmodel
+// holds only interned factory objects (concepts, roles), never arena
+// state, so it safely outlives the pooled solver that produced it.
 func extractPModel(g *graph) *pmodel {
 	root := g.nodes[0]
 	m := &pmodel{sat: true, pos: map[*dl.Concept]bool{}, neg: map[*dl.Concept]bool{}}
 	seenEx := map[*dl.Role]bool{}
 	seenUv := map[*dl.Role]bool{}
-	for _, c := range root.order {
+	for _, c := range root.label.order {
 		switch c.Op {
 		case dl.OpName:
 			m.pos[c] = true
@@ -115,20 +117,22 @@ func (r *Reasoner) pseudoModel(c *dl.Concept) *pmodel {
 	if pm, ok := r.models.get(c); ok {
 		return pm
 	}
-	s := &solver{p: r.prep, g: newGraph(), maxNodes: r.opts.MaxNodes, maxBranches: int32(r.opts.MaxBranches)}
-	root := s.g.newNode(-1)
-	s.g.add(root.id, r.tbox.Factory.Top(), emptyDeps)
-	s.g.add(root.id, c, emptyDeps)
+	s := r.acquireSolver()
+	s.start(c)
 	sat, _, err := s.solve()
-	r.stats.Nodes.Add(int64(s.created))
-	if err != nil {
-		return nil
-	}
+	// Extract before release: the graph is arena state and is recycled the
+	// moment the solver returns to the pool.
 	var pm *pmodel
-	if sat {
-		pm = extractPModel(s.g)
-	} else {
-		pm = &pmodel{sat: false}
+	if err == nil {
+		if sat {
+			pm = extractPModel(s.g)
+		} else {
+			pm = &pmodel{sat: false}
+		}
+	}
+	r.releaseSolver(s)
+	if pm == nil {
+		return nil
 	}
 	r.models.put(c, pm)
 	return pm

@@ -5,31 +5,71 @@ import (
 )
 
 // prep holds the read-only per-TBox preprocessing shared by all
-// satisfiability tests: the absorption (lazy-unfolding) map and the
+// satisfiability tests: the absorption (lazy-unfolding) tables and the
 // internalized global axioms. A prep is built once per Reasoner and never
 // mutated afterwards, so concurrent tests can share it freely.
+//
+// The tables are indexed by the dense concept/role IDs assigned at intern
+// time (see dl.TBox.Freeze): a lookup on the tableau hot path is one
+// bounds check and one slice load instead of a map probe.
 type prep struct {
 	factory *dl.Factory
 
-	// unfold maps a named concept A to the NNF right-hand sides of all
-	// absorbed axioms A ⊑ D: when A enters a node label, each D follows
-	// (lazy unfolding). This is the absorption optimization every
-	// production tableau reasoner applies to keep GCIs from exploding the
-	// search space.
-	unfold map[*dl.Concept][]*dl.Concept
+	// unfold[A.ID] holds the NNF right-hand sides of all absorbed axioms
+	// A ⊑ D: when A enters a node label, each D follows (lazy unfolding).
+	// This is the absorption optimization every production tableau
+	// reasoner applies to keep GCIs from exploding the search space.
+	unfold [][]*dl.Concept
 
-	// negUnfold is the dual map for absorbed ¬A ⊑ D axioms (from GCIs
-	// whose left side is a negated name).
-	negUnfold map[*dl.Concept][]*dl.Concept
+	// negUnfold is the dual table for absorbed ¬A ⊑ D axioms (from GCIs
+	// whose left side is a negated name), indexed by A.ID.
+	negUnfold [][]*dl.Concept
 
 	// universals are the internalized leftovers: every GCI C ⊑ D that
 	// could not be absorbed contributes NNF(¬C ⊔ D), which must hold at
 	// every node of every completion graph.
 	universals []*dl.Concept
 
-	// transSubs caches, per role R, the sub-roles S ⊑* R with S
-	// transitive; the ∀⁺-rule consults it.
-	transSubs map[*dl.Role][]*dl.Role
+	// transSubs[R.ID] caches the sub-roles S ⊑* R with S transitive; the
+	// ∀⁺-rule consults it.
+	transSubs [][]*dl.Role
+}
+
+// unfoldOf returns the absorbed right-hand sides for named concept c.
+// Concepts interned after preprocessing (test helpers do this) have IDs
+// past the table and simply unfold to nothing.
+func (p *prep) unfoldOf(c *dl.Concept) []*dl.Concept {
+	if int(c.ID) < len(p.unfold) {
+		return p.unfold[c.ID]
+	}
+	return nil
+}
+
+// negUnfoldOf returns the absorbed right-hand sides for ¬c.
+func (p *prep) negUnfoldOf(c *dl.Concept) []*dl.Concept {
+	if int(c.ID) < len(p.negUnfold) {
+		return p.negUnfold[c.ID]
+	}
+	return nil
+}
+
+// transSubsOf returns the transitive sub-roles of r.
+func (p *prep) transSubsOf(r *dl.Role) []*dl.Role {
+	if int(r.ID) < len(p.transSubs) {
+		return p.transSubs[r.ID]
+	}
+	return nil
+}
+
+// appendAt grows tab to cover id and appends v at that index. Absorption
+// interns fresh concepts as it runs, so the table can outgrow the frozen
+// ID bound while prep is being built; it is immutable afterwards.
+func appendAt(tab [][]*dl.Concept, id int32, v *dl.Concept) [][]*dl.Concept {
+	for int(id) >= len(tab) {
+		tab = append(tab, nil)
+	}
+	tab[id] = append(tab[id], v)
+	return tab
 }
 
 // newPrep preprocesses the TBox. The TBox must be frozen (or at least no
@@ -38,14 +78,14 @@ func newPrep(t *dl.TBox) *prep {
 	f := t.Factory
 	p := &prep{
 		factory:   f,
-		unfold:    make(map[*dl.Concept][]*dl.Concept),
-		negUnfold: make(map[*dl.Concept][]*dl.Concept),
-		transSubs: make(map[*dl.Role][]*dl.Role),
+		unfold:    make([][]*dl.Concept, f.NumConcepts()),
+		negUnfold: make([][]*dl.Concept, f.NumConcepts()),
 	}
 	for _, gci := range t.AsGCIs() {
 		p.absorb(gci.Sub, gci.Sup)
 	}
 	roles := f.Roles()
+	p.transSubs = make([][]*dl.Role, len(roles))
 	for _, r := range roles {
 		var subs []*dl.Role
 		for _, s := range roles {
@@ -53,23 +93,21 @@ func newPrep(t *dl.TBox) *prep {
 				subs = append(subs, s)
 			}
 		}
-		if len(subs) > 0 {
-			p.transSubs[r] = subs
-		}
+		p.transSubs[r.ID] = subs
 	}
 	return p
 }
 
-// absorb places one GCI sub ⊑ sup either into the unfolding maps (when the
-// left side is a possibly negated concept name) or into the internalized
-// universal set.
+// absorb places one GCI sub ⊑ sup either into the unfolding tables (when
+// the left side is a possibly negated concept name) or into the
+// internalized universal set.
 func (p *prep) absorb(sub, sup *dl.Concept) {
 	f := p.factory
 	switch {
 	case sub.Op == dl.OpName:
-		p.unfold[sub] = append(p.unfold[sub], sup)
+		p.unfold = appendAt(p.unfold, sub.ID, sup)
 	case sub.Op == dl.OpNot: // NNF guarantees the argument is a name
-		p.negUnfold[sub.Args[0]] = append(p.negUnfold[sub.Args[0]], sup)
+		p.negUnfold = appendAt(p.negUnfold, sub.Args[0].ID, sup)
 	case sub.Op == dl.OpTop:
 		p.universals = append(p.universals, sup)
 	case sub.Op == dl.OpBottom:
@@ -84,7 +122,7 @@ func (p *prep) absorb(sub, sup *dl.Concept) {
 				rest := make([]*dl.Concept, 0, len(sub.Args)-1)
 				rest = append(rest, sub.Args[:i]...)
 				rest = append(rest, sub.Args[i+1:]...)
-				p.unfold[a] = append(p.unfold[a], f.Or(f.Not(f.And(rest...)), sup))
+				p.unfold = appendAt(p.unfold, a.ID, f.Or(f.Not(f.And(rest...)), sup))
 				return
 			}
 		}

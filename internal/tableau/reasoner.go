@@ -1,6 +1,7 @@
 package tableau
 
 import (
+	"sync"
 	"sync/atomic"
 
 	"parowl/internal/dl"
@@ -37,6 +38,13 @@ type Stats struct {
 	SubsTests  atomic.Int64 // Subsumes calls (each is one sat test)
 	Nodes      atomic.Int64 // completion-graph nodes created, cumulative
 	MergeSkips atomic.Int64 // non-subsumptions decided by model merging
+
+	// Arena effectiveness counters (see arena.go). A warm classification
+	// run should show Reused ≫ Allocated on both pairs.
+	SolversReused    atomic.Int64 // sat tests served by a pooled solver
+	SolversAllocated atomic.Int64 // solvers constructed from scratch
+	NodesReused      atomic.Int64 // completion-graph nodes recycled from a slab
+	NodesAllocated   atomic.Int64 // completion-graph nodes heap-allocated
 }
 
 // Reasoner decides satisfiability and subsumption with respect to one
@@ -44,11 +52,12 @@ type Stats struct {
 // for concurrent use by many workers — exactly how the classifier shares
 // its plug-in reasoner across the thread pool.
 type Reasoner struct {
-	tbox   *dl.TBox
-	prep   *prep
-	opts   Options
-	stats  Stats
-	models modelCache
+	tbox    *dl.TBox
+	prep    *prep
+	opts    Options
+	stats   Stats
+	models  modelCache
+	solvers sync.Pool // *solver; see acquireSolver/releaseSolver
 }
 
 // New preprocesses the TBox (absorption + internalization) and returns a
@@ -61,7 +70,34 @@ func New(t *dl.TBox, opts Options) *Reasoner {
 	if opts.MaxBranches <= 0 {
 		opts.MaxBranches = DefaultMaxBranches
 	}
-	return &Reasoner{tbox: t, prep: newPrep(t), opts: opts}
+	r := &Reasoner{tbox: t, prep: newPrep(t), opts: opts}
+	r.solvers.New = func() any {
+		r.stats.SolversAllocated.Add(1)
+		return &solver{p: r.prep, maxNodes: r.opts.MaxNodes, maxBranches: int32(r.opts.MaxBranches)}
+	}
+	return r
+}
+
+// acquireSolver returns a solver ready to run one satisfiability test,
+// reusing arenas from an earlier test when the pool has one.
+func (r *Reasoner) acquireSolver() *solver {
+	s := r.solvers.Get().(*solver)
+	if s.warm {
+		r.stats.SolversReused.Add(1)
+	}
+	return s
+}
+
+// releaseSolver harvests the solver's per-test counters into Stats, resets
+// every arena object it handed out (the reset-before-reuse invariant), and
+// returns it to the pool.
+func (r *Reasoner) releaseSolver(s *solver) {
+	r.stats.Nodes.Add(int64(s.created))
+	r.stats.NodesReused.Add(int64(s.nodesReused))
+	r.stats.NodesAllocated.Add(int64(s.nodesAllocated))
+	s.resetForReuse()
+	s.warm = true
+	r.solvers.Put(s)
 }
 
 // TBox returns the TBox this reasoner answers for.
@@ -74,12 +110,10 @@ func (r *Reasoner) Stats() *Stats { return &r.stats }
 // the TBox.
 func (r *Reasoner) IsSatisfiable(c *dl.Concept) (bool, error) {
 	r.stats.SatTests.Add(1)
-	s := &solver{p: r.prep, g: newGraph(), maxNodes: r.opts.MaxNodes, maxBranches: int32(r.opts.MaxBranches)}
-	root := s.g.newNode(-1)
-	s.g.add(root.id, r.tbox.Factory.Top(), emptyDeps)
-	s.g.add(root.id, c, emptyDeps)
+	s := r.acquireSolver()
+	s.start(c)
 	sat, _, err := s.solve()
-	r.stats.Nodes.Add(int64(s.created))
+	r.releaseSolver(s)
 	return sat, err
 }
 

@@ -16,7 +16,8 @@ var ErrBudget = errors.New("tableau: node budget exhausted")
 // reasoner's branching budget.
 var ErrBranchBudget = errors.New("tableau: branch budget exhausted")
 
-// solver carries the mutable state of one satisfiability test.
+// solver carries the mutable state of one satisfiability test plus the
+// arenas (see arena.go) that let the state be recycled across tests.
 type solver struct {
 	p           *prep
 	g           *graph
@@ -24,6 +25,24 @@ type solver struct {
 	maxNodes    int
 	created     int
 	maxBranches int32
+
+	// arena allocation state: dependency-set slabs, node and graph slabs,
+	// and reuse counters harvested into Reasoner.Stats on release.
+	arena          depArena
+	nodeSlab       []*node
+	nodeUsed       int
+	graphSlab      []*graph
+	graphUsed      int
+	nodesReused    int
+	nodesAllocated int
+	warm           bool // true once the solver has served a test and been recycled
+
+	// scratch buffers. nbuf backs neighbors() and mbuf maxWitnesses();
+	// each is valid only until the next call of its producer, which the
+	// rule implementations below respect.
+	nbuf  []*node
+	mbuf  []*node
+	idbuf []int32
 }
 
 // alternative is one arm of a nondeterministic choice point.
@@ -76,7 +95,7 @@ func (s *solver) branch(ch *choice) (bool, depSet, error) {
 	carried := emptyDeps
 	for _, alt := range ch.alts {
 		snapshot := s.g.clone()
-		alt.apply(ch.base.union(carried).with(b))
+		alt.apply(s.arena.with(s.arena.union(ch.base, carried), b))
 		sat, clashDeps, err := s.solve()
 		if err != nil {
 			return false, nil, err
@@ -90,9 +109,9 @@ func (s *solver) branch(ch *choice) (bool, depSet, error) {
 			// the remaining alternatives.
 			return false, clashDeps, nil
 		}
-		carried = carried.union(clashDeps.without(b))
+		carried = s.arena.union(carried, s.arena.without(clashDeps, b))
 	}
-	return false, ch.base.union(carried), nil
+	return false, s.arena.union(ch.base, carried), nil
 }
 
 // findClash scans for ⊥, complementary pairs, and violated at-most
@@ -101,22 +120,23 @@ func (s *solver) findClash() (depSet, bool) {
 	var out depSet
 	found := false
 	s.g.live(func(n *node) bool {
-		for _, c := range n.order {
+		for i := 0; i < len(n.label.order); i++ {
+			c := n.label.order[i]
 			switch {
 			case c.Op == dl.OpBottom:
-				out = n.label[c]
+				out = n.label.deps[i]
 				found = true
 				return false
 			case c.Op == dl.OpNot:
-				if d, ok := n.label[c.Args[0]]; ok {
-					out = n.label[c].union(d)
+				if d, ok := n.label.get(c.Args[0]); ok {
+					out = s.arena.union(n.label.deps[i], d)
 					found = true
 					return false
 				}
 			case c.Op == dl.OpOr:
 				// A disjunction all of whose disjuncts are complemented
 				// in the label can never be satisfied here.
-				if deps, dead := s.deadDisjunction(n, c); dead {
+				if deps, dead := s.deadDisjunction(n, c, n.label.deps[i]); dead {
 					out = deps
 					found = true
 					return false
@@ -140,11 +160,11 @@ func (s *solver) findClash() (depSet, bool) {
 // dependencies; when c is already satisfied, open is -1.
 func (s *solver) unitDisjunct(n *node, c *dl.Concept) (open int, forced *dl.Concept, deps depSet) {
 	for _, d := range c.Args {
-		if _, ok := n.label[d]; ok {
+		if n.label.has(d) {
 			return -1, nil, nil
 		}
-		if nd, ok := n.label[s.p.factory.Not(d)]; ok {
-			deps = deps.union(nd)
+		if nd, ok := n.label.get(s.p.factory.Not(d)); ok {
+			deps = s.arena.union(deps, nd)
 			continue
 		}
 		open++
@@ -163,11 +183,11 @@ func (s *solver) openDisjuncts(n *node, c *dl.Concept) ([]*dl.Concept, depSet) {
 	var open []*dl.Concept
 	deps := emptyDeps
 	for _, d := range c.Args {
-		if _, ok := n.label[d]; ok {
+		if n.label.has(d) {
 			return nil, nil
 		}
-		if nd, ok := n.label[s.p.factory.Not(d)]; ok {
-			deps = deps.union(nd)
+		if nd, ok := n.label.get(s.p.factory.Not(d)); ok {
+			deps = s.arena.union(deps, nd)
 			continue
 		}
 		open = append(open, d)
@@ -198,18 +218,19 @@ func disjunctCost(c *dl.Concept) int {
 }
 
 // deadDisjunction reports whether every disjunct of c is closed at n
-// (its complement is in the label) while c itself is unsatisfied.
-func (s *solver) deadDisjunction(n *node, c *dl.Concept) (depSet, bool) {
-	deps := n.label[c]
+// (its complement is in the label) while c itself is unsatisfied. cdeps
+// is c's own dependency set at n.
+func (s *solver) deadDisjunction(n *node, c *dl.Concept, cdeps depSet) (depSet, bool) {
+	deps := cdeps
 	for _, d := range c.Args {
-		if _, ok := n.label[d]; ok {
+		if n.label.has(d) {
 			return nil, false // satisfied
 		}
-		nd, ok := n.label[s.p.factory.Not(d)]
+		nd, ok := n.label.get(s.p.factory.Not(d))
 		if !ok {
 			return nil, false // still open
 		}
-		deps = deps.union(nd)
+		deps = s.arena.union(deps, nd)
 	}
 	return deps, true
 }
@@ -227,25 +248,46 @@ func (s *solver) maxClash(x *node, c *dl.Concept) (depSet, bool) {
 			if !dis {
 				return nil, false // a merge is still possible
 			}
-			deps = deps.union(dd)
+			deps = s.arena.union(deps, dd)
 		}
 	}
-	return deps.union(x.label[c]), true
+	cd, _ := x.label.get(c)
+	return s.arena.union(deps, cd), true
 }
 
 // maxWitnesses returns the R-neighbors of x with C in their label,
 // together with the union of the edge and label dependency sets involved.
+// The returned slice is scratch (s.mbuf), valid until the next call.
 func (s *solver) maxWitnesses(x *node, c *dl.Concept) ([]*node, depSet) {
 	deps := emptyDeps
-	var members []*node
-	for _, y := range s.g.neighbors(x, c.Role) {
-		if d, ok := y.label[c.Args[0]]; ok {
-			_, ed := y.hasRole(c.Role)
-			deps = deps.union(d).union(ed)
+	members := s.mbuf[:0]
+	for _, y := range s.neighbors(x, c.Role) {
+		if d, ok := y.label.get(c.Args[0]); ok {
+			_, ed := y.hasRole(c.Role, &s.arena)
+			deps = s.arena.union(s.arena.union(deps, d), ed)
 			members = append(members, y)
 		}
 	}
+	s.mbuf = members
 	return members, deps
+}
+
+// neighbors returns the live children of x whose incoming edge carries a
+// sub-role of r, in creation order. The returned slice is scratch
+// (s.nbuf), valid until the next call.
+func (s *solver) neighbors(x *node, r *dl.Role) []*node {
+	out := s.nbuf[:0]
+	for _, ci := range x.children {
+		c := s.g.nodes[ci]
+		if c.pruned {
+			continue
+		}
+		if c.hasAnyRole(r) {
+			out = append(out, c)
+		}
+	}
+	s.nbuf = out
+	return out
 }
 
 // applyDeterministic runs one pass of all deterministic rules and reports
@@ -259,19 +301,20 @@ func (s *solver) applyDeterministic() bool {
 				changed = true
 			}
 		}
-		// Scan a snapshot of the label order: rules may append.
-		for i := 0; i < len(n.order); i++ {
-			c := n.order[i]
-			deps := n.label[c]
+		// Scan the label in insertion order: rules may append, and the
+		// loop picks the new entries up in the same pass.
+		for i := 0; i < len(n.label.order); i++ {
+			c := n.label.order[i]
+			deps := n.label.deps[i]
 			switch c.Op {
 			case dl.OpName: // lazy unfolding of absorbed axioms
-				for _, d := range s.p.unfold[c] {
+				for _, d := range s.p.unfoldOf(c) {
 					if s.g.add(n.id, d, deps) {
 						changed = true
 					}
 				}
 			case dl.OpNot:
-				for _, d := range s.p.negUnfold[c.Args[0]] {
+				for _, d := range s.p.negUnfoldOf(c.Args[0]) {
 					if s.g.add(n.id, d, deps) {
 						changed = true
 					}
@@ -288,22 +331,22 @@ func (s *solver) applyDeterministic() bool {
 				// forced — no branching needed. This keeps internalized
 				// GCIs (¬C ⊔ D at every node) from exploding the search.
 				if open, forced, fdeps := s.unitDisjunct(n, c); open == 1 {
-					if s.g.add(n.id, forced, deps.union(fdeps)) {
+					if s.g.add(n.id, forced, s.arena.union(deps, fdeps)) {
 						changed = true
 					}
 				}
 			case dl.OpAll: // ∀-rule and ∀⁺-rule
-				for _, y := range s.g.neighbors(n, c.Role) {
-					_, ed := y.hasRole(c.Role)
-					if s.g.add(y.id, c.Args[0], deps.union(ed)) {
+				for _, y := range s.neighbors(n, c.Role) {
+					_, ed := y.hasRole(c.Role, &s.arena)
+					if s.g.add(y.id, c.Args[0], s.arena.union(deps, ed)) {
 						changed = true
 					}
 				}
-				for _, t := range s.p.transSubs[c.Role] {
+				for _, t := range s.p.transSubsOf(c.Role) {
 					prop := s.p.factory.All(t, c.Args[0])
-					for _, y := range s.g.neighbors(n, t) {
-						_, ed := y.hasRole(t)
-						if s.g.add(y.id, prop, deps.union(ed)) {
+					for _, y := range s.neighbors(n, t) {
+						_, ed := y.hasRole(t, &s.arena)
+						if s.g.add(y.id, prop, s.arena.union(deps, ed)) {
 							changed = true
 						}
 					}
@@ -321,14 +364,15 @@ func (s *solver) applyDeterministic() bool {
 func (s *solver) findChoice() *choice {
 	var out *choice
 	s.g.live(func(n *node) bool {
-		for _, c := range n.order {
+		for i := 0; i < len(n.label.order); i++ {
+			c := n.label.order[i]
 			switch c.Op {
 			case dl.OpOr: // ⊔-rule, branching only over open disjuncts
 				open, closedDeps := s.openDisjuncts(n, c)
 				if open == nil {
 					continue // satisfied, unit-propagated, or dead
 				}
-				ch := &choice{base: n.label[c].union(closedDeps)}
+				ch := &choice{base: s.arena.union(n.label.deps[i], closedDeps)}
 				for _, d := range open {
 					d := d
 					y := n.id
@@ -358,7 +402,7 @@ func (s *solver) chooseOrMerge(x *node, c *dl.Concept) *choice {
 	f := s.p.factory
 	cc := c.Args[0]
 	ncc := f.Not(cc)
-	neighbors := s.g.neighbors(x, c.Role)
+	neighbors := s.neighbors(x, c.Role)
 	if len(neighbors) <= c.N {
 		// With at most n R-neighbors in total, ≤n R.C can never be
 		// violated whatever the choose-rule decides: skipping the
@@ -366,16 +410,15 @@ func (s *solver) chooseOrMerge(x *node, c *dl.Concept) *choice {
 		// search on QCR-dense ontologies.
 		return nil
 	}
+	xd, _ := x.label.get(c)
 	for _, y := range neighbors {
-		_, okC := y.label[cc]
-		_, okN := y.label[ncc]
-		if okC || okN {
+		if y.label.has(cc) || y.label.has(ncc) {
 			continue
 		}
-		_, ed := y.hasRole(c.Role)
+		_, ed := y.hasRole(c.Role, &s.arena)
 		yid := y.id
 		return &choice{
-			base: x.label[c].union(ed),
+			base: s.arena.union(xd, ed),
 			alts: []alternative{
 				{apply: func(deps depSet) { s.g.add(yid, cc, deps) }},
 				{apply: func(deps depSet) { s.g.add(yid, ncc, deps) }},
@@ -386,7 +429,7 @@ func (s *solver) chooseOrMerge(x *node, c *dl.Concept) *choice {
 	if len(members) <= c.N {
 		return nil
 	}
-	ch := &choice{base: x.label[c].union(wdeps)}
+	ch := &choice{base: s.arena.union(xd, wdeps)}
 	for i := range members {
 		for j := i + 1; j < len(members); j++ {
 			if dis, _ := s.g.areDistinct(members[i].id, members[j].id); dis {
@@ -409,11 +452,11 @@ func (s *solver) chooseOrMerge(x *node, c *dl.Concept) *choice {
 // and src's inequalities transfer to dst.
 func (s *solver) merge(src, dst int32, deps depSet) {
 	sn := s.g.nodes[src]
-	for _, c := range sn.order {
-		s.g.add(dst, c, sn.label[c].union(deps))
+	for i, c := range sn.label.order {
+		s.g.add(dst, c, s.arena.union(sn.label.deps[i], deps))
 	}
-	for _, r := range sn.edgeOrder {
-		s.g.addEdgeRole(dst, r, sn.edge[r].union(deps))
+	for i, r := range sn.edgeRoles {
+		s.g.addEdgeRole(dst, r, s.arena.union(sn.edgeDeps[i], deps))
 	}
 	for key, dd := range s.g.distinct {
 		var other int32 = -1
@@ -424,7 +467,7 @@ func (s *solver) merge(src, dst int32, deps depSet) {
 			other = key.a
 		}
 		if other >= 0 && other != dst {
-			s.g.setDistinct(dst, other, dd.union(deps))
+			s.g.setDistinct(dst, other, s.arena.union(dd, deps))
 		}
 	}
 	s.g.prune(src)
@@ -436,7 +479,7 @@ func (s *solver) applyGenerating() (bool, error) {
 	created := false
 	var budgetErr error
 	s.g.live(func(n *node) bool {
-		if len(n.order) == 0 {
+		if n.label.len() == 0 {
 			return true
 		}
 		blockedKnown, isBlocked := false, false
@@ -447,13 +490,14 @@ func (s *solver) applyGenerating() (bool, error) {
 			}
 			return isBlocked
 		}
-		for _, c := range n.order {
-			deps := n.label[c]
+		for i := 0; i < len(n.label.order); i++ {
+			c := n.label.order[i]
+			deps := n.label.deps[i]
 			switch c.Op {
 			case dl.OpSome: // ∃-rule
 				exists := false
-				for _, y := range s.g.neighbors(n, c.Role) {
-					if _, ok := y.label[c.Args[0]]; ok {
+				for _, y := range s.neighbors(n, c.Role) {
+					if y.label.has(c.Args[0]) {
 						exists = true
 						break
 					}
@@ -486,9 +530,10 @@ func (s *solver) applyGenerating() (bool, error) {
 // spawn creates count children of n with edge role r and label {filler};
 // when distinct is set, the children are asserted pairwise distinct.
 func (s *solver) spawn(n *node, r *dl.Role, filler *dl.Concept, deps depSet, count int, distinct bool) error {
-	ids := make([]int32, count)
+	ids := s.idbuf[:0]
 	for i := 0; i < count; i++ {
 		if s.created >= s.maxNodes {
+			s.idbuf = ids
 			return fmt.Errorf("%w (limit %d)", ErrBudget, s.maxNodes)
 		}
 		s.created++
@@ -496,8 +541,9 @@ func (s *solver) spawn(n *node, r *dl.Role, filler *dl.Concept, deps depSet, cou
 		s.g.addEdgeRole(y.id, r, deps)
 		s.g.add(y.id, s.p.factory.Top(), emptyDeps)
 		s.g.add(y.id, filler, deps)
-		ids[i] = y.id
+		ids = append(ids, y.id)
 	}
+	s.idbuf = ids
 	if distinct {
 		for i := range ids {
 			for j := i + 1; j < len(ids); j++ {
