@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test verify bench bench-tableau
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The pre-merge gate: build + vet + all tests + race detector on the
+# concurrency-critical packages. See scripts/verify.sh.
+verify:
+	sh scripts/verify.sh
+
+bench:
+	$(GO) test -bench . -benchmem -run xxx ./...
+
+# Hot-path microbenchmarks with arena-reuse counters, written to
+# BENCH_tableau.json for commit-over-commit comparison.
+bench-tableau:
+	$(GO) run ./cmd/benchfig -exp tableau

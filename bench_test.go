@@ -229,6 +229,35 @@ func BenchmarkTableauSubsumption(b *testing.B) {
 	}
 }
 
+// BenchmarkTableauSatReuse measures repeated satisfiability tests served
+// by a warm solver pool — the steady state of a classification run, where
+// the arena (pooled solvers, recycled nodes, slab-allocated dependency
+// sets) should drive per-test heap allocation to near zero.
+func BenchmarkTableauSatReuse(b *testing.B) {
+	tb := benchCorpus(b, "bridg.biomedical_domain", 8)
+	tab := tableau.New(tb, tableau.Options{})
+	named := tb.NamedConcepts()
+	// Warm the pool so the steady state, not first-use arena growth, is
+	// what gets measured.
+	for _, c := range named[:16] {
+		if _, err := tab.IsSatisfiable(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tab.IsSatisfiable(named[i%len(named)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	st := tab.Stats()
+	if total := st.NodesReused.Load() + st.NodesAllocated.Load(); total > 0 {
+		b.ReportMetric(float64(st.NodesReused.Load())/float64(total), "node-reuse-ratio")
+	}
+}
+
 // BenchmarkELSaturation measures one-shot concurrent saturation of a
 // Table IV corpus (the ELK-style competitor).
 func BenchmarkELSaturation(b *testing.B) {

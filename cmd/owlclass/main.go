@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -38,11 +40,40 @@ var (
 	moduleOf = flag.String("module", "", "extract the ⊥-locality module for this comma-separated concept list before classifying")
 	metrics  = flag.Bool("metrics", false, "print the ontology metrics row and exit")
 	baseline = flag.String("baseline", "", "also run a baseline and compare: brute | traversal")
+
+	cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 )
 
 func main() {
 	flag.Parse()
-	if err := run(); err != nil {
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "owlclass:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "owlclass:", err)
+			os.Exit(1)
+		}
+	}
+	err := run()
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile() // before any os.Exit, which skips defers
+	}
+	if *memprofile != "" {
+		f, merr := os.Create(*memprofile)
+		if merr == nil {
+			runtime.GC() // flush allocation stats so the profile is current
+			merr = pprof.WriteHeapProfile(f)
+			f.Close()
+		}
+		if merr != nil {
+			fmt.Fprintln(os.Stderr, "owlclass: memprofile:", merr)
+		}
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "owlclass:", err)
 		os.Exit(1)
 	}

@@ -1,0 +1,16 @@
+#!/bin/sh
+# verify.sh — the repository's pre-merge gate, also available as `make verify`:
+# full build, vet, every test, and the race detector over the packages with
+# concurrent hot paths (classifier core, tableau arenas, caching layer).
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go build ./..."
+go build ./...
+echo "== go vet ./..."
+go vet ./...
+echo "== go test ./..."
+go test ./...
+echo "== go test -race (core, tableau, reasoner)"
+go test -race ./internal/core/... ./internal/tableau/... ./internal/reasoner/...
+echo "verify: OK"
