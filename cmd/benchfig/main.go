@@ -24,6 +24,7 @@
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"encoding/json"
 	"flag"
@@ -517,7 +518,7 @@ func tableauHot() error {
 	record("Subsumes", testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, err := tab.Subsumes(named[i%len(named)], named[(i*7+3)%len(named)]); err != nil {
+			if _, err := tab.Subs(context.Background(), named[i%len(named)], named[(i*7+3)%len(named)]); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -525,7 +526,7 @@ func tableauHot() error {
 	record("SatReuse", testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, err := tab.IsSatisfiable(named[i%len(named)]); err != nil {
+			if _, err := tab.Sat(context.Background(), named[i%len(named)]); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -534,7 +535,7 @@ func tableauHot() error {
 	record("SubsumesModelMerging", testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, err := mm.Subsumes(named[i%len(named)], named[(i*7+3)%len(named)]); err != nil {
+			if _, err := mm.Subs(context.Background(), named[i%len(named)], named[(i*7+3)%len(named)]); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -16,7 +16,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"parowl"
 )
@@ -74,14 +73,8 @@ func run() error {
 		fmt.Fprintln(os.Stderr, parowl.ComputeMetrics(tbox))
 	}
 
-	switch {
-	case *outFlag == "" || *outFlag == "-":
-		return parowl.WriteFunctional(os.Stdout, tbox)
-	case strings.HasSuffix(strings.ToLower(*outFlag), ".obo"):
-		return parowl.WriteOBOFile(*outFlag, tbox)
-	case strings.HasSuffix(strings.ToLower(*outFlag), ".omn"):
-		return parowl.WriteManchesterFile(*outFlag, tbox)
-	default:
-		return parowl.WriteFunctionalFile(*outFlag, tbox)
+	if *outFlag == "" || *outFlag == "-" {
+		return parowl.Write(os.Stdout, tbox, parowl.FormatFunctional)
 	}
+	return parowl.WriteFile(*outFlag, tbox, parowl.DetectFormat(*outFlag))
 }

@@ -37,6 +37,9 @@ var (
 	told     = flag.Bool("told", false, "answer told subsumptions without reasoner calls")
 	adaptive = flag.Bool("adaptive", false, "stop random-division cycles adaptively")
 	timeout  = flag.Duration("timeout", 0, "abort classification after this duration (0 = none)")
+
+	testTimeout = flag.Duration("test-timeout", 0, "budget per sat?/subs? test; expired tests are retried then recorded as undecided (0 = none)")
+	testRetries = flag.Int("test-retries", 0, "escalating retries per timed-out test (each doubles the budget)")
 	moduleOf = flag.String("module", "", "extract the ⊥-locality module for this comma-separated concept list before classifying")
 	metrics  = flag.Bool("metrics", false, "print the ontology metrics row and exit")
 	baseline = flag.String("baseline", "", "also run a baseline and compare: brute | traversal")
@@ -105,6 +108,8 @@ func run() error {
 		CollectTrace:     *trace,
 		UseToldSubsumers: *told,
 		AdaptiveCycles:   *adaptive,
+		TestTimeout:      *testTimeout,
+		TestRetries:      *testRetries,
 	}
 	switch *mode {
 	case "optimized":
@@ -151,6 +156,14 @@ func run() error {
 	}
 	elapsed := time.Since(start)
 
+	if n := len(res.Undecided); n > 0 {
+		fmt.Fprintf(os.Stderr, "owlclass: WARNING: %d test(s) undecided (budget %v, %d retries); "+
+			"the taxonomy is sound but may be missing subsumptions\n", n, *testTimeout, *testRetries)
+		for _, u := range res.Undecided {
+			fmt.Fprintf(os.Stderr, "  undecided: %v\n", u)
+		}
+	}
+
 	if *baseline != "" {
 		var want *parowl.Taxonomy
 		switch *baseline {
@@ -187,6 +200,15 @@ func run() error {
 		fmt.Printf("pruned:      %d pairs resolved without testing\n", res.Stats.Pruned)
 		if res.Stats.ToldHits > 0 {
 			fmt.Printf("told hits:   %d tests answered from asserted axioms\n", res.Stats.ToldHits)
+		}
+		if res.Stats.TimedOut > 0 {
+			fmt.Printf("timed out:   %d tests abandoned after exhausting their budget\n", res.Stats.TimedOut)
+		}
+		if res.Stats.Recovered > 0 {
+			fmt.Printf("recovered:   %d plug-in panics converted to undecided tests\n", res.Stats.Recovered)
+		}
+		if len(res.Undecided) > 0 {
+			fmt.Printf("undecided:   %d tests (taxonomy sound but possibly incomplete)\n", len(res.Undecided))
 		}
 	default:
 		fmt.Print(res.Taxonomy.Render())

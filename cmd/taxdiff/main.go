@@ -17,7 +17,11 @@ import (
 	"parowl"
 )
 
-var workers = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+var (
+	workers     = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	testTimeout = flag.Duration("test-timeout", 0, "budget per sat?/subs? test (0 = none)")
+	testRetries = flag.Int("test-retries", 0, "escalating retries per timed-out test")
+)
 
 func main() {
 	flag.Parse()
@@ -42,9 +46,19 @@ func run(oldPath, newPath string) (*parowl.TaxonomyDiff, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, err := parowl.Classify(tb, parowl.Options{Workers: *workers})
+		res, err := parowl.Classify(tb, parowl.Options{
+			Workers:     *workers,
+			TestTimeout: *testTimeout,
+			TestRetries: *testRetries,
+		})
 		if err != nil {
 			return nil, fmt.Errorf("classifying %s: %w", path, err)
+		}
+		if n := len(res.Undecided); n > 0 {
+			// An undecided test can hide a real difference: warn loudly so
+			// a clean diff under budgets is not mistaken for a proof.
+			fmt.Fprintf(os.Stderr, "taxdiff: WARNING: %s: %d test(s) undecided under the %v budget; "+
+				"the diff may miss subsumption changes\n", path, n, *testTimeout)
 		}
 		return res.Taxonomy, nil
 	}

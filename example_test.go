@@ -1,8 +1,10 @@
 package parowl_test
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"parowl"
 )
@@ -107,4 +109,35 @@ func ExampleGenerate() {
 	fmt.Println(m.Concepts, m.Axioms, m.QCRs)
 	// Output:
 	// 320 6347 967
+}
+
+// ExampleClassifyContext classifies under both a whole-run deadline and a
+// per-test budget. A test that exhausts its budget (plus retries) is
+// recorded in Result.Undecided instead of failing the run, so the
+// returned taxonomy is sound but may be missing subsumptions.
+func ExampleClassifyContext() {
+	tb := parowl.NewTBox("pets")
+	animal := tb.Declare("Animal")
+	dog := tb.Declare("Dog")
+	tb.SubClassOf(dog, animal)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	res, err := parowl.ClassifyContext(ctx, tb, parowl.Options{
+		Workers:     2,
+		TestTimeout: 100 * time.Millisecond, // budget per sat?/subs? test
+		TestRetries: 1,                      // one retry with a doubled budget
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, u := range res.Undecided {
+		fmt.Println("undecided:", u)
+	}
+	fmt.Print(res.Taxonomy.Render())
+	// Output:
+	// ⊤
+	//   Animal
+	//     Dog
 }

@@ -33,14 +33,11 @@ func main() {
 	}
 	fmt.Printf("generated: %v\n", parowl.ComputeMetrics(tbox))
 
-	// 2. Serialize in all three syntaxes and reload from the OBO copy.
-	paths := map[string]func(string, *parowl.TBox) error{
-		"onto.ofn": parowl.WriteFunctionalFile,
-		"onto.obo": parowl.WriteOBOFile,
-		"onto.omn": parowl.WriteManchesterFile,
-	}
-	for name, write := range paths {
-		if err := write(filepath.Join(dir, name), tbox); err != nil {
+	// 2. Serialize in all three syntaxes (the extension picks the format)
+	// and reload from the OBO copy.
+	for _, name := range []string{"onto.ofn", "onto.obo", "onto.omn"} {
+		path := filepath.Join(dir, name)
+		if err := parowl.WriteFile(path, tbox, parowl.DetectFormat(path)); err != nil {
 			log.Fatalf("writing %s: %v", name, err)
 		}
 	}

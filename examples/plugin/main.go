@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -32,11 +33,21 @@ func newToldReasoner(t *parowl.TBox) *toldReasoner {
 	return r
 }
 
-// IsSatisfiable: every named concept is satisfiable in a pure hierarchy.
-func (r *toldReasoner) IsSatisfiable(*parowl.Concept) (bool, error) { return true, nil }
+// Sat: every named concept is satisfiable in a pure hierarchy. A plug-in
+// under a deadline should honor ctx; this one answers instantly, so a
+// single up-front check is all the contract requires.
+func (r *toldReasoner) Sat(ctx context.Context, _ *parowl.Concept) (bool, error) {
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	return true, nil
+}
 
-// Subsumes walks the told hierarchy upward from sub looking for sup.
-func (r *toldReasoner) Subsumes(sup, sub *parowl.Concept) (bool, error) {
+// Subs walks the told hierarchy upward from sub looking for sup.
+func (r *toldReasoner) Subs(ctx context.Context, sup, sub *parowl.Concept) (bool, error) {
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
 	if sup.Op == parowl.OpTop || sup == sub {
 		return true, nil
 	}

@@ -76,6 +76,56 @@ type Options struct {
 	// provided here as an ablation. Sound for any plug-in: told axioms
 	// are entailed.
 	UseToldSubsumers bool
+	// TestTimeout bounds each individual sat?/subs? plug-in call. A call
+	// that exceeds its budget is retried with the budget doubled, up to
+	// TestRetries times; when the final attempt also times out the test
+	// is abandoned, counted in Stats.TimedOut, and listed in
+	// Result.Undecided — the run itself keeps going and stays sound
+	// (only proven subsumptions enter the taxonomy). 0 disables the
+	// budget.
+	TestTimeout time.Duration
+	// TestRetries is the number of escalating retries a timed-out test
+	// receives before it is abandoned (attempt i gets TestTimeout·2ⁱ).
+	// Only meaningful with TestTimeout > 0; Validate rejects it
+	// otherwise.
+	TestRetries int
+}
+
+// Validate reports the first configuration error, or nil. ClassifyContext
+// calls it before touching any shared state, so an invalid Options never
+// starts workers.
+func (o *Options) Validate() error {
+	if o.Reasoner == nil {
+		return ErrNoReasoner
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("core: Options.Workers must be >= 0, got %d", o.Workers)
+	}
+	if o.RandomCycles < 0 {
+		return fmt.Errorf("core: Options.RandomCycles must be >= 0, got %d", o.RandomCycles)
+	}
+	if o.Mode != Optimized && o.Mode != Basic {
+		return fmt.Errorf("core: unknown Options.Mode %d", o.Mode)
+	}
+	if o.Scheduling != RoundRobin && o.Scheduling != WorkSharing {
+		return fmt.Errorf("core: unknown Options.Scheduling %d", o.Scheduling)
+	}
+	if o.MinCycleGain < 0 || o.MinCycleGain >= 1 {
+		return fmt.Errorf("core: Options.MinCycleGain must be in [0, 1), got %v", o.MinCycleGain)
+	}
+	if o.MaxGroupSize < 0 {
+		return fmt.Errorf("core: Options.MaxGroupSize must be >= 0, got %d", o.MaxGroupSize)
+	}
+	if o.TestTimeout < 0 {
+		return fmt.Errorf("core: Options.TestTimeout must be >= 0, got %v", o.TestTimeout)
+	}
+	if o.TestRetries < 0 {
+		return fmt.Errorf("core: Options.TestRetries must be >= 0, got %d", o.TestRetries)
+	}
+	if o.TestRetries > 0 && o.TestTimeout == 0 {
+		return fmt.Errorf("core: Options.TestRetries set (%d) without Options.TestTimeout", o.TestRetries)
+	}
+	return nil
 }
 
 // Stats summarizes reasoner usage of one run.
@@ -84,12 +134,19 @@ type Stats struct {
 	SubsTests int64 // subs?() plug-in calls
 	Pruned    int64 // pairs resolved without a plug-in call (Sec. IV)
 	ToldHits  int64 // positive tests answered from the told hierarchy
+	TimedOut  int64 // tests abandoned after exhausting their budget
+	Recovered int64 // plug-in panics recovered into per-test errors
 }
 
 // Result is a completed classification.
 type Result struct {
 	Taxonomy *taxonomy.Taxonomy
 	Stats    Stats
+	// Undecided lists the tests abandoned under the per-test budget or
+	// recovered from plug-in panics, in deterministic order. Empty means
+	// the taxonomy is complete; non-empty means it is sound but may miss
+	// the listed subsumptions.
+	Undecided []Undecided
 	// Trace is non-nil when Options.CollectTrace was set.
 	Trace *Trace
 }
@@ -108,8 +165,8 @@ func Classify(t *dl.TBox, opts Options) (*Result, error) {
 // the workers stop claiming work, in-flight reasoner calls finish, and
 // the context error is returned.
 func ClassifyContext(ctx context.Context, t *dl.TBox, opts Options) (*Result, error) {
-	if opts.Reasoner == nil {
-		return nil, ErrNoReasoner
+	if err := opts.Validate(); err != nil {
+		return nil, err
 	}
 	workers := opts.Workers
 	if workers <= 0 {
@@ -131,6 +188,9 @@ func ClassifyContext(ctx context.Context, t *dl.TBox, opts Options) (*Result, er
 	start := time.Now()
 	s := newState(t, opts.Reasoner, opts.Mode == Optimized)
 	s.maxGroupSize = opts.MaxGroupSize
+	s.ctx = ctx
+	s.testTimeout = opts.TestTimeout
+	s.testRetries = opts.TestRetries
 	if opts.UseToldSubsumers {
 		s.buildTold()
 	}
@@ -193,8 +253,11 @@ func ClassifyContext(ctx context.Context, t *dl.TBox, opts Options) (*Result, er
 			SubsTests: s.subsTests.Load(),
 			Pruned:    s.pruned.Load(),
 			ToldHits:  s.toldHits.Load(),
+			TimedOut:  s.timedOut.Load(),
+			Recovered: s.recovered.Load(),
 		},
-		Trace: trace,
+		Undecided: s.takeUndecided(),
+		Trace:     trace,
 	}, nil
 }
 

@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 
@@ -228,14 +230,13 @@ func TestTopEquivalenceDetection(t *testing.T) {
 }
 
 type failingReasoner struct {
-	after int
-	calls int
+	after int64
+	calls atomic.Int64
 }
 
-func (f *failingReasoner) IsSatisfiable(*dl.Concept) (bool, error) { return true, nil }
-func (f *failingReasoner) Subsumes(_, _ *dl.Concept) (bool, error) {
-	f.calls++
-	if f.calls > f.after {
+func (f *failingReasoner) Sat(context.Context, *dl.Concept) (bool, error) { return true, nil }
+func (f *failingReasoner) Subs(context.Context, *dl.Concept, *dl.Concept) (bool, error) {
+	if f.calls.Add(1) > f.after {
 		return false, errors.New("injected reasoner failure")
 	}
 	return false, nil
@@ -246,7 +247,7 @@ func (f *failingReasoner) Subsumes(_, _ *dl.Concept) (bool, error) {
 func TestReasonerFailurePropagates(t *testing.T) {
 	for _, after := range []int{0, 1, 5, 17} {
 		tb := chainTBox(6)
-		_, err := Classify(tb, Options{Reasoner: &failingReasoner{after: after}, Workers: 3})
+		_, err := Classify(tb, Options{Reasoner: &failingReasoner{after: int64(after)}, Workers: 3})
 		if err == nil {
 			t.Fatalf("after=%d: no error returned", after)
 		}

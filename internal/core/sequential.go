@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"parowl/internal/dl"
@@ -13,11 +14,18 @@ import (
 // w = 1 reference point of the paper's speedup metric and the ground
 // truth the test suite compares every parallel configuration against.
 func SequentialBruteForce(t *dl.TBox, r reasoner.Interface) (*taxonomy.Taxonomy, error) {
+	return SequentialBruteForceContext(context.Background(), t, r)
+}
+
+// SequentialBruteForceContext is SequentialBruteForce with cancellation:
+// the context is threaded into every reasoner call and checked between
+// pairs, so a cancelled run stops within one test.
+func SequentialBruteForceContext(ctx context.Context, t *dl.TBox, r reasoner.Interface) (*taxonomy.Taxonomy, error) {
 	t.Freeze()
 	named := t.NamedConcepts()
 	unsat := make(map[*dl.Concept]bool)
 	for _, c := range named {
-		ok, err := r.IsSatisfiable(c)
+		ok, err := r.Sat(ctx, c)
 		if err != nil {
 			return nil, fmt.Errorf("core: sat?(%v): %w", c, err)
 		}
@@ -36,7 +44,10 @@ func SequentialBruteForce(t *dl.TBox, r reasoner.Interface) (*taxonomy.Taxonomy,
 			if sup == sub || unsat[sup] {
 				continue
 			}
-			ok, err := r.Subsumes(sup, sub)
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("core: classification cancelled: %w", err)
+			}
+			ok, err := r.Subs(ctx, sup, sub)
 			if err != nil {
 				return nil, fmt.Errorf("core: subs?(%v, %v): %w", sup, sub, err)
 			}

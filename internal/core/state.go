@@ -21,6 +21,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -48,6 +49,14 @@ type state struct {
 	top   int // index of ⊤
 
 	r reasoner.Interface
+
+	// ctx is the run context every reasoner call inherits from;
+	// testTimeout/testRetries implement the per-test budget with
+	// escalation (see budget.go). ctx is never nil (Background by
+	// default).
+	ctx         context.Context
+	testTimeout time.Duration
+	testRetries int
 
 	// P[x] bit y: subsumption between x and y still unresolved. In basic
 	// mode the bit means "y is a possible subsumee of x" and both (x,y)
@@ -85,6 +94,12 @@ type state struct {
 	subsTests atomic.Int64
 	pruned    atomic.Int64 // pairs resolved without a reasoner call
 	toldHits  atomic.Int64 // tests answered from the told closure
+	timedOut  atomic.Int64 // tests abandoned on budget expiry
+	recovered atomic.Int64 // plug-in panics converted to per-test errors
+
+	// undecided collects the degraded tests for Result.Undecided.
+	undecidedMu sync.Mutex
+	undecided   []Undecided
 
 	failure atomic.Pointer[classError]
 }
@@ -162,6 +177,7 @@ func newState(t *dl.TBox, r reasoner.Interface, optimized bool) *state {
 		n:         n,
 		top:       n - 1,
 		r:         r,
+		ctx:       context.Background(),
 		P:         make([]*bitset.Atomic, n),
 		K:         make([]*bitset.Atomic, n),
 		satState:  make([]atomic.Int32, n),
@@ -234,9 +250,18 @@ func (s *state) sat(x int) bool {
 	case satNo:
 		return false
 	}
-	ok, err := s.r.IsSatisfiable(s.named[x])
+	ok, err := s.budgetedSat(s.named[x])
 	s.satTests.Add(1)
 	if err != nil {
+		if isDegraded(err) {
+			// Conservative fallback: treat the concept as satisfiable, so
+			// the run never asserts an unsatisfiability it did not prove.
+			// Subsumptions involving x are still decided by their own
+			// tests; only the x ≡ ⊥ shortcut is lost.
+			s.recordUndecided(nil, s.named[x], err)
+			s.satState[x].Store(satYes)
+			return true
+		}
 		s.fail(err)
 		return false
 	}
@@ -289,9 +314,17 @@ func (s *state) testDirected(x, y int) (bool, time.Duration) {
 		}
 	}
 	start := time.Now()
-	res, err := s.r.Subsumes(s.named[x], s.named[y])
+	res, err := s.budgetedSubs(s.named[x], s.named[y])
 	s.subsTests.Add(1)
 	if err != nil {
+		if isDegraded(err) {
+			// The pair was already claimed, so the loop progresses; the
+			// subsumption is NOT recorded in K (the taxonomy asserts only
+			// proven subsumptions) and the pair is surfaced in
+			// Result.Undecided.
+			s.recordUndecided(s.named[x], s.named[y], err)
+			return false, time.Since(start)
+		}
 		s.fail(err)
 		return false, 0
 	}

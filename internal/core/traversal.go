@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"parowl/internal/dl"
@@ -18,8 +19,16 @@ import (
 // but is inherently sequential — the baseline the paper's parallel
 // architecture is measured against.
 func EnhancedTraversal(t *dl.TBox, r reasoner.Interface) (*taxonomy.Taxonomy, error) {
+	return EnhancedTraversalContext(context.Background(), t, r)
+}
+
+// EnhancedTraversalContext is EnhancedTraversal with cancellation: the
+// context is threaded into every reasoner call and checked between
+// concept insertions, so a cancelled run stops within one test.
+func EnhancedTraversalContext(ctx context.Context, t *dl.TBox, r reasoner.Interface) (*taxonomy.Taxonomy, error) {
 	t.Freeze()
 	e := &traversal{
+		ctx:      ctx,
 		f:        t.Factory,
 		r:        r,
 		parents:  [][]int{nil},
@@ -28,8 +37,11 @@ func EnhancedTraversal(t *dl.TBox, r reasoner.Interface) (*taxonomy.Taxonomy, er
 	}
 	b := taxonomy.NewBuilder(t.Factory)
 	for _, c := range t.NamedConcepts() {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: classification cancelled: %w", err)
+		}
 		b.AddConcept(c)
-		sat, err := r.IsSatisfiable(c)
+		sat, err := r.Sat(ctx, c)
 		if err != nil {
 			return nil, fmt.Errorf("core: sat?(%v): %w", c, err)
 		}
@@ -51,6 +63,7 @@ func EnhancedTraversal(t *dl.TBox, r reasoner.Interface) (*taxonomy.Taxonomy, er
 
 // traversal holds the growing classification DAG; node 0 is ⊤.
 type traversal struct {
+	ctx      context.Context
 	f        *dl.Factory
 	r        reasoner.Interface
 	concepts []*dl.Concept
@@ -61,7 +74,7 @@ type traversal struct {
 // subsumes memoizes nothing itself — wrap the reasoner in
 // reasoner.NewCached for dedup — and maps errors outward.
 func (e *traversal) subsumes(sup, sub *dl.Concept) (bool, error) {
-	ok, err := e.r.Subsumes(sup, sub)
+	ok, err := e.r.Subs(e.ctx, sup, sub)
 	if err != nil {
 		return false, fmt.Errorf("core: subs?(%v, %v): %w", sup, sub, err)
 	}

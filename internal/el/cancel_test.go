@@ -1,0 +1,41 @@
+package el
+
+import (
+	"context"
+	"testing"
+
+	"parowl/internal/dl"
+)
+
+// TestSaturationCancelled: cancelling the context aborts saturation with
+// an error, and — because an aborted saturation is discarded rather than
+// memoized — the next query under a live context re-runs it successfully.
+func TestSaturationCancelled(t *testing.T) {
+	tb := dl.NewTBox("cancel")
+	a, b, c := tb.Declare("A"), tb.Declare("B"), tb.Declare("C")
+	tb.SubClassOf(a, b)
+	tb.SubClassOf(b, c)
+	r, err := New(tb, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := r.SaturateContext(ctx); err == nil {
+		t.Fatal("SaturateContext under cancelled ctx returned nil error")
+	}
+	if _, err := r.Subs(ctx, c, a); err == nil {
+		t.Fatal("Subs under cancelled ctx returned nil error")
+	}
+
+	// Retry-after-abort: a live context saturates from scratch and the
+	// entailments are all there.
+	got, err := r.Subs(context.Background(), c, a)
+	if err != nil {
+		t.Fatalf("Subs after aborted saturation: %v", err)
+	}
+	if !got {
+		t.Error("Subs(C ⊒ A) = false after re-saturation, want true")
+	}
+}

@@ -1,6 +1,7 @@
 package el
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -18,13 +19,18 @@ type Options struct {
 // Reasoner answers satisfiability and subsumption for named concepts of an
 // ELH+ TBox by one-shot concurrent saturation. After New it is immutable
 // and safe for concurrent use.
+//
+// Saturation runs lazily on the first query and observes that query's
+// context: when the context is cancelled mid-saturation the partial state
+// is discarded (never served) and the next query re-runs saturation from
+// scratch under its own context.
 type Reasoner struct {
 	tbox *dl.TBox
 	n    *normalized
 	opts Options
 
-	once sync.Once
-	sat  *saturation
+	mu  sync.Mutex
+	sat *saturation // non-nil only once fully saturated
 }
 
 // New normalizes the TBox; it fails if the TBox leaves the EL fragment
@@ -41,22 +47,38 @@ func New(t *dl.TBox, opts Options) (*Reasoner, error) {
 // TBox returns the TBox this reasoner answers for.
 func (r *Reasoner) TBox() *dl.TBox { return r.tbox }
 
-// ensure saturates on first use.
-func (r *Reasoner) ensure() {
-	r.once.Do(func() {
-		workers := r.opts.Workers
-		if workers <= 0 {
-			workers = runtime.GOMAXPROCS(0)
-		}
-		s := newSaturation(r.n)
-		s.run(workers)
-		r.sat = s
-	})
+// ensure saturates on first use. A cancelled saturation leaves r.sat nil
+// so a later call retries; concurrent first queries serialize on the
+// mutex exactly as they previously did on sync.Once.
+func (r *Reasoner) ensure(ctx context.Context) (*saturation, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.sat != nil {
+		return r.sat, nil
+	}
+	workers := r.opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	s := newSaturation(r.n)
+	if err := s.run(ctx, workers); err != nil {
+		return nil, fmt.Errorf("el: saturation abandoned: %w", err)
+	}
+	r.sat = s
+	return s, nil
 }
 
-// Saturate forces saturation now (it otherwise happens lazily on the first
-// query). It is safe to call repeatedly.
-func (r *Reasoner) Saturate() { r.ensure() }
+// SaturateContext forces saturation now (it otherwise happens lazily on
+// the first query). It is safe to call repeatedly.
+func (r *Reasoner) SaturateContext(ctx context.Context) error {
+	_, err := r.ensure(ctx)
+	return err
+}
+
+// Saturate is SaturateContext without cancellation.
+//
+// Deprecated: use SaturateContext.
+func (r *Reasoner) Saturate() { _ = r.SaturateContext(context.Background()) }
 
 // atomQuery resolves a query concept to its atom; only ⊤, ⊥ and named
 // concepts of the TBox are queryable.
@@ -67,10 +89,12 @@ func (r *Reasoner) atomQuery(c *dl.Concept) (atom, error) {
 	return 0, fmt.Errorf("el: concept %v is not a named concept of TBox %q", c, r.tbox.Name)
 }
 
-// IsSatisfiable reports whether named concept c is satisfiable, i.e.
-// ⊥ ∉ S(c).
-func (r *Reasoner) IsSatisfiable(c *dl.Concept) (bool, error) {
-	r.ensure()
+// Sat reports whether named concept c is satisfiable, i.e. ⊥ ∉ S(c).
+func (r *Reasoner) Sat(ctx context.Context, c *dl.Concept) (bool, error) {
+	sat, err := r.ensure(ctx)
+	if err != nil {
+		return false, err
+	}
 	if c.Op == dl.OpBottom {
 		return false, nil
 	}
@@ -78,13 +102,16 @@ func (r *Reasoner) IsSatisfiable(c *dl.Concept) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	return !r.sat.ctxs[a].hasSub(atomBottom), nil
+	return !sat.ctxs[a].hasSub(atomBottom), nil
 }
 
-// Subsumes reports whether sup subsumes sub (sub ⊑ sup) for named
-// concepts (⊤/⊥ allowed on either side).
-func (r *Reasoner) Subsumes(sup, sub *dl.Concept) (bool, error) {
-	r.ensure()
+// Subs reports whether sup subsumes sub (sub ⊑ sup) for named concepts
+// (⊤/⊥ allowed on either side).
+func (r *Reasoner) Subs(ctx context.Context, sup, sub *dl.Concept) (bool, error) {
+	sat, err := r.ensure(ctx)
+	if err != nil {
+		return false, err
+	}
 	if sup.Op == dl.OpTop || sub.Op == dl.OpBottom {
 		return true, nil
 	}
@@ -92,7 +119,7 @@ func (r *Reasoner) Subsumes(sup, sub *dl.Concept) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	if r.sat.ctxs[sa].hasSub(atomBottom) {
+	if sat.ctxs[sa].hasSub(atomBottom) {
 		return true, nil // unsatisfiable concepts are subsumed by everything
 	}
 	if sup.Op == dl.OpBottom {
@@ -102,24 +129,41 @@ func (r *Reasoner) Subsumes(sup, sub *dl.Concept) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	return r.sat.ctxs[sa].hasSub(pa), nil
+	return sat.ctxs[sa].hasSub(pa), nil
+}
+
+// IsSatisfiable is the context-free convenience form of Sat.
+//
+// Deprecated: use Sat with a context.
+func (r *Reasoner) IsSatisfiable(c *dl.Concept) (bool, error) {
+	return r.Sat(context.Background(), c)
+}
+
+// Subsumes is the context-free convenience form of Subs.
+//
+// Deprecated: use Subs with a context.
+func (r *Reasoner) Subsumes(sup, sub *dl.Concept) (bool, error) {
+	return r.Subs(context.Background(), sup, sub)
 }
 
 // Subsumers returns the named subsumers of named concept c (excluding ⊤,
 // including c itself), or all named concepts if c is unsatisfiable.
 func (r *Reasoner) Subsumers(c *dl.Concept) ([]*dl.Concept, error) {
-	r.ensure()
+	sat, err := r.ensure(context.Background())
+	if err != nil {
+		return nil, err
+	}
 	a, err := r.atomQuery(c)
 	if err != nil {
 		return nil, err
 	}
-	if r.sat.ctxs[a].hasSub(atomBottom) {
+	if sat.ctxs[a].hasSub(atomBottom) {
 		out := make([]*dl.Concept, len(r.tbox.NamedConcepts()))
 		copy(out, r.tbox.NamedConcepts())
 		return out, nil
 	}
 	var out []*dl.Concept
-	for _, s := range r.sat.ctxs[a].snapshotSubs() {
+	for _, s := range sat.ctxs[a].snapshotSubs() {
 		if c := r.n.conceptOf[s]; c != nil && c.Op == dl.OpName {
 			out = append(out, c)
 		}
@@ -133,19 +177,28 @@ func (r *Reasoner) Subsumers(c *dl.Concept) ([]*dl.Concept, error) {
 // against ("ELK supports parallel TBox classification but is restricted
 // to the very small EL fragment of OWL", Sec. I).
 func (r *Reasoner) Classify() (*taxonomy.Taxonomy, error) {
-	r.ensure()
+	return r.ClassifyContext(context.Background())
+}
+
+// ClassifyContext is Classify with cancellation of the underlying
+// saturation.
+func (r *Reasoner) ClassifyContext(ctx context.Context) (*taxonomy.Taxonomy, error) {
+	sat, err := r.ensure(ctx)
+	if err != nil {
+		return nil, err
+	}
 	named := r.tbox.NamedConcepts()
 	subs := make(map[*dl.Concept]map[*dl.Concept]bool, len(named))
 	unsat := make(map[*dl.Concept]bool)
 	for _, c := range named {
 		a := r.n.atomOf[c]
-		if r.sat.ctxs[a].hasSub(atomBottom) {
+		if sat.ctxs[a].hasSub(atomBottom) {
 			unsat[c] = true
 			subs[c] = map[*dl.Concept]bool{c: true}
 			continue
 		}
 		row := map[*dl.Concept]bool{c: true}
-		for _, s := range r.sat.ctxs[a].snapshotSubs() {
+		for _, s := range sat.ctxs[a].snapshotSubs() {
 			if sc := r.n.conceptOf[s]; sc != nil && sc.Op == dl.OpName {
 				row[sc] = true
 			}

@@ -1,6 +1,7 @@
 package el
 
 import (
+	stdctx "context"
 	"sync"
 )
 
@@ -16,12 +17,14 @@ type fact struct {
 // workQueue is an unbounded multi-producer multi-consumer queue with
 // quiescence detection: it reports completion when every pushed fact has
 // been fully processed (including the facts that processing produced).
+// abort wakes all poppers early without waiting for quiescence.
 type workQueue struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
 	items   []fact
 	pending int // pushed but not yet fully processed
 	done    bool
+	aborted bool
 }
 
 func newWorkQueue() *workQueue {
@@ -39,15 +42,15 @@ func (q *workQueue) push(f fact) {
 	q.cond.Signal()
 }
 
-// pop blocks until a fact is available or the queue quiesces; ok is false
-// on quiescence.
+// pop blocks until a fact is available or the queue quiesces or aborts;
+// ok is false on quiescence or abort.
 func (q *workQueue) pop() (fact, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	for len(q.items) == 0 && !q.done {
 		q.cond.Wait()
 	}
-	if len(q.items) == 0 {
+	if q.aborted || len(q.items) == 0 {
 		return fact{}, false
 	}
 	f := q.items[len(q.items)-1]
@@ -68,9 +71,22 @@ func (q *workQueue) ack() {
 	q.mu.Unlock()
 }
 
-// context is the per-atom saturation state. Its mutex guards all fields;
-// locks on different contexts are never held simultaneously.
-type context struct {
+// abort makes every current and future pop return immediately with
+// ok=false, abandoning queued facts. The saturation that owns the queue
+// must then be discarded: its state is partial.
+func (q *workQueue) abort() {
+	q.mu.Lock()
+	q.done = true
+	q.aborted = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// atomCtx is the per-atom saturation state (a "context" in ELK
+// terminology; named atomCtx to leave the identifier context to the
+// standard library). Its mutex guards all fields; locks on different
+// atoms are never held simultaneously.
+type atomCtx struct {
 	mu    sync.Mutex
 	subs  map[atom]bool           // S(A)
 	preds map[int32]map[atom]bool // role → predecessors P with (P,role,A)
@@ -78,7 +94,7 @@ type context struct {
 }
 
 // claimSub atomically inserts c into S(A); reports whether it was new.
-func (c *context) claimSub(x atom) bool {
+func (c *atomCtx) claimSub(x atom) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.subs[x] {
@@ -92,7 +108,7 @@ func (c *context) claimSub(x atom) bool {
 }
 
 // claimPred atomically inserts (p, role) into preds; reports whether new.
-func (c *context) claimPred(role int32, p atom) bool {
+func (c *atomCtx) claimPred(role int32, p atom) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.preds == nil {
@@ -111,7 +127,7 @@ func (c *context) claimPred(role int32, p atom) bool {
 }
 
 // addSucc records (A, role, b) on the source side.
-func (c *context) addSucc(role int32, b atom) {
+func (c *atomCtx) addSucc(role int32, b atom) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.succs == nil {
@@ -125,7 +141,7 @@ func (c *context) addSucc(role int32, b atom) {
 	m[b] = true
 }
 
-func (c *context) snapshotSubs() []atom {
+func (c *atomCtx) snapshotSubs() []atom {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	out := make([]atom, 0, len(c.subs))
@@ -135,13 +151,13 @@ func (c *context) snapshotSubs() []atom {
 	return out
 }
 
-func (c *context) hasSub(x atom) bool {
+func (c *atomCtx) hasSub(x atom) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.subs[x]
 }
 
-func (c *context) snapshotPreds(role int32) []atom {
+func (c *atomCtx) snapshotPreds(role int32) []atom {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	m := c.preds[role]
@@ -152,7 +168,7 @@ func (c *context) snapshotPreds(role int32) []atom {
 	return out
 }
 
-func (c *context) snapshotAllPreds() []roleAtom {
+func (c *atomCtx) snapshotAllPreds() []roleAtom {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	var out []roleAtom
@@ -164,7 +180,7 @@ func (c *context) snapshotAllPreds() []roleAtom {
 	return out
 }
 
-func (c *context) snapshotSuccs(role int32) []atom {
+func (c *atomCtx) snapshotSuccs(role int32) []atom {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	m := c.succs[role]
@@ -178,16 +194,22 @@ func (c *context) snapshotSuccs(role int32) []atom {
 // saturation runs the completion rules to fixpoint.
 type saturation struct {
 	n    *normalized
-	ctxs []context
+	ctxs []atomCtx
 	q    *workQueue
 }
 
 func newSaturation(n *normalized) *saturation {
-	return &saturation{n: n, ctxs: make([]context, n.numAtoms), q: newWorkQueue()}
+	return &saturation{n: n, ctxs: make([]atomCtx, n.numAtoms), q: newWorkQueue()}
 }
 
 // run seeds the initial facts and saturates with the given worker count.
-func (s *saturation) run(workers int) {
+// When ctx is cancelled before the fixpoint is reached the queue is
+// aborted, the workers drain, and run returns ctx's error; the partial
+// saturation must not be queried.
+func (s *saturation) run(ctx stdctx.Context, workers int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if workers < 1 {
 		workers = 1
 	}
@@ -195,6 +217,21 @@ func (s *saturation) run(workers int) {
 	for a := 0; a < s.n.numAtoms; a++ {
 		s.deriveSub(atom(a), atom(a))
 		s.deriveSub(atom(a), atomTop)
+	}
+	// Watch for cancellation only when it is possible: Background/TODO
+	// contexts have a nil Done channel and skip the watcher entirely.
+	var watchWg sync.WaitGroup
+	stop := make(chan struct{})
+	if done := ctx.Done(); done != nil {
+		watchWg.Add(1)
+		go func() {
+			defer watchWg.Done()
+			select {
+			case <-done:
+				s.q.abort()
+			case <-stop:
+			}
+		}()
 	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -212,6 +249,9 @@ func (s *saturation) run(workers int) {
 		}()
 	}
 	wg.Wait()
+	close(stop)
+	watchWg.Wait()
+	return ctx.Err()
 }
 
 // deriveSub claims C ∈ S(A) and enqueues it for rule application.

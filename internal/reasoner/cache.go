@@ -1,6 +1,8 @@
 package reasoner
 
 import (
+	"context"
+	"errors"
 	"sync"
 
 	"parowl/internal/dl"
@@ -26,6 +28,12 @@ const cacheShards = 64
 // runs the underlying test and the other N-1 wait for its answer instead
 // of redundantly re-running a potentially expensive tableau test (the
 // thundering-herd fix).
+//
+// Single flight is deadline-aware: a waiter whose own context expires
+// stops waiting and returns its context error, and when the running
+// flight fails with the runner's context error (its per-test budget
+// expired), waiters with live contexts retry the call under their own
+// budget instead of inheriting the runner's timeout.
 //
 // Cached is safe for concurrent use. Errors are not cached: every waiter
 // of a failed flight receives the error, and the next caller retries.
@@ -69,54 +77,87 @@ func shardOf(key uint64) uint64 {
 func satKey(c *dl.Concept) uint64         { return uint64(uint32(c.ID)) }
 func subsKey(sup, sub *dl.Concept) uint64 { return uint64(uint32(sup.ID))<<32 | uint64(uint32(sub.ID)) }
 
+// isCtxErr reports whether err carries a context cancellation/deadline.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
 // do returns the cached answer for key, joining an in-flight call when
 // one exists, and otherwise runs fn exactly once for all concurrent
-// callers of this key.
-func (s *cacheShard) do(key uint64, fn func() (bool, error)) (bool, error) {
-	s.mu.Lock()
-	if v, ok := s.vals[key]; ok {
+// callers of this key. fn receives the caller's context.
+func (s *cacheShard) do(ctx context.Context, key uint64, fn func(context.Context) (bool, error)) (bool, error) {
+	for {
+		s.mu.Lock()
+		if v, ok := s.vals[key]; ok {
+			s.mu.Unlock()
+			return v, nil
+		}
+		if f, ok := s.inflight[key]; ok {
+			s.mu.Unlock()
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				return false, ctx.Err()
+			}
+			if f.err == nil {
+				return f.val, nil
+			}
+			if isCtxErr(f.err) && ctx.Err() == nil {
+				// The runner's budget expired, not ours: retry under our
+				// own context (becoming the new runner if still unsettled).
+				continue
+			}
+			return false, f.err
+		}
+		f := &flight{done: make(chan struct{})}
+		if s.inflight == nil {
+			s.inflight = make(map[uint64]*flight)
+		}
+		s.inflight[key] = f
 		s.mu.Unlock()
-		return v, nil
-	}
-	if f, ok := s.inflight[key]; ok {
+
+		f.val, f.err = fn(ctx)
+
+		s.mu.Lock()
+		delete(s.inflight, key)
+		if f.err == nil {
+			if s.vals == nil {
+				s.vals = make(map[uint64]bool)
+			}
+			s.vals[key] = f.val
+		}
 		s.mu.Unlock()
-		<-f.done
+		close(f.done)
 		return f.val, f.err
 	}
-	f := &flight{done: make(chan struct{})}
-	if s.inflight == nil {
-		s.inflight = make(map[uint64]*flight)
-	}
-	s.inflight[key] = f
-	s.mu.Unlock()
-
-	f.val, f.err = fn()
-
-	s.mu.Lock()
-	delete(s.inflight, key)
-	if f.err == nil {
-		if s.vals == nil {
-			s.vals = make(map[uint64]bool)
-		}
-		s.vals[key] = f.val
-	}
-	s.mu.Unlock()
-	close(f.done)
-	return f.val, f.err
 }
 
-// IsSatisfiable implements Interface.
-func (c *Cached) IsSatisfiable(x *dl.Concept) (bool, error) {
+// Sat implements Interface.
+func (c *Cached) Sat(ctx context.Context, x *dl.Concept) (bool, error) {
 	key := satKey(x)
-	return c.sat[shardOf(key)].do(key, func() (bool, error) {
-		return c.r.IsSatisfiable(x)
+	return c.sat[shardOf(key)].do(ctx, key, func(ctx context.Context) (bool, error) {
+		return c.r.Sat(ctx, x)
 	})
 }
 
-// Subsumes implements Interface.
-func (c *Cached) Subsumes(sup, sub *dl.Concept) (bool, error) {
+// Subs implements Interface.
+func (c *Cached) Subs(ctx context.Context, sup, sub *dl.Concept) (bool, error) {
 	key := subsKey(sup, sub)
-	return c.subs[shardOf(key)].do(key, func() (bool, error) {
-		return c.r.Subsumes(sup, sub)
+	return c.subs[shardOf(key)].do(ctx, key, func(ctx context.Context) (bool, error) {
+		return c.r.Subs(ctx, sup, sub)
 	})
+}
+
+// IsSatisfiable is the context-free convenience form of Sat.
+//
+// Deprecated: use Sat with a context.
+func (c *Cached) IsSatisfiable(x *dl.Concept) (bool, error) {
+	return c.Sat(context.Background(), x)
+}
+
+// Subsumes is the context-free convenience form of Subs.
+//
+// Deprecated: use Subs with a context.
+func (c *Cached) Subsumes(sup, sub *dl.Concept) (bool, error) {
+	return c.Subs(context.Background(), sup, sub)
 }

@@ -1,6 +1,7 @@
 package reasoner
 
 import (
+	"context"
 	"time"
 
 	"parowl/internal/bitset"
@@ -174,8 +175,12 @@ func NewOracle(t *dl.TBox, opts OracleOptions) *Oracle {
 	return o
 }
 
-// IsSatisfiable implements Interface for named concepts (⊤/⊥ allowed).
-func (o *Oracle) IsSatisfiable(c *dl.Concept) (bool, error) {
+// Sat implements Interface for named concepts (⊤/⊥ allowed). The answer
+// is a bitset lookup, so the context is only checked up front.
+func (o *Oracle) Sat(ctx context.Context, c *dl.Concept) (bool, error) {
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
 	switch c.Op {
 	case dl.OpTop:
 		return true, nil
@@ -189,8 +194,11 @@ func (o *Oracle) IsSatisfiable(c *dl.Concept) (bool, error) {
 	return !o.unsat.Test(i), nil
 }
 
-// Subsumes implements Interface for named concepts (⊤/⊥ allowed).
-func (o *Oracle) Subsumes(sup, sub *dl.Concept) (bool, error) {
+// Subs implements Interface for named concepts (⊤/⊥ allowed).
+func (o *Oracle) Subs(ctx context.Context, sup, sub *dl.Concept) (bool, error) {
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
 	if sup.Op == dl.OpTop || sub.Op == dl.OpBottom {
 		return true, nil
 	}
@@ -209,6 +217,20 @@ func (o *Oracle) Subsumes(sup, sub *dl.Concept) (bool, error) {
 		return false, errNotNamed(sup, o.tbox)
 	}
 	return o.ancestors[si].Test(pi), nil
+}
+
+// IsSatisfiable is the context-free convenience form of Sat.
+//
+// Deprecated: use Sat with a context.
+func (o *Oracle) IsSatisfiable(c *dl.Concept) (bool, error) {
+	return o.Sat(context.Background(), c)
+}
+
+// Subsumes is the context-free convenience form of Subs.
+//
+// Deprecated: use Subs with a context.
+func (o *Oracle) Subsumes(sup, sub *dl.Concept) (bool, error) {
+	return o.Subs(context.Background(), sup, sub)
 }
 
 // VirtualSubsCost implements Virtual.

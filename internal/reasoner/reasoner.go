@@ -12,11 +12,20 @@
 //     per-test cost model, standing in for HermiT in scalability
 //     experiments where only scheduling behaviour matters.
 //
+// Every call carries a context.Context: single tableau tests on QCR-heavy
+// ontologies can dominate wall time by orders of magnitude, so the
+// classifier imposes per-test deadlines and plug-ins are expected to
+// observe cancellation cooperatively (returning ctx.Err(), usually
+// wrapped, as soon as practical after the context is done). A plug-in
+// that ignores its context still computes correct answers but cannot be
+// budgeted.
+//
 // The package also supplies a thread-safe memoizing decorator (Cached)
 // and shared call statistics.
 package reasoner
 
 import (
+	"context"
 	"sync/atomic"
 
 	"parowl/internal/dl"
@@ -26,11 +35,49 @@ import (
 // must be safe for concurrent use: the classifier calls them from every
 // worker thread.
 //
-// Subsumes(sup, sub) answers sub ⊑ sup — the paper's subs?(sup, sub).
-// IsSatisfiable answers the paper's sat?().
+// Subs(ctx, sup, sub) answers sub ⊑ sup — the paper's subs?(sup, sub).
+// Sat answers the paper's sat?(). Implementations should honour ctx
+// cancellation and deadlines by returning an error satisfying
+// errors.Is(err, ctx.Err()); the classifier relies on this to bound the
+// cost of pathological tests.
 type Interface interface {
+	Sat(ctx context.Context, c *dl.Concept) (bool, error)
+	Subs(ctx context.Context, sup, sub *dl.Concept) (bool, error)
+}
+
+// LegacyInterface is the pre-context plug-in shape. Third-party plug-ins
+// written against it keep working through Adapt.
+//
+// Deprecated: implement Interface (context-threaded) directly.
+type LegacyInterface interface {
 	IsSatisfiable(c *dl.Concept) (bool, error)
 	Subsumes(sup, sub *dl.Concept) (bool, error)
+}
+
+// legacyAdapter bridges a LegacyInterface plug-in into Interface. The
+// context is checked before each call, but a running legacy test cannot
+// be interrupted.
+type legacyAdapter struct{ l LegacyInterface }
+
+// Adapt wraps a context-free legacy plug-in as an Interface. The adapter
+// refuses to start a call on a done context but cannot cancel a call in
+// flight — per-test deadlines degrade to best effort for such plug-ins.
+func Adapt(l LegacyInterface) Interface { return legacyAdapter{l} }
+
+// Sat implements Interface.
+func (a legacyAdapter) Sat(ctx context.Context, c *dl.Concept) (bool, error) {
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	return a.l.IsSatisfiable(c)
+}
+
+// Subs implements Interface.
+func (a legacyAdapter) Subs(ctx context.Context, sup, sub *dl.Concept) (bool, error) {
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	return a.l.Subsumes(sup, sub)
 }
 
 // Factory builds a plug-in reasoner for a TBox. Classifier options carry a
@@ -49,14 +96,14 @@ type Counting struct {
 	S *Stats
 }
 
-// IsSatisfiable implements Interface.
-func (c Counting) IsSatisfiable(x *dl.Concept) (bool, error) {
+// Sat implements Interface.
+func (c Counting) Sat(ctx context.Context, x *dl.Concept) (bool, error) {
 	c.S.SatCalls.Add(1)
-	return c.R.IsSatisfiable(x)
+	return c.R.Sat(ctx, x)
 }
 
-// Subsumes implements Interface.
-func (c Counting) Subsumes(sup, sub *dl.Concept) (bool, error) {
+// Subs implements Interface.
+func (c Counting) Subs(ctx context.Context, sup, sub *dl.Concept) (bool, error) {
 	c.S.SubsCalls.Add(1)
-	return c.R.Subsumes(sup, sub)
+	return c.R.Subs(ctx, sup, sub)
 }

@@ -1,6 +1,7 @@
 package reasoner
 
 import (
+	"context"
 	"errors"
 	"runtime"
 	"sync"
@@ -135,13 +136,13 @@ type countedFake struct {
 	calls int
 }
 
-func (c *countedFake) IsSatisfiable(*dl.Concept) (bool, error) {
+func (c *countedFake) Sat(_ context.Context, _ *dl.Concept) (bool, error) {
 	c.mu.Lock()
 	c.calls++
 	c.mu.Unlock()
 	return true, nil
 }
-func (c *countedFake) Subsumes(_, _ *dl.Concept) (bool, error) {
+func (c *countedFake) Subs(_ context.Context, _, _ *dl.Concept) (bool, error) {
 	c.mu.Lock()
 	c.calls++
 	c.mu.Unlock()
@@ -176,8 +177,12 @@ func TestCachedDedupes(t *testing.T) {
 
 type errReasoner struct{}
 
-func (errReasoner) IsSatisfiable(*dl.Concept) (bool, error) { return false, errors.New("boom") }
-func (errReasoner) Subsumes(_, _ *dl.Concept) (bool, error) { return false, errors.New("boom") }
+func (errReasoner) Sat(context.Context, *dl.Concept) (bool, error) {
+	return false, errors.New("boom")
+}
+func (errReasoner) Subs(context.Context, *dl.Concept, *dl.Concept) (bool, error) {
+	return false, errors.New("boom")
+}
 
 func TestCachedDoesNotCacheErrors(t *testing.T) {
 	tb := oracleTBox()
@@ -196,9 +201,10 @@ func TestCountingWrapper(t *testing.T) {
 	f := tb.Factory
 	var stats Stats
 	c := Counting{R: &countedFake{}, S: &stats}
-	_, _ = c.Subsumes(f.Name("A"), f.Name("B"))
-	_, _ = c.IsSatisfiable(f.Name("A"))
-	_, _ = c.IsSatisfiable(f.Name("B"))
+	ctx := context.Background()
+	_, _ = c.Subs(ctx, f.Name("A"), f.Name("B"))
+	_, _ = c.Sat(ctx, f.Name("A"))
+	_, _ = c.Sat(ctx, f.Name("B"))
 	if stats.SubsCalls.Load() != 1 || stats.SatCalls.Load() != 2 {
 		t.Errorf("stats = %d subs, %d sat", stats.SubsCalls.Load(), stats.SatCalls.Load())
 	}
@@ -213,9 +219,9 @@ type gatedReasoner struct {
 	release chan struct{} // closed by fn once all callers are in
 }
 
-func (g *gatedReasoner) IsSatisfiable(*dl.Concept) (bool, error) { return true, nil }
+func (g *gatedReasoner) Sat(context.Context, *dl.Concept) (bool, error) { return true, nil }
 
-func (g *gatedReasoner) Subsumes(_, _ *dl.Concept) (bool, error) {
+func (g *gatedReasoner) Subs(_ context.Context, _, _ *dl.Concept) (bool, error) {
 	g.calls.Add(1)
 	// Wait until every test goroutine has issued its request, then give
 	// the stragglers a moment to reach the in-flight wait before

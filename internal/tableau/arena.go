@@ -87,6 +87,8 @@ func (s *solver) resetForReuse() {
 	s.graphUsed = 0
 	s.arena.reset()
 	s.g = nil
+	s.ctx = nil
+	s.done = nil
 	s.nextBranch = 0
 	s.created = 0
 	s.nodesReused = 0

@@ -1,0 +1,50 @@
+package tableau
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestSatCancelled: an already-cancelled context aborts the test before
+// (or during) expansion, surfaces the cause, and is counted.
+func TestSatCancelled(t *testing.T) {
+	tb, f, _ := newEmpty(t)
+	a, b := f.Name("A"), f.Name("B")
+	tb.SubClassOf(a, f.Some(f.Role("r"), b))
+	r := New(tb, Options{})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := r.Sat(ctx, a); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Sat under cancelled ctx: err = %v, want context.Canceled", err)
+	}
+	if got := r.Stats().Cancelled.Load(); got < 1 {
+		t.Errorf("Stats.Cancelled = %d, want >= 1", got)
+	}
+
+	// The same reasoner (and its pooled solvers) stays usable: a fresh
+	// context decides the test normally.
+	ok, err := r.Sat(context.Background(), a)
+	if err != nil || !ok {
+		t.Fatalf("Sat after cancellation = %v, %v; want true, nil", ok, err)
+	}
+}
+
+// TestSubsCancelled mirrors TestSatCancelled for the subsumption entry point.
+func TestSubsCancelled(t *testing.T) {
+	tb, f, _ := newEmpty(t)
+	a, b := f.Name("A"), f.Name("B")
+	tb.SubClassOf(a, b)
+	r := New(tb, Options{})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := r.Subs(ctx, b, a); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Subs under cancelled ctx: err = %v, want context.Canceled", err)
+	}
+	ok, err := r.Subs(context.Background(), b, a)
+	if err != nil || !ok {
+		t.Fatalf("Subs after cancellation = %v, %v; want true, nil", ok, err)
+	}
+}

@@ -1,6 +1,7 @@
 package tableau
 
 import (
+	"context"
 	"sync"
 
 	"parowl/internal/dl"
@@ -111,13 +112,14 @@ func (mc *modelCache) put(c *dl.Concept, pm *pmodel) {
 }
 
 // pseudoModel returns the cached pseudo model of c, running a
-// satisfiability test to build it on first use. Errors (budget blowups)
-// yield a nil model, which disables merging for c.
-func (r *Reasoner) pseudoModel(c *dl.Concept) *pmodel {
+// satisfiability test to build it on first use. Errors (budget blowups,
+// cancellation) yield a nil model, which disables merging for c.
+func (r *Reasoner) pseudoModel(ctx context.Context, c *dl.Concept) *pmodel {
 	if pm, ok := r.models.get(c); ok {
 		return pm
 	}
 	s := r.acquireSolver()
+	s.bindContext(ctx)
 	s.start(c)
 	sat, _, err := s.solve()
 	// Extract before release: the graph is arena state and is recycled the

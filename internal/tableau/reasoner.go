@@ -1,6 +1,7 @@
 package tableau
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
@@ -35,9 +36,10 @@ type Options struct {
 // tests run on other goroutines.
 type Stats struct {
 	SatTests   atomic.Int64 // calls answered by a tableau run
-	SubsTests  atomic.Int64 // Subsumes calls (each is one sat test)
+	SubsTests  atomic.Int64 // Subs calls (each is one sat test)
 	Nodes      atomic.Int64 // completion-graph nodes created, cumulative
 	MergeSkips atomic.Int64 // non-subsumptions decided by model merging
+	Cancelled  atomic.Int64 // tests abandoned on context cancellation
 
 	// Arena effectiveness counters (see arena.go). A warm classification
 	// run should show Reused ≫ Allocated on both pairs.
@@ -51,6 +53,11 @@ type Stats struct {
 // TBox. The preprocessed state is read-only, so a single Reasoner is safe
 // for concurrent use by many workers — exactly how the classifier shares
 // its plug-in reasoner across the thread pool.
+//
+// Every test observes its context cooperatively: the expansion loop
+// checks for cancellation between rule passes, so a test under a
+// deadline stops within one pass of the deadline firing and returns the
+// context error instead of an answer.
 type Reasoner struct {
 	tbox    *dl.TBox
 	prep    *prep
@@ -106,30 +113,35 @@ func (r *Reasoner) TBox() *dl.TBox { return r.tbox }
 // Stats exposes the activity counters.
 func (r *Reasoner) Stats() *Stats { return &r.stats }
 
-// IsSatisfiable reports whether concept c is satisfiable with respect to
-// the TBox.
-func (r *Reasoner) IsSatisfiable(c *dl.Concept) (bool, error) {
+// Sat reports whether concept c is satisfiable with respect to the TBox.
+// When ctx is cancelled or its deadline passes, the test is abandoned and
+// the context error is returned.
+func (r *Reasoner) Sat(ctx context.Context, c *dl.Concept) (bool, error) {
 	r.stats.SatTests.Add(1)
 	s := r.acquireSolver()
+	s.bindContext(ctx)
 	s.start(c)
 	sat, _, err := s.solve()
 	r.releaseSolver(s)
+	if err != nil && ctx.Err() != nil {
+		r.stats.Cancelled.Add(1)
+	}
 	return sat, err
 }
 
-// Subsumes reports whether sup subsumes sub (sub ⊑ sup) with respect to
-// the TBox, by testing the unsatisfiability of sub ⊓ ¬sup. With
+// Subs reports whether sup subsumes sub (sub ⊑ sup) with respect to the
+// TBox, by testing the unsatisfiability of sub ⊓ ¬sup. With
 // Options.ModelMerging, mergeable cached pseudo models of sub and ¬sup
 // decide the (far more common) negative answer without a tableau run.
-func (r *Reasoner) Subsumes(sup, sub *dl.Concept) (bool, error) {
+func (r *Reasoner) Subs(ctx context.Context, sup, sub *dl.Concept) (bool, error) {
 	r.stats.SubsTests.Add(1)
 	f := r.tbox.Factory
 	if r.opts.ModelMerging {
-		pmSub := r.pseudoModel(sub)
+		pmSub := r.pseudoModel(ctx, sub)
 		if pmSub != nil && !pmSub.sat {
 			return true, nil // unsatisfiable sub is subsumed by everything
 		}
-		pmNeg := r.pseudoModel(f.Not(sup))
+		pmNeg := r.pseudoModel(ctx, f.Not(sup))
 		if pmNeg != nil && !pmNeg.sat {
 			return true, nil // ¬sup unsatisfiable: sup ≡ ⊤
 		}
@@ -138,9 +150,23 @@ func (r *Reasoner) Subsumes(sup, sub *dl.Concept) (bool, error) {
 			return false, nil
 		}
 	}
-	sat, err := r.IsSatisfiable(f.And(sub, f.Not(sup)))
+	sat, err := r.Sat(ctx, f.And(sub, f.Not(sup)))
 	if err != nil {
 		return false, err
 	}
 	return !sat, nil
+}
+
+// IsSatisfiable is the context-free convenience form of Sat.
+//
+// Deprecated: use Sat with a context.
+func (r *Reasoner) IsSatisfiable(c *dl.Concept) (bool, error) {
+	return r.Sat(context.Background(), c)
+}
+
+// Subsumes is the context-free convenience form of Subs.
+//
+// Deprecated: use Subs with a context.
+func (r *Reasoner) Subsumes(sup, sub *dl.Concept) (bool, error) {
+	return r.Subs(context.Background(), sup, sub)
 }

@@ -1,6 +1,7 @@
 package tableau
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -25,6 +26,13 @@ type solver struct {
 	maxNodes    int
 	created     int
 	maxBranches int32
+
+	// Cooperative cancellation for the current test. done is ctx.Done(),
+	// captured once per test: it is nil for non-cancellable contexts
+	// (context.Background), so the hot path pays a single nil check per
+	// expansion pass. ctx is kept only to surface ctx.Err().
+	ctx  context.Context
+	done <-chan struct{}
 
 	// arena allocation state: dependency-set slabs, node and graph slabs,
 	// and reuse counters harvested into Reasoner.Stats on release.
@@ -57,13 +65,39 @@ type choice struct {
 	alts []alternative
 }
 
+// bindContext arms cooperative cancellation for the next test. Called
+// after acquireSolver and undone by resetForReuse.
+func (s *solver) bindContext(ctx context.Context) {
+	s.ctx = ctx
+	s.done = ctx.Done()
+}
+
+// cancelled polls the bound context without blocking. It is called once
+// per expansion pass (each pass scans the whole graph), so the per-check
+// cost is amortized to nothing while cancellation latency stays bounded
+// by a single rule pass.
+func (s *solver) cancelled() bool {
+	if s.done == nil {
+		return false
+	}
+	select {
+	case <-s.done:
+		return true
+	default:
+		return false
+	}
+}
+
 // solve runs the tableau calculus to completion on the current graph.
 // It returns (true, nil) when a complete clash-free graph was found,
 // (false, deps) when every expansion clashes (deps are the clash's branch
 // dependencies, used for backjumping), or an error when the node budget
-// was exhausted.
+// was exhausted or the context was cancelled.
 func (s *solver) solve() (bool, depSet, error) {
 	for {
+		if s.cancelled() {
+			return false, nil, fmt.Errorf("tableau: test abandoned: %w", s.ctx.Err())
+		}
 		if deps, clash := s.findClash(); clash {
 			return false, deps, nil
 		}

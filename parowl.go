@@ -57,8 +57,18 @@ type (
 	TaxonomyNode = taxonomy.Node
 	// TaxonomyDiff reports semantic differences between two taxonomies.
 	TaxonomyDiff = taxonomy.Diff
-	// Reasoner is the plug-in interface behind sat?() and subs?().
+	// Reasoner is the plug-in interface behind sat?() and subs?(). Both
+	// methods receive a context; plug-ins must return promptly (with an
+	// error wrapping the context's error) once it is cancelled, which is
+	// what makes Options.TestTimeout budgets effective.
 	Reasoner = reasoner.Interface
+	// LegacyReasoner is the pre-context plug-in shape; wrap one with
+	// AdaptReasoner. Such plug-ins cannot be interrupted, so per-test
+	// budgets only bound the time-to-abandon, not the call itself.
+	LegacyReasoner = reasoner.LegacyInterface
+	// Undecided is one reasoner test abandoned under the per-test budget
+	// (see Options.TestTimeout) or recovered from a plug-in panic.
+	Undecided = core.Undecided
 	// Options configures Classify; see the field docs in internal/core.
 	Options = core.Options
 	// Result is a classification outcome: taxonomy, stats and trace.
@@ -103,9 +113,48 @@ const (
 // NewTBox returns an empty TBox to build programmatically.
 func NewTBox(name string) *TBox { return dl.NewTBox(name) }
 
-// LoadFile loads an ontology from disk, dispatching on the extension:
-// .obo parses as OBO 1.2, .omn as Manchester syntax, anything else as OWL
-// functional-style syntax.
+// Format identifies an ontology serialization syntax for Write/WriteFile
+// and LoadFile's extension dispatch.
+type Format int
+
+// Supported serialization formats.
+const (
+	// FormatFunctional is OWL 2 functional-style syntax (the default).
+	FormatFunctional Format = iota
+	// FormatOBO is OBO 1.2 (representable EL TBoxes only).
+	FormatOBO
+	// FormatManchester is OWL 2 Manchester syntax.
+	FormatManchester
+)
+
+func (f Format) String() string {
+	switch f {
+	case FormatOBO:
+		return "obo"
+	case FormatManchester:
+		return "manchester"
+	default:
+		return "functional"
+	}
+}
+
+// DetectFormat maps a file path to the format implied by its extension:
+// .obo is FormatOBO, .omn and .manchester are FormatManchester, anything
+// else is FormatFunctional. LoadFile, WriteFile and the cmd/ tools all
+// dispatch through it, so the mapping is defined exactly once.
+func DetectFormat(path string) Format {
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".obo":
+		return FormatOBO
+	case ".omn", ".manchester":
+		return FormatManchester
+	default:
+		return FormatFunctional
+	}
+}
+
+// LoadFile loads an ontology from disk, dispatching on the extension via
+// DetectFormat.
 func LoadFile(path string) (*TBox, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -113,53 +162,78 @@ func LoadFile(path string) (*TBox, error) {
 	}
 	defer f.Close()
 	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
-	switch strings.ToLower(filepath.Ext(path)) {
-	case ".obo":
+	switch DetectFormat(path) {
+	case FormatOBO:
 		return obo.Parse(f, name)
-	case ".omn", ".manchester":
+	case FormatManchester:
 		return manchester.Parse(f, name)
 	default:
 		return owlfss.Parse(f, name)
 	}
 }
 
-// WriteFunctional writes the TBox as OWL functional-style syntax.
-func WriteFunctional(w io.Writer, t *TBox) error { return owlfss.Write(w, t) }
+// Write serializes the TBox to w in the given format.
+func Write(w io.Writer, t *TBox, f Format) error {
+	switch f {
+	case FormatOBO:
+		return obo.Write(w, t)
+	case FormatManchester:
+		return manchester.Write(w, t)
+	case FormatFunctional:
+		return owlfss.Write(w, t)
+	default:
+		return fmt.Errorf("parowl: unknown format %d", f)
+	}
+}
 
-// WriteOBO writes an EL TBox as an OBO document.
-func WriteOBO(w io.Writer, t *TBox) error { return obo.Write(w, t) }
-
-// WriteManchester writes the TBox in Manchester syntax.
-func WriteManchester(w io.Writer, t *TBox) error { return manchester.Write(w, t) }
-
-// WriteManchesterFile writes the TBox in Manchester syntax to a file.
-func WriteManchesterFile(path string, t *TBox) error {
-	f, err := os.Create(path)
+// WriteFile serializes the TBox to a file in the given format. Pass
+// DetectFormat(path) to let the extension pick the syntax.
+func WriteFile(path string, t *TBox, f Format) error {
+	out, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	return manchester.Write(f, t)
+	if err := Write(out, t, f); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}
+
+// WriteFunctional writes the TBox as OWL functional-style syntax.
+//
+// Deprecated: use Write with FormatFunctional.
+func WriteFunctional(w io.Writer, t *TBox) error { return Write(w, t, FormatFunctional) }
+
+// WriteOBO writes an EL TBox as an OBO document.
+//
+// Deprecated: use Write with FormatOBO.
+func WriteOBO(w io.Writer, t *TBox) error { return Write(w, t, FormatOBO) }
+
+// WriteManchester writes the TBox in Manchester syntax.
+//
+// Deprecated: use Write with FormatManchester.
+func WriteManchester(w io.Writer, t *TBox) error { return Write(w, t, FormatManchester) }
+
+// WriteManchesterFile writes the TBox in Manchester syntax to a file.
+//
+// Deprecated: use WriteFile with FormatManchester.
+func WriteManchesterFile(path string, t *TBox) error {
+	return WriteFile(path, t, FormatManchester)
 }
 
 // WriteFunctionalFile writes the TBox as OWL functional-style syntax.
+//
+// Deprecated: use WriteFile with FormatFunctional.
 func WriteFunctionalFile(path string, t *TBox) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	return owlfss.Write(f, t)
+	return WriteFile(path, t, FormatFunctional)
 }
 
 // WriteOBOFile writes an EL TBox as an OBO document.
+//
+// Deprecated: use WriteFile with FormatOBO.
 func WriteOBOFile(path string, t *TBox) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	return obo.Write(f, t)
+	return WriteFile(path, t, FormatOBO)
 }
 
 // ComputeMetrics returns the ontology's metric row.
@@ -240,21 +314,39 @@ func ClassifyContext(ctx context.Context, t *TBox, opts Options) (*Result, error
 // ClassifySequential is the brute-force sequential baseline (every pair
 // tested, one goroutine).
 func ClassifySequential(t *TBox, r Reasoner) (*Taxonomy, error) {
+	return ClassifySequentialContext(context.Background(), t, r)
+}
+
+// ClassifySequentialContext is ClassifySequential with cancellation: the
+// context reaches every reasoner call and is checked between pairs.
+func ClassifySequentialContext(ctx context.Context, t *TBox, r Reasoner) (*Taxonomy, error) {
 	if r == nil {
 		r = NewAutoReasoner(t)
 	}
-	return core.SequentialBruteForce(t, r)
+	return core.SequentialBruteForceContext(ctx, t, r)
 }
 
 // ClassifyEnhancedTraversal is the classical insertion-based sequential
 // algorithm used by Racer/FaCT++/HermiT (the paper's sequential
 // comparator).
 func ClassifyEnhancedTraversal(t *TBox, r Reasoner) (*Taxonomy, error) {
+	return ClassifyEnhancedTraversalContext(context.Background(), t, r)
+}
+
+// ClassifyEnhancedTraversalContext is ClassifyEnhancedTraversal with
+// cancellation: the context reaches every reasoner call and is checked
+// between concept insertions.
+func ClassifyEnhancedTraversalContext(ctx context.Context, t *TBox, r Reasoner) (*Taxonomy, error) {
 	if r == nil {
 		r = NewAutoReasoner(t)
 	}
-	return core.EnhancedTraversal(t, r)
+	return core.EnhancedTraversalContext(ctx, t, r)
 }
+
+// AdaptReasoner wraps a pre-context plug-in as a Reasoner. The adapter
+// checks the context before each call but cannot interrupt a call in
+// flight, so prefer implementing the context-aware interface directly.
+func AdaptReasoner(l LegacyReasoner) Reasoner { return reasoner.Adapt(l) }
 
 // Profiles returns the 14 corpus profiles of the paper's Tables IV and V.
 func Profiles() []Profile {

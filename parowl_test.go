@@ -209,3 +209,91 @@ func TestTaxonomyRender(t *testing.T) {
 		t.Errorf("Render output suspicious:\n%s", out)
 	}
 }
+
+func TestFormatNames(t *testing.T) {
+	cases := map[Format]string{
+		FormatFunctional: "functional",
+		FormatOBO:        "obo",
+		FormatManchester: "manchester",
+	}
+	for f, want := range cases {
+		if got := f.String(); got != want {
+			t.Errorf("Format(%d).String() = %q, want %q", int(f), got, want)
+		}
+	}
+}
+
+func TestDetectFormat(t *testing.T) {
+	cases := map[string]Format{
+		"onto.obo":            FormatOBO,
+		"dir/ONTO.OBO":        FormatOBO,
+		"onto.omn":            FormatManchester,
+		"onto.manchester":     FormatManchester,
+		"onto.ofn":            FormatFunctional,
+		"onto.owl":            FormatFunctional,
+		"no-extension":        FormatFunctional,
+		"weird.obo.ofn":       FormatFunctional,
+		"/abs/path/file.OMN":  FormatManchester,
+	}
+	for path, want := range cases {
+		if got := DetectFormat(path); got != want {
+			t.Errorf("DetectFormat(%q) = %v, want %v", path, got, want)
+		}
+	}
+}
+
+// TestWriteFormatDispatch drives the collapsed Write/WriteFile API: one
+// ontology, every format, reload through LoadFile's matching extension
+// dispatch, and identical classification after each round trip.
+func TestWriteFormatDispatch(t *testing.T) {
+	dir := t.TempDir()
+	tb := buildSmallTBox(t)
+	want, err := Classify(tb, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name   string
+		format Format
+	}{
+		{"out.ofn", FormatFunctional},
+		{"out.obo", FormatOBO},
+		{"out.omn", FormatManchester},
+		{"out.manchester", FormatManchester},
+	} {
+		path := filepath.Join(dir, tc.name)
+		if got := DetectFormat(path); got != tc.format {
+			t.Fatalf("DetectFormat(%q) = %v, want %v", tc.name, got, tc.format)
+		}
+		if err := WriteFile(path, tb, tc.format); err != nil {
+			t.Fatalf("WriteFile(%s, %v): %v", tc.name, tc.format, err)
+		}
+		back, err := LoadFile(path)
+		if err != nil {
+			t.Fatalf("LoadFile(%s): %v", tc.name, err)
+		}
+		if back.NumNamed() != tb.NumNamed() {
+			t.Errorf("%s: round trip lost concepts: %d vs %d", tc.name, back.NumNamed(), tb.NumNamed())
+		}
+		got, err := Classify(back, Options{})
+		if err != nil {
+			t.Fatalf("classifying %s round trip: %v", tc.name, err)
+		}
+		if got.Taxonomy.Fingerprint() != want.Taxonomy.Fingerprint() {
+			t.Errorf("%s: round trip changed classification", tc.name)
+		}
+	}
+
+	// Unknown format values are rejected, not silently defaulted.
+	if err := Write(os.Stderr, tb, Format(42)); err == nil {
+		t.Error("Write accepted Format(42)")
+	}
+	if err := WriteFile(filepath.Join(dir, "bad.ofn"), tb, Format(42)); err == nil {
+		t.Error("WriteFile accepted Format(42)")
+	}
+	if !strings.Contains(Format(42).String(), "functional") {
+		// String() defaults unknowns to "functional" for display only;
+		// pin that so Write's stricter behavior stays deliberate.
+		t.Errorf("Format(42).String() = %q", Format(42).String())
+	}
+}

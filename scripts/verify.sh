@@ -11,6 +11,22 @@ echo "== go vet ./..."
 go vet ./...
 echo "== go test ./..."
 go test ./...
-echo "== go test -race (core, tableau, reasoner)"
-go test -race ./internal/core/... ./internal/tableau/... ./internal/reasoner/...
+echo "== go test -race (core, tableau, reasoner, el)"
+go test -race ./internal/core/... ./internal/tableau/... ./internal/reasoner/... ./internal/el/...
+
+# Static analysis beyond vet, when the tools are installed. staticcheck
+# failures are hard errors; govulncheck needs the network for its vuln DB,
+# so an offline/transient failure only warns.
+if command -v staticcheck >/dev/null 2>&1; then
+    echo "== staticcheck ./..."
+    staticcheck ./...
+else
+    echo "== staticcheck not installed; skipping"
+fi
+if command -v govulncheck >/dev/null 2>&1; then
+    echo "== govulncheck ./..."
+    govulncheck ./... || echo "verify: WARNING: govulncheck failed (network or DB unavailable); not fatal"
+else
+    echo "== govulncheck not installed; skipping"
+fi
 echo "verify: OK"
