@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench bench-tableau
+.PHONY: build test verify bench bench-tableau bench-classify
 
 build:
 	$(GO) build ./...
@@ -20,3 +20,9 @@ bench:
 # BENCH_tableau.json for commit-over-commit comparison.
 bench-tableau:
 	$(GO) run ./cmd/benchfig -exp tableau
+
+# End-to-end classification benchmark (real tableau reasoning, cheap-first
+# pipeline off vs on), written to BENCH_classify.json; compares against
+# the previous run via benchstat when available.
+bench-classify:
+	sh scripts/bench_classify.sh

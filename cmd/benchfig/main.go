@@ -33,6 +33,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"strconv"
+	"strings"
 	"testing"
 	"time"
 
@@ -45,7 +46,7 @@ import (
 )
 
 var (
-	expFlag     = flag.String("exp", "all", "experiment: table4|table5|fig9a|fig9b|fig9c|fig10a|fig10b|fig11|balance|future|all")
+	expFlag     = flag.String("exp", "all", "experiment: table4|table5|fig9a|fig9b|fig9c|fig10a|fig10b|fig11|balance|future|tableau|classify|all")
 	seedFlag    = flag.Int64("seed", 1, "corpus generation and shuffle seed")
 	scaleFlag   = flag.Int("scale", 4, "divide corpus sizes by this factor (1 = full size)")
 	cyclesFlag  = flag.Int("cycles", 2, "random-division cycles for speedup runs")
@@ -53,6 +54,10 @@ var (
 	bigNFlag    = flag.Int("bign", 20000, "concept count for the -exp future large-scale run")
 	csvFlag     = flag.String("csv", "", "also write each speedup curve / ratio series as CSV into this directory")
 	benchOut    = flag.String("benchout", "BENCH_tableau.json", "output path for the -exp tableau microbenchmark results")
+
+	classifyOut     = flag.String("classifyout", "BENCH_classify.json", "output path for the -exp classify results")
+	classifyScale   = flag.Int("classifyscale", 16, "corpus scale divisor for -exp classify (real tableau reasoning; larger = faster)")
+	classifyWorkers = flag.Int("classifyworkers", 8, "worker count for -exp classify")
 )
 
 func main() {
@@ -68,10 +73,11 @@ func main() {
 		"fig10b": func() error {
 			return fig10("fig10b", []string{"rnao_functional", "bridg.biomedical_domain"}, workers80)
 		},
-		"fig11":   fig11,
-		"balance": balance,
-		"future":  future,     // not part of "all": several minutes of work
-		"tableau": tableauHot, // not part of "all": hot-path microbenchmarks
+		"fig11":    fig11,
+		"balance":  balance,
+		"future":   future,        // not part of "all": several minutes of work
+		"tableau":  tableauHot,    // not part of "all": hot-path microbenchmarks
+		"classify": classifyBench, // not part of "all": real end-to-end reasoning
 	}
 	order := []string{"table4", "table5", "fig9a", "fig9b", "fig9c", "fig10a", "fig10b", "fig11", "balance"}
 	run := func(name string) {
@@ -568,6 +574,151 @@ func tableauHot() error {
 	fmt.Printf("wrote %s (solver reuse %d/%d, node reuse %d/%d)\n", *benchOut,
 		report.Arena.SolversReused, report.Arena.SolversReused+report.Arena.SolversAllocated,
 		report.Arena.NodesReused, report.Arena.NodesReused+report.Arena.NodesAllocated)
+	return nil
+}
+
+// classifyRun is one pipeline configuration's measurements in the
+// BENCH_classify.json report. Plug-in calls are what the tableau actually
+// executed; the core counters explain where the avoided calls went.
+type classifyRun struct {
+	WallMS     float64 `json:"wall_ms"`
+	SatCalls   int64   `json:"sat_calls"`
+	SubsCalls  int64   `json:"subs_calls"`
+	Pruned     int64   `json:"pruned"`
+	PreSeeded  int64   `json:"preseeded"`
+	FilterHits int64   `json:"filter_hits"`
+}
+
+type classifyProfileResult struct {
+	Profile           string      `json:"profile"`
+	Concepts          int         `json:"concepts"`
+	Off               classifyRun `json:"off"`
+	On                classifyRun `json:"on"`
+	ReductionPct      float64     `json:"reduction_pct"`
+	TaxonomyIdentical bool        `json:"taxonomy_identical"`
+}
+
+// classifyBench is the end-to-end classification benchmark: the real
+// parallel classifier over real tableau reasoning on generated corpora,
+// once with the cheap-first pipeline off and once with -prepass
+// -modelfilter on. It checks the taxonomies are byte-identical, reports
+// the plug-in call reduction (the ISSUE's ≥30% acceptance bar), and
+// writes BENCH_classify.json so the commit-over-commit perf trajectory
+// has end-to-end data (compare with scripts/bench_classify.sh).
+func classifyBench() error {
+	profiles := []string{"actpathway.obo", "EHDAA2", "rnao_functional"}
+	repeats := *repeatsFlag
+	if repeats < 1 {
+		repeats = 1
+	}
+	report := struct {
+		Seed     int64                   `json:"seed"`
+		Scale    int                     `json:"scale"`
+		Workers  int                     `json:"workers"`
+		Repeats  int                     `json:"repeats"`
+		Profiles []classifyProfileResult `json:"profiles"`
+	}{Seed: *seedFlag, Scale: *classifyScale, Workers: *classifyWorkers, Repeats: repeats}
+
+	fmt.Printf("classify: real end-to-end classification, scale 1/%d, %d workers, %d repeats\n",
+		*classifyScale, *classifyWorkers, repeats)
+	fmt.Printf("  %-22s %-9s %10s %10s %10s %10s %10s %10s\n",
+		"profile", "pipeline", "wall", "sat?", "subs?", "pruned", "preseeded", "filter")
+	for _, name := range profiles {
+		p, ok := ontogen.ByName(name)
+		if !ok {
+			return fmt.Errorf("unknown profile %q", name)
+		}
+		if *classifyScale > 1 {
+			p = ontogen.Mini(p, *classifyScale)
+		}
+		tb, err := p.Generate(*seedFlag)
+		if err != nil {
+			return err
+		}
+		run := func(pipeline bool) (classifyRun, *core.Result, error) {
+			var row classifyRun
+			var last *core.Result
+			var wall time.Duration
+			for rep := 0; rep < repeats; rep++ {
+				// Fresh plug-in per repetition: no warm caches carry over.
+				var stats reasoner.Stats
+				r := reasoner.Counting{R: tableau.New(tb, tableau.Options{}), S: &stats}
+				start := time.Now()
+				res, err := core.Classify(tb, core.Options{
+					Reasoner: r, Workers: *classifyWorkers, Seed: *seedFlag,
+					ELPrepass: pipeline, ModelFilter: pipeline,
+				})
+				if err != nil {
+					return row, nil, err
+				}
+				wall += time.Since(start)
+				last = res
+				if rep == 0 {
+					row.SatCalls = stats.SatCalls.Load()
+					row.SubsCalls = stats.SubsCalls.Load()
+					row.Pruned = res.Stats.Pruned
+					row.PreSeeded = res.Stats.PreSeeded
+					row.FilterHits = res.Stats.FilterHits
+				}
+			}
+			row.WallMS = float64(wall) / float64(repeats) / 1e6
+			return row, last, nil
+		}
+		off, offRes, err := run(false)
+		if err != nil {
+			return fmt.Errorf("%s pipeline-off: %w", p.Name, err)
+		}
+		on, onRes, err := run(true)
+		if err != nil {
+			return fmt.Errorf("%s pipeline-on: %w", p.Name, err)
+		}
+		pr := classifyProfileResult{
+			Profile: p.Name, Concepts: p.Concepts, Off: off, On: on,
+			TaxonomyIdentical: onRes.Taxonomy.Render() == offRes.Taxonomy.Render(),
+		}
+		if total := off.SatCalls + off.SubsCalls; total > 0 {
+			pr.ReductionPct = 100 * float64(total-(on.SatCalls+on.SubsCalls)) / float64(total)
+		}
+		report.Profiles = append(report.Profiles, pr)
+		for _, r := range []struct {
+			label string
+			row   classifyRun
+		}{{"off", off}, {"on", on}} {
+			fmt.Printf("  %-22s %-9s %9.1fms %10d %10d %10d %10d %10d\n",
+				p.Name, r.label, r.row.WallMS, r.row.SatCalls, r.row.SubsCalls,
+				r.row.Pruned, r.row.PreSeeded, r.row.FilterHits)
+		}
+		fmt.Printf("  %-22s reduction %.1f%% of plug-in calls, taxonomy identical: %v\n",
+			p.Name, pr.ReductionPct, pr.TaxonomyIdentical)
+		if !pr.TaxonomyIdentical {
+			return fmt.Errorf("%s: pipeline changed the taxonomy", p.Name)
+		}
+	}
+
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*classifyOut, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	// A benchstat-compatible twin of the JSON, so scripts/bench_classify.sh
+	// can compare successive commits mechanically.
+	benchPath := strings.TrimSuffix(*classifyOut, ".json") + ".bench"
+	var bench strings.Builder
+	for _, pr := range report.Profiles {
+		for _, r := range []struct {
+			label string
+			row   classifyRun
+		}{{"off", pr.Off}, {"on", pr.On}} {
+			fmt.Fprintf(&bench, "BenchmarkClassify/%s/pipeline=%s 1 %.0f ns/op %d subs-calls %d sat-calls\n",
+				sanitizeFile(pr.Profile), r.label, r.row.WallMS*1e6, r.row.SubsCalls, r.row.SatCalls)
+		}
+	}
+	if err := os.WriteFile(benchPath, []byte(bench.String()), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s and %s\n", *classifyOut, benchPath)
 	return nil
 }
 

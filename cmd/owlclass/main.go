@@ -36,13 +36,15 @@ var (
 	summary  = flag.Bool("summary", false, "print a one-line taxonomy summary")
 	told     = flag.Bool("told", false, "answer told subsumptions without reasoner calls")
 	adaptive = flag.Bool("adaptive", false, "stop random-division cycles adaptively")
+	prepass  = flag.Bool("prepass", false, "EL pre-saturation: seed known subsumptions from the EL fragment before testing")
+	mfilter  = flag.Bool("modelfilter", false, "consult the plug-in's pseudo-model merge filter before each subs? dispatch")
 	timeout  = flag.Duration("timeout", 0, "abort classification after this duration (0 = none)")
 
 	testTimeout = flag.Duration("test-timeout", 0, "budget per sat?/subs? test; expired tests are retried then recorded as undecided (0 = none)")
 	testRetries = flag.Int("test-retries", 0, "escalating retries per timed-out test (each doubles the budget)")
-	moduleOf = flag.String("module", "", "extract the ⊥-locality module for this comma-separated concept list before classifying")
-	metrics  = flag.Bool("metrics", false, "print the ontology metrics row and exit")
-	baseline = flag.String("baseline", "", "also run a baseline and compare: brute | traversal")
+	moduleOf    = flag.String("module", "", "extract the ⊥-locality module for this comma-separated concept list before classifying")
+	metrics     = flag.Bool("metrics", false, "print the ontology metrics row and exit")
+	baseline    = flag.String("baseline", "", "also run a baseline and compare: brute | traversal")
 
 	cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
@@ -108,6 +110,8 @@ func run() error {
 		CollectTrace:     *trace,
 		UseToldSubsumers: *told,
 		AdaptiveCycles:   *adaptive,
+		ELPrepass:        *prepass,
+		ModelFilter:      *mfilter,
 		TestTimeout:      *testTimeout,
 		TestRetries:      *testRetries,
 	}
@@ -200,6 +204,12 @@ func run() error {
 		fmt.Printf("pruned:      %d pairs resolved without testing\n", res.Stats.Pruned)
 		if res.Stats.ToldHits > 0 {
 			fmt.Printf("told hits:   %d tests answered from asserted axioms\n", res.Stats.ToldHits)
+		}
+		if res.Stats.PreSeeded > 0 {
+			fmt.Printf("preseeded:   %d tests resolved by the EL prepass\n", res.Stats.PreSeeded)
+		}
+		if res.Stats.FilterHits > 0 {
+			fmt.Printf("filter hits: %d subs? dispatches skipped by pseudo-model merging\n", res.Stats.FilterHits)
 		}
 		if res.Stats.TimedOut > 0 {
 			fmt.Printf("timed out:   %d tests abandoned after exhausting their budget\n", res.Stats.TimedOut)

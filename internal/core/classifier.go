@@ -69,6 +69,22 @@ type Options struct {
 	// group-division phase balances worse than random division). 0 keeps
 	// the paper's one-task-per-concept dispatch.
 	MaxGroupSize int
+	// ELPrepass enables stage 1 of the cheap-first subsumption pipeline:
+	// before random division, the EL-expressible fragment of the TBox is
+	// saturated (internal/el) and every proven subsumption and
+	// unsatisfiability is bulk-seeded into K/satState, stripping the
+	// decided pairs from P (see prepass.go). Sound for any TBox — the
+	// fragment's axioms are a subset of the TBox's, so its conclusions
+	// are entailed — and the taxonomy is identical with or without it.
+	// Savings are reported in Stats.PreSeeded.
+	ELPrepass bool
+	// ModelFilter enables stage 2 of the pipeline: when the plug-in
+	// offers the optional reasoner.ModelFilter capability (detected by
+	// type assertion), it is consulted before every subs? dispatch and a
+	// "definitely not subsumed" answer skips the full test. Ignored for
+	// plug-ins without the capability. Savings are reported in
+	// Stats.FilterHits.
+	ModelFilter bool
 	// UseToldSubsumers answers subsumption tests whose truth follows
 	// from the told (asserted) named hierarchy without calling the
 	// reasoner plug-in — a standard classifier optimization the paper
@@ -134,8 +150,16 @@ type Stats struct {
 	SubsTests int64 // subs?() plug-in calls
 	Pruned    int64 // pairs resolved without a plug-in call (Sec. IV)
 	ToldHits  int64 // positive tests answered from the told hierarchy
-	TimedOut  int64 // tests abandoned after exhausting their budget
-	Recovered int64 // plug-in panics recovered into per-test errors
+	// PreSeeded counts tests resolved from the EL prepass without a
+	// plug-in dispatch (Options.ELPrepass): sat?() probes answered by a
+	// fragment unsatisfiability, directed subs? tests answered by the
+	// K-shortcircuit, and both directions of each pair stripped outright.
+	PreSeeded int64
+	// FilterHits counts subs? dispatches skipped because the plug-in's
+	// ModelFilter disproved the subsumption (Options.ModelFilter).
+	FilterHits int64
+	TimedOut   int64 // tests abandoned after exhausting their budget
+	Recovered  int64 // plug-in panics recovered into per-test errors
 }
 
 // Result is a completed classification.
@@ -194,6 +218,9 @@ func ClassifyContext(ctx context.Context, t *dl.TBox, opts Options) (*Result, er
 	if opts.UseToldSubsumers {
 		s.buildTold()
 	}
+	if opts.ModelFilter {
+		s.filter = reasoner.AsModelFilter(opts.Reasoner)
+	}
 	if ctx.Done() != nil {
 		stopWatch := make(chan struct{})
 		defer close(stopWatch)
@@ -214,6 +241,10 @@ func ClassifyContext(ctx context.Context, t *dl.TBox, opts Options) (*Result, er
 		s.fail(fmt.Errorf("reasoner plug-in panicked: %v", r))
 	}
 	defer p.close()
+
+	if opts.ELPrepass && !s.failed() {
+		s.runPrepass(p, workers, trace)
+	}
 
 	rng := rand.New(rand.NewSource(opts.Seed))
 	initial := s.remainingPossible()
@@ -249,12 +280,14 @@ func ClassifyContext(ctx context.Context, t *dl.TBox, opts Options) (*Result, er
 	return &Result{
 		Taxonomy: tax,
 		Stats: Stats{
-			SatTests:  s.satTests.Load(),
-			SubsTests: s.subsTests.Load(),
-			Pruned:    s.pruned.Load(),
-			ToldHits:  s.toldHits.Load(),
-			TimedOut:  s.timedOut.Load(),
-			Recovered: s.recovered.Load(),
+			SatTests:   s.satTests.Load(),
+			SubsTests:  s.subsTests.Load(),
+			Pruned:     s.pruned.Load(),
+			ToldHits:   s.toldHits.Load(),
+			PreSeeded:  s.preSeeded.Load(),
+			FilterHits: s.filterHits.Load(),
+			TimedOut:   s.timedOut.Load(),
+			Recovered:  s.recovered.Load(),
 		},
 		Undecided: s.takeUndecided(),
 		Trace:     trace,
@@ -263,10 +296,13 @@ func ClassifyContext(ctx context.Context, t *dl.TBox, opts Options) (*Result, er
 
 // counterSnapshot captures the reasoner counters to compute per-cycle
 // deltas.
-type counterSnapshot struct{ sat, subs, pruned, told int64 }
+type counterSnapshot struct{ sat, subs, pruned, told, preSeeded, filterHits int64 }
 
 func (s *state) snapshot() counterSnapshot {
-	return counterSnapshot{s.satTests.Load(), s.subsTests.Load(), s.pruned.Load(), s.toldHits.Load()}
+	return counterSnapshot{
+		s.satTests.Load(), s.subsTests.Load(), s.pruned.Load(),
+		s.toldHits.Load(), s.preSeeded.Load(), s.filterHits.Load(),
+	}
 }
 
 func (s *state) record(trace *Trace, phase Phase, index int, before counterSnapshot, durs, loads []time.Duration) {
@@ -283,6 +319,8 @@ func (s *state) record(trace *Trace, phase Phase, index int, before counterSnaps
 		SatTests:          now.sat - before.sat,
 		Pruned:            now.pruned - before.pruned,
 		ToldHits:          now.told - before.told,
+		PreSeeded:         now.preSeeded - before.preSeeded,
+		FilterHits:        now.filterHits - before.filterHits,
 		RemainingPossible: s.remainingPossible(),
 	})
 }

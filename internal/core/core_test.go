@@ -92,11 +92,11 @@ func TestExample32Schedule(t *testing.T) {
 	p := newPool(3, RoundRobin)
 	defer p.close()
 	var slots []int
-	p.mu.Lock()
+	p.submitMu.Lock()
 	for g := 0; g < 6; g++ {
 		slots = append(slots, p.slotFor())
 	}
-	p.mu.Unlock()
+	p.submitMu.Unlock()
 	want := []int{0, 1, 2, 0, 1, 2}
 	for i := range want {
 		if slots[i] != want[i] {

@@ -1,0 +1,302 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"parowl/internal/dl"
+	"parowl/internal/el"
+	"parowl/internal/ontogen"
+	"parowl/internal/reasoner"
+	"parowl/internal/tableau"
+)
+
+// pipelineOpts returns the cheap-first pipeline configuration under test
+// paired with the plain configuration it must be indistinguishable from.
+func pipelineOn(o Options) Options  { o.ELPrepass = true; o.ModelFilter = true; return o }
+func pipelineOff(o Options) Options { o.ELPrepass = false; o.ModelFilter = false; return o }
+
+// randomMixedTBox builds a random ontology that is deliberately NOT
+// EL-expressible: an EL DAG backbone plus value restrictions, negated
+// right sides, disjointness and an occasional concept that is satisfiable
+// in the EL fragment but unsatisfiable in the full TBox — the exact shape
+// that would expose an unsound prepass transfer.
+func randomMixedTBox(rng *rand.Rand, n int) *dl.TBox {
+	tb := dl.NewTBox("randmixed")
+	f := tb.Factory
+	r := f.Role("r")
+	cs := make([]*dl.Concept, n)
+	for i := range cs {
+		cs[i] = tb.Declare(fmt.Sprintf("C%d", i))
+	}
+	for i := 1; i < n; i++ {
+		parent := cs[rng.Intn(i)]
+		switch rng.Intn(5) {
+		case 0: // conjunctive right side with a non-EL conjunct → weakened
+			tb.SubClassOf(cs[i], f.And(parent, f.All(r, cs[rng.Intn(n)])))
+		case 1: // existential chain (EL, exercises role successors)
+			tb.SubClassOf(cs[i], f.Some(r, parent))
+			tb.SubClassOf(f.Some(r, parent), parent)
+		case 2: // negated right side → dropped from the fragment
+			j := rng.Intn(n)
+			if cs[j] != parent {
+				tb.SubClassOf(cs[i], f.Not(cs[j]))
+			}
+			tb.SubClassOf(cs[i], parent)
+		default: // plain EL edge
+			tb.SubClassOf(cs[i], parent)
+		}
+	}
+	if n > 3 && rng.Intn(2) == 0 {
+		i := 1 + rng.Intn(n-1)
+		tb.EquivalentClasses(cs[i], f.And(cs[rng.Intn(i)], cs[rng.Intn(i)]))
+	}
+	if n > 4 && rng.Intn(2) == 0 {
+		// Satisfiable in the EL fragment, unsatisfiable in the full TBox:
+		// the ¬C1 conjunct is dropped during fragment extraction, so only
+		// the real sat?() sweep can place U correctly.
+		u := tb.Declare("U")
+		tb.SubClassOf(u, f.And(cs[1], f.Not(cs[1])))
+		tb.SubClassOf(u, cs[2])
+	}
+	return tb
+}
+
+// TestQuickPipelineEquivalence is the central safety property of the
+// cheap-first pipeline: for random ontologies — both pure-EL taxonomy
+// shapes and mixed ALC shapes where the fragment is partial — enabling
+// ELPrepass+ModelFilter must produce the byte-identical taxonomy to the
+// pipeline-off run for every (mode, workers, seed) combination.
+func TestQuickPipelineEquivalence(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		for _, tb := range []*dl.TBox{
+			randomTaxonomyTBox(rng, 4+rng.Intn(10)),
+			randomMixedTBox(rng, 5+rng.Intn(10)),
+		} {
+			r := tableauFactory(tb)
+			for _, mode := range []Mode{Basic, Optimized} {
+				w := 1 + rng.Intn(8)
+				base := Options{
+					Reasoner: r, Workers: w, Mode: mode,
+					Seed: seed, RandomCycles: 1 + rng.Intn(3),
+				}
+				off, err := Classify(tb, pipelineOff(base))
+				if err != nil {
+					t.Logf("seed %d off: %v", seed, err)
+					return false
+				}
+				on, err := Classify(tb, pipelineOn(base))
+				if err != nil {
+					t.Logf("seed %d on: %v", seed, err)
+					return false
+				}
+				if on.Taxonomy.Render() != off.Taxonomy.Render() {
+					t.Logf("seed %d %s mode=%v w=%d:\n on:\n%s\n off:\n%s",
+						seed, tb.Name, mode, w, on.Taxonomy.Render(), off.Taxonomy.Render())
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPipelineEquivalenceOntogen runs the same identity check on scaled
+// paper corpora: a pure-EL Table IV profile (complete fragment, filter
+// active) and a QCR-heavy Table V profile (partial fragment, prepass must
+// stay sound while dropping most axioms).
+func TestPipelineEquivalenceOntogen(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ontogen corpora are slow under -short")
+	}
+	corpora := []struct {
+		profile string
+		scale   int
+	}{
+		{"actpathway.obo", 80},
+		{"rnao_functional", 12},
+	}
+	for _, c := range corpora {
+		c := c
+		t.Run(c.profile, func(t *testing.T) {
+			p, ok := ontogen.ByName(c.profile)
+			if !ok {
+				t.Fatalf("profile %q not found", c.profile)
+			}
+			for _, seed := range []int64{1, 2} {
+				tb, err := ontogen.Mini(p, c.scale).Generate(seed)
+				if err != nil {
+					t.Fatalf("generate seed %d: %v", seed, err)
+				}
+				r := tableauFactory(tb)
+				want := classify(t, tb, pipelineOff(Options{Reasoner: r, Workers: 2, Seed: seed}))
+				for _, mode := range []Mode{Basic, Optimized} {
+					for _, w := range []int{1, 3, 8} {
+						res := classify(t, tb, pipelineOn(Options{
+							Reasoner: r, Workers: w, Mode: mode, Seed: seed,
+						}))
+						if res.Taxonomy.Render() != want.Taxonomy.Render() {
+							t.Fatalf("seed %d mode=%v w=%d: pipeline-on taxonomy differs\n on:\n%s\n off:\n%s",
+								seed, mode, w, res.Taxonomy.Render(), want.Taxonomy.Render())
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPipelineReducesCalls checks the headline acceptance criterion: on a
+// stock EL corpus the full pipeline must cut the tableau plug-in's
+// sat?+subs? dispatches by at least 30% while the taxonomy stays
+// identical, with the savings visible in the new Stats counters.
+func TestPipelineReducesCalls(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ontogen corpora are slow under -short")
+	}
+	p, ok := ontogen.ByName("actpathway.obo")
+	if !ok {
+		t.Fatal("profile missing")
+	}
+	tb, err := ontogen.Mini(p, 80).Generate(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(opts Options) (*Result, int64) {
+		var stats reasoner.Stats
+		opts.Reasoner = reasoner.Counting{R: tableauFactory(tb), S: &stats}
+		res := classify(t, tb, opts)
+		return res, stats.SatCalls.Load() + stats.SubsCalls.Load()
+	}
+	base := Options{Workers: 4, Mode: Optimized, Seed: 11}
+	off, offCalls := run(pipelineOff(base))
+	on, onCalls := run(pipelineOn(base))
+	if on.Taxonomy.Render() != off.Taxonomy.Render() {
+		t.Fatalf("taxonomies differ:\n on:\n%s\n off:\n%s", on.Taxonomy.Render(), off.Taxonomy.Render())
+	}
+	if on.Stats.PreSeeded == 0 {
+		t.Error("PreSeeded = 0; EL prepass resolved nothing on a pure-EL corpus")
+	}
+	if on.Stats.FilterHits == 0 {
+		t.Error("FilterHits = 0; model filter never disproved a non-subsumption")
+	}
+	if offCalls == 0 {
+		t.Fatal("baseline made no plug-in calls")
+	}
+	reduction := 100 * float64(offCalls-onCalls) / float64(offCalls)
+	t.Logf("plug-in calls: off=%d on=%d reduction=%.1f%% preseeded=%d filterhits=%d",
+		offCalls, onCalls, reduction, on.Stats.PreSeeded, on.Stats.FilterHits)
+	if reduction < 30 {
+		t.Errorf("pipeline reduced plug-in calls by %.1f%%, want >= 30%%", reduction)
+	}
+}
+
+// TestPrepassFragmentUnsatConcept pins the subtle hazard the prepass
+// sat-sweep exists for: a concept whose EL fragment is satisfiable but
+// whose full TBox is not. Seeded K bits alone would let pruning claim all
+// its pairs without any test touching it; the sweep's real sat?() probe
+// must still discover the unsatisfiability.
+func TestPrepassFragmentUnsatConcept(t *testing.T) {
+	tb := dl.NewTBox("fragunsat")
+	f := tb.Factory
+	a, b, c := tb.Declare("A"), tb.Declare("B"), tb.Declare("C")
+	u := tb.Declare("U")
+	tb.SubClassOf(b, a)
+	tb.SubClassOf(c, b)
+	// Fragment keeps U ⊑ B (the ¬B conjunct is weakened away), so the
+	// prepass seeds U ⊑ B and U ⊑ A while the full TBox makes U unsat.
+	tb.SubClassOf(u, f.And(b, f.Not(b)))
+	r := tableauFactory(tb)
+	for _, mode := range []Mode{Basic, Optimized} {
+		off := classify(t, tb, pipelineOff(Options{Reasoner: r, Workers: 2, Mode: mode}))
+		on := classify(t, tb, pipelineOn(Options{Reasoner: r, Workers: 2, Mode: mode}))
+		if on.Taxonomy.Render() != off.Taxonomy.Render() {
+			t.Fatalf("mode=%v: taxonomies differ\n on:\n%s\n off:\n%s",
+				mode, on.Taxonomy.Render(), off.Taxonomy.Render())
+		}
+		if on.Taxonomy.NodeOf(u) != on.Taxonomy.Bottom() {
+			t.Fatalf("mode=%v: U should be unsatisfiable (≡ ⊥); taxonomy:\n%s",
+				mode, on.Taxonomy.Render())
+		}
+	}
+}
+
+// TestPrepassCountersExample pins the prepass bookkeeping on the paper's
+// running example, which is pure EL: every positive subsumption is proven
+// before the random-division phase, so the plug-in's sat?() load is
+// exactly the per-concept sweep (⊤ is pinned satisfiable, never probed)
+// and its subs? load shrinks to the non-subsumption directions the
+// fragment cannot decide.
+func TestPrepassCountersExample(t *testing.T) {
+	tb := exampleTBox()
+	run := func(prepass bool) (*Result, *reasoner.Stats) {
+		var stats reasoner.Stats
+		r := reasoner.Counting{R: tableauFactory(tb), S: &stats}
+		res := classify(t, tb, Options{
+			Reasoner: r, Workers: 3, ELPrepass: prepass, CollectTrace: true,
+		})
+		return res, &stats
+	}
+	off, offStats := run(false)
+	on, onStats := run(true)
+	if on.Stats.PreSeeded == 0 {
+		t.Fatal("PreSeeded = 0 on a pure-EL ontology")
+	}
+	if got, want := onStats.SatCalls.Load(), int64(len(tb.NamedConcepts())); got != want {
+		t.Errorf("plug-in sat? calls = %d, want %d (one sweep probe per named concept)", got, want)
+	}
+	if onStats.SubsCalls.Load() >= offStats.SubsCalls.Load() {
+		t.Errorf("prepass did not reduce subs? calls: on=%d off=%d",
+			onStats.SubsCalls.Load(), offStats.SubsCalls.Load())
+	}
+	if on.Taxonomy.Render() != off.Taxonomy.Render() {
+		t.Fatalf("taxonomies differ\n on:\n%s\n off:\n%s",
+			on.Taxonomy.Render(), off.Taxonomy.Render())
+	}
+	if on.Trace == nil || len(on.Trace.Cycles) == 0 || on.Trace.Cycles[0].Phase != PhasePrepass {
+		t.Fatalf("trace should start with a prepass cycle: %v", on.Trace)
+	}
+}
+
+// TestPipelineWithELPlugin runs the pipeline with the EL reasoner itself
+// as the plug-in (complete fragment ⇒ its ModelFilter capability is
+// live), crossing the two cheap deciders against each other.
+func TestPipelineWithELPlugin(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 10; i++ {
+		tb := randomTaxonomyTBox(rng, 5+rng.Intn(10))
+		r, err := el.New(tb, el.Options{Workers: 2})
+		if err != nil {
+			t.Fatalf("iteration %d: el.New: %v", i, err)
+		}
+		off := classify(t, tb, pipelineOff(Options{Reasoner: r, Workers: 3}))
+		on := classify(t, tb, pipelineOn(Options{Reasoner: r, Workers: 3}))
+		if !on.Taxonomy.Equal(off.Taxonomy) {
+			t.Fatalf("iteration %d: taxonomies differ\n on:\n%s\n off:\n%s",
+				i, on.Taxonomy.Render(), off.Taxonomy.Render())
+		}
+	}
+}
+
+// TestCachedFilterIntegration checks the decorator chain end to end: a
+// Cached(tableau) plug-in must keep the ModelFilter capability, and the
+// pipeline must classify identically through it.
+func TestCachedFilterIntegration(t *testing.T) {
+	tb := randomMixedTBox(rand.New(rand.NewSource(9)), 12)
+	r := reasoner.NewCached(tableau.New(tb, tableau.Options{}))
+	if reasoner.AsModelFilter(r) == nil {
+		t.Fatal("Cached(tableau) lost the ModelFilter capability")
+	}
+	off := classify(t, tb, pipelineOff(Options{Reasoner: r, Workers: 4}))
+	on := classify(t, tb, pipelineOn(Options{Reasoner: r, Workers: 4}))
+	if on.Taxonomy.Render() != off.Taxonomy.Render() {
+		t.Fatalf("taxonomies differ\n on:\n%s\n off:\n%s",
+			on.Taxonomy.Render(), off.Taxonomy.Render())
+	}
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -30,22 +31,80 @@ func (s Scheduling) String() string {
 // task is one unit of pool work; it returns its charged duration.
 type task func() time.Duration
 
+// durChunkSize tasks share one duration chunk; chunks are allocated on
+// demand and their backing arrays never move, so a completing task can
+// store into its slot without any lock.
+const durChunkSize = 256
+
+type durChunk [durChunkSize]atomic.Int64
+
+// workerQueue is one worker's task queue under its own lock, so
+// submit/take traffic for different workers never contends. Tasks are
+// popped by advancing head rather than re-slicing, the popped slot is
+// nilled so the batch's backing array does not pin completed task
+// closures, and reset recycles the array for the next batch.
+type workerQueue struct {
+	mu   sync.Mutex
+	q    []task
+	head int
+}
+
+func (wq *workerQueue) push(t task) {
+	wq.mu.Lock()
+	wq.q = append(wq.q, t)
+	wq.mu.Unlock()
+}
+
+func (wq *workerQueue) pop() (task, bool) {
+	wq.mu.Lock()
+	defer wq.mu.Unlock()
+	if wq.head >= len(wq.q) {
+		return nil, false
+	}
+	t := wq.q[wq.head]
+	wq.q[wq.head] = nil
+	wq.head++
+	return t, true
+}
+
+// reset recycles the queue's storage; called only at the barrier, when
+// the queue is drained.
+func (wq *workerQueue) reset() {
+	wq.mu.Lock()
+	wq.q = wq.q[:0]
+	wq.head = 0
+	wq.mu.Unlock()
+}
+
 // pool is the fixed worker pool of Algorithm 1 (createWorkerPool). It is
 // created once per classification run and reused across phases; each
 // phase submits a batch of tasks and waits on the barrier.
 //
 // Under RoundRobin each worker owns a queue and a wake channel, so a
 // wakeup can never be consumed by a worker whose queue is empty; under
-// WorkSharing all workers drain queue 0 and share wake channel 0.
+// WorkSharing all workers drain queue 0 and share wake channel 0. Each
+// queue has its own lock and completed tasks record their duration with
+// an atomic store into a pre-assigned chunk slot, so the only shared
+// lock left (submitMu) is taken by the submitting goroutine alone.
 type pool struct {
 	workers    int
 	scheduling Scheduling
 
-	mu     sync.Mutex
-	queues [][]task
-	next   int             // round-robin cursor
-	durs   []time.Duration // indexed by dispatch order
-	busy   []time.Duration // charged load per worker, this batch
+	queues []workerQueue
+
+	// Batch bookkeeping, guarded by submitMu. Only the submitter takes
+	// this lock: tasks store durations straight into their chunk slot,
+	// and the barrier reads after inflight.Wait has synchronized.
+	submitMu sync.Mutex
+	next     int // round-robin cursor
+	count    int // tasks submitted this batch
+	durs     []*durChunk
+
+	// busy[id] is the charged load worker id carried this batch. Each
+	// entry is written only by its owning worker goroutine; the
+	// WaitGroup in barrier orders those writes before the read, and the
+	// queue locks order the barrier's slice swap before the next batch.
+	busy []time.Duration
 
 	inflight sync.WaitGroup
 	wake     []chan struct{}
@@ -65,7 +124,7 @@ func newPool(w int, sched Scheduling) *pool {
 	p := &pool{
 		workers:    w,
 		scheduling: sched,
-		queues:     make([][]task, w),
+		queues:     make([]workerQueue, w),
 		busy:       make([]time.Duration, w),
 		wake:       make([]chan struct{}, w),
 		quit:       make(chan struct{}),
@@ -80,8 +139,8 @@ func newPool(w int, sched Scheduling) *pool {
 	return p
 }
 
-// slotFor returns the queue a new task goes to and the wake channel to
-// signal.
+// slotFor returns the queue the next task goes to; the caller must hold
+// submitMu.
 func (p *pool) slotFor() int {
 	if p.scheduling == WorkSharing {
 		return 0
@@ -96,19 +155,21 @@ func (p *pool) slotFor() int {
 // can replay the exact round-robin assignment (task i → worker i mod w).
 func (p *pool) submit(t task) {
 	p.inflight.Add(1)
-	p.mu.Lock()
+	p.submitMu.Lock()
 	slot := p.slotFor()
-	idx := len(p.durs)
-	p.durs = append(p.durs, 0)
+	idx := p.count
+	p.count++
+	if idx/durChunkSize >= len(p.durs) {
+		p.durs = append(p.durs, new(durChunk))
+	}
+	cell := &p.durs[idx/durChunkSize][idx%durChunkSize]
+	p.submitMu.Unlock()
 	wrapped := func() time.Duration {
 		d := t()
-		p.mu.Lock()
-		p.durs[idx] = d
-		p.mu.Unlock()
+		cell.Store(int64(d))
 		return d
 	}
-	p.queues[slot] = append(p.queues[slot], wrapped)
-	p.mu.Unlock()
+	p.queues[slot].push(wrapped)
 	if p.scheduling == WorkSharing {
 		// Any worker may take it: nudge them all (non-blocking).
 		for i := range p.wake {
@@ -130,13 +191,21 @@ func (p *pool) submit(t task) {
 // of the batch (the paper's Sec. V-C load-balancing measurement).
 func (p *pool) barrier() ([]time.Duration, []time.Duration) {
 	p.inflight.Wait()
-	p.mu.Lock()
-	durs := p.durs
-	p.durs = nil
+	p.submitMu.Lock()
+	durs := make([]time.Duration, p.count)
+	for i := range durs {
+		cell := &p.durs[i/durChunkSize][i%durChunkSize]
+		durs[i] = time.Duration(cell.Load())
+		cell.Store(0) // a reused slot must not leak into the next batch
+	}
+	p.count = 0
 	p.next = 0
+	p.submitMu.Unlock()
+	for i := range p.queues {
+		p.queues[i].reset()
+	}
 	busy := p.busy
 	p.busy = make([]time.Duration, p.workers)
-	p.mu.Unlock()
 	return durs, busy
 }
 
@@ -151,15 +220,7 @@ func (p *pool) take(id int) (task, bool) {
 	if p.scheduling == WorkSharing {
 		id = 0
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	q := p.queues[id]
-	if len(q) == 0 {
-		return nil, false
-	}
-	t := q[0]
-	p.queues[id] = q[1:]
-	return t, true
+	return p.queues[id].pop()
 }
 
 func (p *pool) worker(id int) {
@@ -191,7 +252,5 @@ func (p *pool) runTask(id int, t task) {
 		}
 	}()
 	d := t()
-	p.mu.Lock()
 	p.busy[id] += d
-	p.mu.Unlock()
 }

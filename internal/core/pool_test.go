@@ -1,0 +1,116 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPoolDurationsInDispatchOrder submits more tasks than one duration
+// chunk holds and checks the barrier reports every charged duration in
+// dispatch order, with the per-worker loads accounting for the same total
+// — the contract the virtual-time scheduler replays.
+func TestPoolDurationsInDispatchOrder(t *testing.T) {
+	for _, sched := range []Scheduling{RoundRobin, WorkSharing} {
+		p := newPool(4, sched)
+		n := durChunkSize + 50 // force a second chunk
+		for i := 0; i < n; i++ {
+			d := time.Duration(i+1) * time.Microsecond
+			p.submit(func() time.Duration { return d })
+		}
+		durs, loads := p.barrier()
+		if len(durs) != n {
+			t.Fatalf("%v: %d durations, want %d", sched, len(durs), n)
+		}
+		var fromDurs, fromLoads time.Duration
+		for i, d := range durs {
+			want := time.Duration(i+1) * time.Microsecond
+			if d != want {
+				t.Fatalf("%v: durs[%d] = %v, want %v (dispatch order)", sched, i, d, want)
+			}
+			fromDurs += d
+		}
+		if len(loads) != 4 {
+			t.Fatalf("%v: %d worker loads, want 4", sched, len(loads))
+		}
+		for _, l := range loads {
+			fromLoads += l
+		}
+		if fromDurs != fromLoads {
+			t.Errorf("%v: loads sum to %v, durations to %v", sched, fromLoads, fromDurs)
+		}
+		p.close()
+	}
+}
+
+// TestPoolBatchReuse runs a long batch then a short one on the same pool:
+// recycled queue storage and duration slots must not leak stale values
+// into the second batch.
+func TestPoolBatchReuse(t *testing.T) {
+	p := newPool(3, RoundRobin)
+	defer p.close()
+	for i := 0; i < durChunkSize+10; i++ {
+		p.submit(func() time.Duration { return time.Second })
+	}
+	p.barrier()
+
+	var ran atomic.Int64
+	for i := 0; i < 5; i++ {
+		p.submit(func() time.Duration { ran.Add(1); return time.Millisecond })
+	}
+	durs, loads := p.barrier()
+	if ran.Load() != 5 {
+		t.Fatalf("second batch ran %d tasks, want 5", ran.Load())
+	}
+	if len(durs) != 5 {
+		t.Fatalf("second batch reported %d durations, want 5", len(durs))
+	}
+	for i, d := range durs {
+		if d != time.Millisecond {
+			t.Errorf("durs[%d] = %v leaked from the first batch", i, d)
+		}
+	}
+	var total time.Duration
+	for _, l := range loads {
+		total += l
+	}
+	if total != 5*time.Millisecond {
+		t.Errorf("second-batch loads sum to %v, want 5ms", total)
+	}
+}
+
+// TestPoolConcurrentSubmitters hammers the per-queue locks: several
+// goroutines submit simultaneously while workers drain, across repeated
+// batches. Run under -race this pins the submit/pop/barrier
+// happens-before chains of the rewritten pool.
+func TestPoolConcurrentSubmitters(t *testing.T) {
+	for _, sched := range []Scheduling{RoundRobin, WorkSharing} {
+		p := newPool(4, sched)
+		var ran atomic.Int64
+		for batch := 0; batch < 3; batch++ {
+			var submitted sync.WaitGroup
+			for g := 0; g < 6; g++ {
+				submitted.Add(1)
+				go func() {
+					defer submitted.Done()
+					for i := 0; i < 40; i++ {
+						p.submit(func() time.Duration {
+							ran.Add(1)
+							return time.Microsecond
+						})
+					}
+				}()
+			}
+			submitted.Wait()
+			durs, _ := p.barrier()
+			if len(durs) != 6*40 {
+				t.Fatalf("%v batch %d: %d durations, want %d", sched, batch, len(durs), 6*40)
+			}
+		}
+		if ran.Load() != 3*6*40 {
+			t.Fatalf("%v: ran %d tasks, want %d", sched, ran.Load(), 3*6*40)
+		}
+		p.close()
+	}
+}

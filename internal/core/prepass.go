@@ -1,0 +1,129 @@
+package core
+
+import (
+	"time"
+
+	"parowl/internal/el"
+)
+
+// runPrepass is stage 1 of the cheap-first subsumption pipeline
+// (Options.ELPrepass): saturate the EL-expressible fragment of the TBox
+// and bulk-transfer its conclusions into the run's shared state before
+// the random-division phase dispatches a single plug-in test.
+//
+// Soundness rests on monotonicity of entailment: the fragment keeps only
+// axioms entailed by the TBox (non-EL axioms are dropped, conjunctive
+// right sides weakened — see el.NewFragment), so every subsumption or
+// unsatisfiability the saturation derives holds for the full TBox. The
+// transfer mirrors exactly what the paper's algorithms would have done
+// had the plug-in answered those tests:
+//
+//  1. a fragment-unsatisfiable concept is resolved the way sat() resolves
+//     a plug-in "no" — satState ← satNo and every P entry involving the
+//     concept cleared;
+//  2. each proven sub ⊑ sup becomes a K bit; in basic mode the directed
+//     entry is claimed and stripped from P, in optimized mode a pair is
+//     stripped only when both directions are decided (the proven one plus
+//     either its proven converse — an equivalence — or the trivial
+//     X ⊑ ⊤), since a half-decided pair must stay claimable for its
+//     remaining direction, which the K-shortcircuit in testDirected then
+//     answers for free;
+//  3. every concept whose satisfiability is still unknown gets its
+//     sat?() probe here, in parallel. The baseline runs sat?() exactly
+//     once per concept anyway, so this adds nothing — but it is required
+//     for correctness, not just warm-up: seeded K bits let pruneAfter
+//     claim all of a concept's pairs without any test touching it, and a
+//     concept satisfiable in the fragment may still be unsatisfiable in
+//     the full TBox, which only a real probe can discover.
+//
+// A prepass abandoned by context cancellation poisons the run like any
+// cancelled phase; seeding is otherwise all-or-nothing per fact and the
+// classification proceeds correctly from whatever was transferred.
+func (s *state) runPrepass(p *pool, workers int, trace *Trace) {
+	before := s.snapshot()
+	start := time.Now()
+	s.prepassed = true
+	frag, _ := el.NewFragment(s.tbox, el.Options{Workers: workers})
+	seeds, unsat, err := frag.Seeds(s.ctx)
+	if err != nil {
+		// el saturation fails only on context cancellation.
+		s.fail(err)
+		return
+	}
+
+	for _, c := range unsat {
+		x, ok := s.index[c]
+		if !ok || x == s.top {
+			continue
+		}
+		if s.satState[x].CompareAndSwap(satUnknown, satNo) {
+			s.preSeeded.Add(1)
+			s.P[x].ClearAll()
+			for y := 0; y < s.n; y++ {
+				if y != x {
+					s.P[y].Clear(x)
+				}
+			}
+		}
+	}
+
+	// Index the proven directed facts; key packs (sub, sup).
+	key := func(sub, sup int) uint64 { return uint64(sub)<<32 | uint64(uint32(sup)) }
+	directed := make(map[uint64]bool, len(seeds))
+	for _, sd := range seeds {
+		sub, okSub := s.index[sd.Sub]
+		sup, okSup := s.index[sd.Sup]
+		if !okSub || !okSup || sub == sup {
+			continue
+		}
+		if s.satState[sub].Load() == satNo || s.satState[sup].Load() == satNo {
+			continue
+		}
+		s.K[sup].Set(sub)
+		directed[key(sub, sup)] = true
+	}
+	if s.optimized {
+		for k := range directed {
+			sub, sup := int(k>>32), int(uint32(k))
+			// The converse of a proven sub ⊑ sup is decided when it was
+			// proven too, or when it is the trivial sub = ⊤ case (the pair
+			// {sup, ⊤} has converse sup ⊑ ⊤).
+			if directed[key(sup, sub)] || sub == s.top {
+				if s.claimPair(sub, sup) {
+					s.preSeeded.Add(2)
+				}
+			}
+		}
+	} else {
+		for k := range directed {
+			sub, sup := int(k>>32), int(uint32(k))
+			if !s.tested.TestAndSet(sup, sub) {
+				s.P[sup].Clear(sub)
+				s.preSeeded.Add(1)
+			}
+		}
+	}
+	seedDur := time.Since(start)
+
+	var unknowns []int
+	for x := 0; x < s.n; x++ {
+		if s.satState[x].Load() == satUnknown {
+			unknowns = append(unknowns, x)
+		}
+	}
+	for _, g := range splitGroups(unknowns, workers*4) {
+		g := g
+		p.submit(func() time.Duration {
+			for _, x := range g {
+				if s.failed() {
+					break
+				}
+				s.sat(x)
+			}
+			return 0
+		})
+	}
+	durs, loads := p.barrier()
+	durs = append([]time.Duration{seedDur}, durs...)
+	s.record(trace, PhasePrepass, 1, before, durs, loads)
+}

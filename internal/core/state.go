@@ -89,13 +89,23 @@ type state struct {
 	// concepts cannot subsume one another).
 	disjPairs [][2]int
 
+	// filter is the plug-in's optional ModelFilter capability (non-nil
+	// only with Options.ModelFilter and a capable plug-in): a cheap sound
+	// non-subsumption probe consulted before dispatching subs?.
+	filter reasoner.ModelFilter
+	// prepassed is set once the EL prepass has seeded K, enabling the
+	// K-shortcircuit in testDirected; when off the hot path pays nothing.
+	prepassed bool
+
 	// counters for statistics
-	satTests  atomic.Int64
-	subsTests atomic.Int64
-	pruned    atomic.Int64 // pairs resolved without a reasoner call
-	toldHits  atomic.Int64 // tests answered from the told closure
-	timedOut  atomic.Int64 // tests abandoned on budget expiry
-	recovered atomic.Int64 // plug-in panics converted to per-test errors
+	satTests   atomic.Int64
+	subsTests  atomic.Int64
+	pruned     atomic.Int64 // pairs resolved without a reasoner call
+	toldHits   atomic.Int64 // tests answered from the told closure
+	preSeeded  atomic.Int64 // tests resolved from EL prepass seeding
+	filterHits atomic.Int64 // subs? dispatches skipped by the model filter
+	timedOut   atomic.Int64 // tests abandoned on budget expiry
+	recovered  atomic.Int64 // plug-in panics converted to per-test errors
 
 	// undecided collects the degraded tests for Result.Undecided.
 	undecidedMu sync.Mutex
@@ -295,6 +305,15 @@ func (s *state) remainingPossible() int64 {
 // recording the result in K/P and returning the verdict. The caller must
 // have claimed the tested bit. Returns the test's charged cost.
 func (s *state) testDirected(x, y int) (bool, time.Duration) {
+	if s.prepassed && s.K[x].Test(y) {
+		// Only the prepass can have set this bit before the directed test
+		// runs: every directed test is claimed exactly once, and the only
+		// other K writers are this function (after the claim) and
+		// pruneAfter, which clears bits. The seeded fact is entailed by
+		// the TBox, so the positive answer needs no plug-in call.
+		s.preSeeded.Add(1)
+		return true, 0
+	}
 	if s.told != nil {
 		if s.told[y].Test(x) {
 			// y ⊑ x is asserted (transitively): no reasoner call needed.
@@ -312,6 +331,12 @@ func (s *state) testDirected(x, y int) (bool, time.Duration) {
 				return false, 0
 			}
 		}
+	}
+	if s.filter != nil && s.filterDisproves(x, y) {
+		// The filter's "definitely not subsumed" verdict is sound, so the
+		// negative is final: no K update, no plug-in dispatch.
+		s.filterHits.Add(1)
+		return false, 0
 	}
 	start := time.Now()
 	res, err := s.budgetedSubs(s.named[x], s.named[y])
@@ -338,6 +363,18 @@ func (s *state) testDirected(x, y int) (bool, time.Duration) {
 		s.K[x].Set(y)
 	}
 	return res, cost
+}
+
+// filterDisproves asks the ModelFilter whether y ⊑ x is impossible. A
+// panicking filter is treated as "don't know" — the probe is advisory
+// and must never poison the run.
+func (s *state) filterDisproves(x, y int) (hit bool) {
+	defer func() {
+		if recover() != nil {
+			hit = false
+		}
+	}()
+	return s.filter.DisprovesSubs(s.ctx, s.named[x], s.named[y])
 }
 
 // resolveBasic performs the basic-mode directed test of Algorithm 2 /

@@ -11,6 +11,7 @@ type Phase string
 
 // Phases of the classification pipeline.
 const (
+	PhasePrepass   Phase = "prepass"   // optional EL pre-saturation seeding
 	PhaseRandom    Phase = "random"    // phase 1: random division
 	PhaseGroup     Phase = "group"     // phase 2: group division
 	PhaseHierarchy Phase = "hierarchy" // phase 3: divide-and-conquer taxonomy
@@ -39,10 +40,15 @@ type Cycle struct {
 	// SubsTests and SatTests count reasoner calls during this cycle;
 	// Pruned counts pairs resolved without a call. ToldHits counts tests
 	// answered from the told-subsumer closure (optional optimization).
-	SubsTests int64
-	SatTests  int64
-	Pruned    int64
-	ToldHits  int64
+	// PreSeeded counts tests resolved from the EL prepass seeding and
+	// FilterHits the subs? dispatches skipped by the model filter (the
+	// cheap-first pipeline's counters; zero with the pipeline off).
+	SubsTests  int64
+	SatTests   int64
+	Pruned     int64
+	ToldHits   int64
+	PreSeeded  int64
+	FilterHits int64
 
 	// RemainingPossible is |R_O| after the cycle's barrier.
 	RemainingPossible int64
@@ -151,8 +157,8 @@ func (t *Trace) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "initial possible: %d, workers: %d\n", t.InitialPossible, t.Workers)
 	for i, c := range t.Cycles {
-		fmt.Fprintf(&b, "cycle %2d %-9s tasks=%-4d tests=%-6d pruned=%-6d remaining=%-8d possible=%5.1f%% runtime=%5.1f%% imbalance=%.2f\n",
-			i+1, c.Phase, len(c.Tasks), c.SubsTests, c.Pruned, c.RemainingPossible,
+		fmt.Fprintf(&b, "cycle %2d %-9s tasks=%-4d tests=%-6d pruned=%-6d preseed=%-6d filter=%-6d remaining=%-8d possible=%5.1f%% runtime=%5.1f%% imbalance=%.2f\n",
+			i+1, c.Phase, len(c.Tasks), c.SubsTests, c.Pruned, c.PreSeeded, c.FilterHits, c.RemainingPossible,
 			t.PossibleRatio(i), t.RuntimeRatio(i), c.Imbalance())
 	}
 	return b.String()

@@ -2,13 +2,9 @@ package el
 
 import (
 	"fmt"
-	"math/rand"
 	"testing"
-	"testing/quick"
 
-	"parowl/internal/core"
 	"parowl/internal/dl"
-	"parowl/internal/tableau"
 )
 
 func mustSubs(t *testing.T, r *Reasoner, sup, sub *dl.Concept, want bool) {
@@ -204,147 +200,6 @@ func TestSubsumersList(t *testing.T) {
 	}
 	if len(subs) != 3 { // A, B, C
 		t.Fatalf("Subsumers(A) = %v", subs)
-	}
-}
-
-// randomELTBox builds a random EL TBox over nNames concepts. Left-hand
-// sides always contain a named conjunct — the axiom shape of real OBO/ORE
-// ontologies (SubClassOf/EquivalentClasses on a named class) and the shape
-// the tableau's absorption handles without internalizing global
-// disjunctions; bare ∃r.C left sides make the cross-check oracle
-// (the tableau) exponentially slow without affecting the EL reasoner.
-func randomELTBox(rng *rand.Rand, nNames, nAxioms int) *dl.TBox {
-	tb := dl.NewTBox("rand")
-	f := tb.Factory
-	names := make([]*dl.Concept, nNames)
-	for i := range names {
-		names[i] = tb.Declare(fmt.Sprintf("N%d", i))
-	}
-	roles := []*dl.Role{f.Role("r"), f.Role("s")}
-	if rng.Intn(2) == 0 {
-		tb.SubObjectPropertyOf(roles[0], roles[1])
-	}
-	if rng.Intn(2) == 0 {
-		tb.TransitiveObjectProperty(roles[rng.Intn(2)])
-	}
-	var elConcept func(depth int) *dl.Concept
-	elConcept = func(depth int) *dl.Concept {
-		if depth <= 0 || rng.Intn(3) == 0 {
-			return names[rng.Intn(nNames)]
-		}
-		if rng.Intn(2) == 0 {
-			return f.And(elConcept(depth-1), elConcept(depth-1))
-		}
-		return f.Some(roles[rng.Intn(2)], elConcept(depth-1))
-	}
-	for i := 0; i < nAxioms; i++ {
-		lhs := names[rng.Intn(nNames)]
-		if rng.Intn(3) == 0 {
-			lhs = f.And(lhs, elConcept(1))
-		}
-		if rng.Intn(4) == 0 {
-			// Genus-differentia definition: A ≡ B ⊓ C, the shape OBO
-			// intersection_of definitions take; both directions absorb.
-			tb.EquivalentClasses(names[rng.Intn(nNames)], f.And(names[rng.Intn(nNames)], elConcept(1)))
-			continue
-		}
-		tb.SubClassOf(lhs, elConcept(2))
-	}
-	return tb
-}
-
-// TestQuickAgainstTableau cross-checks the saturation against the tableau
-// reasoner on random EL TBoxes: every named-pair subsumption must agree.
-func TestQuickAgainstTableau(t *testing.T) {
-	check := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
-		tb := randomELTBox(rng, 5, 6)
-		elr, err := New(tb, Options{Workers: 2})
-		if err != nil {
-			t.Fatalf("seed %d: %v", seed, err)
-		}
-		tab := tableau.New(tb, tableau.Options{})
-		for _, sub := range tb.NamedConcepts() {
-			for _, sup := range tb.NamedConcepts() {
-				want, err := tab.Subsumes(sup, sub)
-				if err != nil {
-					t.Fatalf("seed %d tableau: %v", seed, err)
-				}
-				got, err := elr.Subsumes(sup, sub)
-				if err != nil {
-					t.Fatalf("seed %d el: %v", seed, err)
-				}
-				if got != want {
-					t.Logf("seed %d: %v ⊑ %v: el=%v tableau=%v", seed, sub, sup, got, want)
-					return false
-				}
-			}
-		}
-		return true
-	}
-	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
-		t.Fatal(err)
-	}
-}
-
-// TestQuickWorkerCountIrrelevant checks saturation results are independent
-// of the worker count.
-func TestQuickWorkerCountIrrelevant(t *testing.T) {
-	check := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
-		tb := randomELTBox(rng, 6, 8)
-		var results []map[string]bool
-		for _, workers := range []int{1, 4} {
-			r, err := New(tb, Options{Workers: workers})
-			if err != nil {
-				t.Fatal(err)
-			}
-			m := map[string]bool{}
-			for _, sub := range tb.NamedConcepts() {
-				for _, sup := range tb.NamedConcepts() {
-					ok, err := r.Subsumes(sup, sub)
-					if err != nil {
-						t.Fatal(err)
-					}
-					m[sub.Name+"⊑"+sup.Name] = ok
-				}
-			}
-			results = append(results, m)
-		}
-		for k, v := range results[0] {
-			if results[1][k] != v {
-				return false
-			}
-		}
-		return true
-	}
-	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
-		t.Fatal(err)
-	}
-}
-
-// TestClassifyDirect: the saturation-based taxonomy must equal the one
-// produced by the parallel classifier using this reasoner as a plug-in.
-func TestClassifyDirect(t *testing.T) {
-	for seed := int64(0); seed < 10; seed++ {
-		rng := rand.New(rand.NewSource(seed))
-		tb := randomELTBox(rng, 8, 10)
-		r, err := New(tb, Options{Workers: 2})
-		if err != nil {
-			t.Fatal(err)
-		}
-		direct, err := r.Classify()
-		if err != nil {
-			t.Fatalf("seed %d: %v", seed, err)
-		}
-		viaFramework, err := core.Classify(tb, core.Options{Reasoner: r, Workers: 3, Seed: seed})
-		if err != nil {
-			t.Fatal(err)
-		}
-		if !direct.Equal(viaFramework.Taxonomy) {
-			t.Fatalf("seed %d: direct EL taxonomy differs from framework taxonomy:\n%s\nvs\n%s",
-				seed, direct.Fingerprint(), viaFramework.Taxonomy.Fingerprint())
-		}
 	}
 }
 

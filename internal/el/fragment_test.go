@@ -1,0 +1,124 @@
+package el
+
+import (
+	"context"
+	"testing"
+
+	"parowl/internal/dl"
+)
+
+// mixedTBox has one axiom of each coverage class: a kept EL axiom, a
+// conjunctive right side with one non-EL conjunct (weakened), and a
+// wholly non-EL axiom (dropped).
+func mixedTBox() *dl.TBox {
+	tb := dl.NewTBox("mixed")
+	f := tb.Factory
+	a, b, c, d := tb.Declare("A"), tb.Declare("B"), tb.Declare("C"), tb.Declare("D")
+	r := f.Role("r")
+	tb.SubClassOf(a, b)                     // kept
+	tb.SubClassOf(c, f.And(a, f.All(r, b))) // weakened: keeps C ⊑ A
+	tb.SubClassOf(d, f.Not(b))              // dropped: non-EL right side
+	tb.SubClassOf(f.All(r, a), b)           // dropped: non-EL left side
+	return tb
+}
+
+func TestFragmentCoverage(t *testing.T) {
+	tb := mixedTBox()
+	frag, cov := NewFragment(tb, Options{})
+	// EquivalentClasses etc. are absent, so AsGCIs yields exactly the four
+	// axioms above.
+	if cov.Kept != 1 || cov.Weakened != 1 || cov.Dropped != 2 {
+		t.Fatalf("coverage = %+v, want {Kept:1 Weakened:1 Dropped:2}", cov)
+	}
+	if cov.Complete() {
+		t.Error("partial fragment reported complete")
+	}
+	f := tb.Factory
+	// The weakened axiom's EL conjunct survives: C ⊑ A ⊑ B.
+	mustSubs(t, frag, f.Name("B"), f.Name("C"), true)
+	// The dropped ∀-conjunct must not have leaked in any form.
+	mustSubs(t, frag, f.Name("B"), f.Name("D"), false)
+}
+
+func TestFragmentCompleteOnPureEL(t *testing.T) {
+	tb := dl.NewTBox("pure")
+	f := tb.Factory
+	a, b := tb.Declare("A"), tb.Declare("B")
+	tb.SubClassOf(a, f.And(b, f.Some(f.Role("r"), b)))
+	frag, cov := NewFragment(tb, Options{})
+	if !cov.Complete() {
+		t.Fatalf("pure EL TBox: coverage = %+v, want complete", cov)
+	}
+	// A complete fragment is the real reasoner: its answers are exact, so
+	// its ModelFilter capability is live.
+	if !frag.DisprovesSubs(context.Background(), f.Name("A"), f.Name("B")) {
+		t.Error("complete fragment failed to disprove a non-subsumption")
+	}
+	if frag.DisprovesSubs(context.Background(), f.Name("B"), f.Name("A")) {
+		t.Error("complete fragment disproved a true subsumption")
+	}
+}
+
+// TestFragmentNeverDisproves is the soundness switch: a partial fragment
+// proves but never refutes, so its ModelFilter capability must answer
+// "don't know" for every pair — including pairs it could not prove.
+func TestFragmentNeverDisproves(t *testing.T) {
+	tb := mixedTBox()
+	frag, cov := NewFragment(tb, Options{})
+	if cov.Complete() {
+		t.Fatal("test needs a partial fragment")
+	}
+	ctx := context.Background()
+	for _, sub := range tb.NamedConcepts() {
+		for _, sup := range tb.NamedConcepts() {
+			if frag.DisprovesSubs(ctx, sup, sub) {
+				t.Fatalf("partial fragment disproved %v ⊑ %v", sub, sup)
+			}
+		}
+	}
+}
+
+func TestFragmentSeeds(t *testing.T) {
+	tb := dl.NewTBox("seeds")
+	f := tb.Factory
+	a, b, c := tb.Declare("A"), tb.Declare("B"), tb.Declare("C")
+	u := tb.Declare("U")
+	r := f.Role("r")
+	tb.SubClassOf(a, b)
+	tb.SubClassOf(c, f.And(a, f.All(r, b))) // weakened to C ⊑ A
+	tb.SubClassOf(u, f.Bottom())
+	frag, _ := NewFragment(tb, Options{})
+	seeds, unsat, err := frag.Seeds(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(unsat) != 1 || unsat[0] != u {
+		t.Fatalf("unsat = %v, want [U]", unsat)
+	}
+	has := func(sub, sup *dl.Concept) bool {
+		for _, s := range seeds {
+			if s.Sub == sub && s.Sup == sup {
+				return true
+			}
+		}
+		return false
+	}
+	for _, want := range []struct{ sub, sup *dl.Concept }{
+		{a, b}, {c, a}, {c, b}, // told, weakened-kept, transitive
+	} {
+		if !has(want.sub, want.sup) {
+			t.Errorf("seeds missing %v ⊑ %v (got %v)", want.sub, want.sup, seeds)
+		}
+	}
+	for _, s := range seeds {
+		if s.Sub == s.Sup {
+			t.Errorf("reflexive seed %v", s)
+		}
+		if s.Sup.Op == dl.OpTop {
+			t.Errorf("trivial ⊤ seed for %v", s.Sub)
+		}
+		if s.Sub == u || s.Sup == u {
+			t.Errorf("seed involves unsatisfiable concept: %v", s)
+		}
+	}
+}

@@ -80,9 +80,26 @@ type builder struct {
 	fresh map[*dl.Concept]atom // structural cache for introduced names
 }
 
-// newNormalized lowers the TBox into EL normal forms, or fails with a
-// notELError if any axiom leaves the fragment.
-func newNormalized(t *dl.TBox) (*normalized, error) {
+// Coverage reports how much of a TBox the lenient fragment normalization
+// retained. Kept + Weakened + Dropped equals the number of class-axiom
+// GCIs examined; role axioms (hierarchy, transitivity) are always kept.
+type Coverage struct {
+	Kept     int // GCIs retained in full
+	Weakened int // GCIs retained partially (some right-side conjuncts dropped)
+	Dropped  int // GCIs discarded entirely
+}
+
+// Complete reports whether the fragment is logically equivalent to the
+// full TBox, i.e. nothing was weakened or dropped.
+func (c Coverage) Complete() bool { return c.Weakened == 0 && c.Dropped == 0 }
+
+func (c Coverage) String() string {
+	return fmt.Sprintf("kept %d, weakened %d, dropped %d", c.Kept, c.Weakened, c.Dropped)
+}
+
+// newBuilder indexes the TBox's named concepts and roles, the parts of
+// normalization shared by the strict and lenient paths.
+func newBuilder(t *dl.TBox) *builder {
 	f := t.Factory
 	n := &normalized{
 		tbox:   t,
@@ -94,26 +111,56 @@ func newNormalized(t *dl.TBox) (*normalized, error) {
 		n.atomOf[c] = atom(len(n.conceptOf))
 		n.conceptOf = append(n.conceptOf, c)
 	}
-	b := &builder{n: n, fresh: make(map[*dl.Concept]atom)}
-
-	n.numRoles = t.Factory.NumRoles()
+	n.numRoles = f.NumRoles()
 	n.transitive = make([]bool, n.numRoles)
 	n.supers = make([][]int32, n.numRoles)
-	for _, r := range t.Factory.Roles() {
+	for _, r := range f.Roles() {
 		n.transitive[r.ID] = r.Transitive
 		for _, s := range r.Supers() {
 			n.supers[r.ID] = append(n.supers[r.ID], s.ID)
 		}
 	}
+	return &builder{n: n, fresh: make(map[*dl.Concept]atom)}
+}
 
+// newNormalized lowers the TBox into EL normal forms, or fails with a
+// notELError if any axiom leaves the fragment.
+func newNormalized(t *dl.TBox) (*normalized, error) {
+	b := newBuilder(t)
 	for _, gci := range t.AsGCIs() {
 		if err := b.axiom(gci.Sub, gci.Sup); err != nil {
 			return nil, err
 		}
 	}
+	n := b.n
 	n.numAtoms = len(n.conceptOf)
 	n.finishIndexes()
 	return n, nil
+}
+
+// newNormalizedFragment lowers the EL-expressible subset of the TBox,
+// silently weakening or dropping axioms that leave the fragment. Every
+// emitted normal axiom is entailed by the full TBox, so any consequence
+// of the fragment is a consequence of the TBox (a sound lower bound);
+// the converse holds only when the returned coverage is Complete.
+func newNormalizedFragment(t *dl.TBox) (*normalized, Coverage) {
+	b := newBuilder(t)
+	var cov Coverage
+	for _, gci := range t.AsGCIs() {
+		kept, dropped := b.axiomLenient(gci.Sub, gci.Sup)
+		switch {
+		case dropped == 0:
+			cov.Kept++
+		case kept == 0:
+			cov.Dropped++
+		default:
+			cov.Weakened++
+		}
+	}
+	n := b.n
+	n.numAtoms = len(n.conceptOf)
+	n.finishIndexes()
+	return n, cov
 }
 
 // checkEL verifies c stays inside EL(⊥).
@@ -229,6 +276,39 @@ func (b *builder) axiomChecked(sub, sup *dl.Concept) error {
 		panic("el: axiomChecked on non-EL right side")
 	}
 	return nil
+}
+
+// axiomLenient lowers sub ⊑ sup, keeping as much as the fragment can
+// express. A non-EL left side forces dropping the whole GCI: weakening a
+// left side would make the axiom apply more broadly, which is unsound. A
+// conjunctive right side is split into one GCI per conjunct and each
+// non-EL conjunct dropped individually — dropping a conjunct only
+// weakens the axiom, which is sound. Returns how many right-side
+// conjuncts were kept and dropped.
+func (b *builder) axiomLenient(sub, sup *dl.Concept) (kept, dropped int) {
+	if checkEL(sub) != nil {
+		return 0, 1
+	}
+	return b.supLenient(sub, sup)
+}
+
+func (b *builder) supLenient(sub, sup *dl.Concept) (kept, dropped int) {
+	if sup.Op == dl.OpAnd {
+		for _, arg := range sup.Args {
+			k, d := b.supLenient(sub, arg)
+			kept, dropped = kept+k, dropped+d
+		}
+		return kept, dropped
+	}
+	if checkEL(sup) != nil {
+		return 0, 1
+	}
+	// axiomChecked can only fail inside defineFresh on a non-EL concept,
+	// which checkEL just ruled out.
+	if err := b.axiomChecked(sub, sup); err != nil {
+		panic(err)
+	}
+	return 1, 0
 }
 
 // defineFresh emits axioms making fresh atom a behave as a ⊑ d.

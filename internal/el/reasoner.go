@@ -25,9 +25,10 @@ type Options struct {
 // is discarded (never served) and the next query re-runs saturation from
 // scratch under its own context.
 type Reasoner struct {
-	tbox *dl.TBox
-	n    *normalized
-	opts Options
+	tbox     *dl.TBox
+	n        *normalized
+	opts     Options
+	complete bool // the normalization covers the whole TBox, not a fragment
 
 	mu  sync.Mutex
 	sat *saturation // non-nil only once fully saturated
@@ -41,7 +42,19 @@ func New(t *dl.TBox, opts Options) (*Reasoner, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Reasoner{tbox: t, n: n, opts: opts}, nil
+	return &Reasoner{tbox: t, n: n, opts: opts, complete: true}, nil
+}
+
+// NewFragment builds a reasoner over the EL-expressible fragment of any
+// TBox: axioms outside EL are weakened or dropped (see Coverage) instead
+// of failing. Every answer of true from Sat's negation — i.e. every
+// derived unsatisfiability — and every answer of true from Subs is
+// entailed by the full TBox, because the fragment's axioms are. Negative
+// answers are only authoritative when the coverage is Complete.
+func NewFragment(t *dl.TBox, opts Options) (*Reasoner, Coverage) {
+	t.Freeze()
+	n, cov := newNormalizedFragment(t)
+	return &Reasoner{tbox: t, n: n, opts: opts, complete: cov.Complete()}, cov
 }
 
 // TBox returns the TBox this reasoner answers for.
@@ -130,6 +143,61 @@ func (r *Reasoner) Subs(ctx context.Context, sup, sub *dl.Concept) (bool, error)
 		return false, err
 	}
 	return sat.ctxs[sa].hasSub(pa), nil
+}
+
+// DisprovesSubs reports that sub ⊑ sup definitely does not hold. It
+// implements the classifier's optional ModelFilter capability: for a
+// complete EL reasoner the saturation is complete, so a missing
+// subsumer is a proof of non-subsumption. A fragment reasoner never
+// disproves anything — its saturation is only a lower bound.
+func (r *Reasoner) DisprovesSubs(ctx context.Context, sup, sub *dl.Concept) bool {
+	if !r.complete {
+		return false
+	}
+	ok, err := r.Subs(ctx, sup, sub)
+	return err == nil && !ok
+}
+
+// Seed is one directed subsumption fact proven by saturation: Sub ⊑ Sup
+// holds in every model of the (possibly fragment) TBox.
+type Seed struct {
+	Sub, Sup *dl.Concept
+}
+
+// Seeds saturates under ctx and exports the proven conclusions about the
+// TBox's named concepts, for bulk-seeding a classifier: the directed
+// subsumptions between distinct named concepts (including ⊤ ⊑ C facts,
+// which witness equivalence to ⊤) and the concepts proven
+// unsatisfiable. Saturation is sound for whatever axiom subset it was
+// given, so every seed holds for the full TBox even when this reasoner
+// covers only its EL fragment. Facts about unsatisfiable concepts are
+// omitted (the unsat list subsumes them), as are the trivial X ⊑ ⊤ and
+// X ⊑ X facts. If ⊤ itself is unsatisfiable the fragment is
+// inconsistent; ⊤ is then excluded from the unsat list but every named
+// concept appears in it.
+func (r *Reasoner) Seeds(ctx context.Context) (seeds []Seed, unsat []*dl.Concept, err error) {
+	sat, err := r.ensure(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	consider := append([]*dl.Concept{r.tbox.Factory.Top()}, r.tbox.NamedConcepts()...)
+	for _, c := range consider {
+		a := r.n.atomOf[c]
+		if sat.ctxs[a].hasSub(atomBottom) {
+			if c.Op != dl.OpTop {
+				unsat = append(unsat, c)
+			}
+			continue
+		}
+		for _, s := range sat.ctxs[a].snapshotSubs() {
+			sc := r.n.conceptOf[s]
+			if sc == nil || sc == c || sc.Op != dl.OpName {
+				continue // fresh name, reflexive fact, or ⊤/⊥
+			}
+			seeds = append(seeds, Seed{Sub: c, Sup: sc})
+		}
+	}
+	return seeds, unsat, nil
 }
 
 // IsSatisfiable is the context-free convenience form of Sat.

@@ -80,6 +80,32 @@ func (a legacyAdapter) Subs(ctx context.Context, sup, sub *dl.Concept) (bool, er
 	return a.l.Subsumes(sup, sub)
 }
 
+// ModelFilter is an optional capability a plug-in may offer alongside
+// Interface: a cheap, sound non-subsumption test. DisprovesSubs reports
+// that sub ⊑ sup definitely does NOT hold — typically by merging cached
+// pseudo-models of sub and ¬sup, in the spirit of tableau model-merging
+// heuristics — without running a full test. False means "don't know",
+// never "subsumed": callers may skip the expensive Subs dispatch on
+// true, and must fall through to Subs on false.
+//
+// Implementations must be safe for concurrent use and cheap relative to
+// Subs; they should not be budgeted or retried. The classifier detects
+// the capability by type assertion, so plug-ins opt in just by
+// implementing the method.
+type ModelFilter interface {
+	DisprovesSubs(ctx context.Context, sup, sub *dl.Concept) bool
+}
+
+// AsModelFilter returns r's ModelFilter capability, or nil if r does not
+// implement it. Decorators in this package forward the capability of the
+// plug-in they wrap.
+func AsModelFilter(r Interface) ModelFilter {
+	if mf, ok := r.(ModelFilter); ok {
+		return mf
+	}
+	return nil
+}
+
 // Factory builds a plug-in reasoner for a TBox. Classifier options carry a
 // Factory so the same classification code runs against any plug-in.
 type Factory func(t *dl.TBox) (Interface, error)
@@ -88,6 +114,9 @@ type Factory func(t *dl.TBox) (Interface, error)
 type Stats struct {
 	SatCalls  atomic.Int64
 	SubsCalls atomic.Int64
+	// FilterHits counts DisprovesSubs probes that answered true, each of
+	// which typically stands in for an avoided Subs call.
+	FilterHits atomic.Int64
 }
 
 // Counting wraps a reasoner so every call is tallied in Stats.
@@ -106,4 +135,16 @@ func (c Counting) Sat(ctx context.Context, x *dl.Concept) (bool, error) {
 func (c Counting) Subs(ctx context.Context, sup, sub *dl.Concept) (bool, error) {
 	c.S.SubsCalls.Add(1)
 	return c.R.Subs(ctx, sup, sub)
+}
+
+// DisprovesSubs forwards the wrapped plug-in's ModelFilter capability,
+// tallying hits. A Counting around a filterless plug-in still satisfies
+// ModelFilter but never disproves anything.
+func (c Counting) DisprovesSubs(ctx context.Context, sup, sub *dl.Concept) bool {
+	mf := AsModelFilter(c.R)
+	if mf == nil || !mf.DisprovesSubs(ctx, sup, sub) {
+		return false
+	}
+	c.S.FilterHits.Add(1)
+	return true
 }

@@ -66,6 +66,10 @@ type (
 	// AdaptReasoner. Such plug-ins cannot be interrupted, so per-test
 	// budgets only bound the time-to-abandon, not the call itself.
 	LegacyReasoner = reasoner.LegacyInterface
+	// ModelFilter is the optional plug-in capability consulted by
+	// Options.ModelFilter: a cheap, sound "definitely not subsumed"
+	// answer that skips the full subs? dispatch.
+	ModelFilter = reasoner.ModelFilter
 	// Undecided is one reasoner test abandoned under the per-test budget
 	// (see Options.TestTimeout) or recovered from a plug-in panic.
 	Undecided = core.Undecided

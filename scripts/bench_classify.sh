@@ -1,0 +1,35 @@
+#!/bin/sh
+# bench_classify.sh — end-to-end classification benchmark with
+# commit-over-commit comparison, also available as `make bench-classify`.
+#
+# Runs `benchfig -exp classify` (real tableau reasoning, pipeline off vs
+# on), rotating the previous BENCH_classify.json/.bench to *.prev first.
+# When benchstat is installed and a previous run exists, the two
+# benchstat-format twins are compared; otherwise the raw wall-time rows
+# are printed side by side. Extra arguments are passed to benchfig
+# (e.g. `scripts/bench_classify.sh -classifyscale 8`).
+set -eu
+cd "$(dirname "$0")/.."
+
+OUT=BENCH_classify.json
+BENCH=BENCH_classify.bench
+for f in "$OUT" "$BENCH"; do
+    if [ -f "$f" ]; then
+        mv "$f" "$f.prev"
+    fi
+done
+
+go run ./cmd/benchfig -exp classify -classifyout "$OUT" "$@"
+
+if [ -f "$BENCH.prev" ]; then
+    if command -v benchstat >/dev/null 2>&1; then
+        echo "== benchstat vs previous run"
+        benchstat "$BENCH.prev" "$BENCH"
+    else
+        echo "== benchstat not installed; previous vs current:"
+        echo "-- $BENCH.prev"
+        cat "$BENCH.prev"
+        echo "-- $BENCH"
+        cat "$BENCH"
+    fi
+fi
