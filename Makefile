@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench bench-tableau bench-classify
+.PHONY: build test verify chaos bench bench-tableau bench-classify
 
 build:
 	$(GO) build ./...
@@ -12,6 +12,12 @@ test:
 # concurrency-critical packages. See scripts/verify.sh.
 verify:
 	sh scripts/verify.sh
+
+# The crash-safety torture loop: fault-injection and kill-and-resume
+# suites under -race, plus subprocess SIGKILL of the real owlclass
+# binary. See scripts/chaos.sh.
+chaos:
+	sh scripts/chaos.sh
 
 bench:
 	$(GO) test -bench . -benchmem -run xxx ./...

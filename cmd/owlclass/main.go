@@ -42,9 +42,15 @@ var (
 
 	testTimeout = flag.Duration("test-timeout", 0, "budget per sat?/subs? test; expired tests are retried then recorded as undecided (0 = none)")
 	testRetries = flag.Int("test-retries", 0, "escalating retries per timed-out test (each doubles the budget)")
-	moduleOf    = flag.String("module", "", "extract the ⊥-locality module for this comma-separated concept list before classifying")
-	metrics     = flag.Bool("metrics", false, "print the ontology metrics row and exit")
-	baseline    = flag.String("baseline", "", "also run a baseline and compare: brute | traversal")
+
+	checkpoint         = flag.String("checkpoint", "", "periodically snapshot classification state to this file (atomic rename)")
+	checkpointInterval = flag.Duration("checkpoint-interval", time.Second, "minimum time between checkpoint snapshots (0 = every phase boundary)")
+	resume             = flag.String("resume", "", "restore classification state from this checkpoint file; an invalid snapshot falls back to a clean run")
+	cache              = flag.Bool("cache", false, "memoize plug-in answers; with -checkpoint, settled answers are carried in snapshots")
+	chaos              = flag.String("chaos", "", "inject reasoner faults, e.g. err=0.01,panic=0.005,hang=0.002,budget=0.01,slow=2ms,seed=7 (testing only)")
+	moduleOf           = flag.String("module", "", "extract the ⊥-locality module for this comma-separated concept list before classifying")
+	metrics            = flag.Bool("metrics", false, "print the ontology metrics row and exit")
+	baseline           = flag.String("baseline", "", "also run a baseline and compare: brute | traversal")
 
 	cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
@@ -104,16 +110,19 @@ func run() error {
 		return nil
 	}
 	opts := parowl.Options{
-		Workers:          *workers,
-		RandomCycles:     *cycles,
-		Seed:             *seed,
-		CollectTrace:     *trace,
-		UseToldSubsumers: *told,
-		AdaptiveCycles:   *adaptive,
-		ELPrepass:        *prepass,
-		ModelFilter:      *mfilter,
-		TestTimeout:      *testTimeout,
-		TestRetries:      *testRetries,
+		Workers:            *workers,
+		RandomCycles:       *cycles,
+		Seed:               *seed,
+		CollectTrace:       *trace,
+		UseToldSubsumers:   *told,
+		AdaptiveCycles:     *adaptive,
+		ELPrepass:          *prepass,
+		ModelFilter:        *mfilter,
+		TestTimeout:        *testTimeout,
+		TestRetries:        *testRetries,
+		Checkpoint:         *checkpoint,
+		CheckpointInterval: *checkpointInterval,
+		ResumeFrom:         *resume,
 	}
 	switch *mode {
 	case "optimized":
@@ -146,6 +155,28 @@ func run() error {
 	default:
 		return fmt.Errorf("unknown -reasoner %q", *plugin)
 	}
+	if *cache {
+		// A cached plug-in memoizes settled answers; with -checkpoint they
+		// also ride along in snapshots so resumed runs skip re-proving
+		// them. Opt-in: the classifier's own P/K machinery already avoids
+		// duplicate tests within a run, so for a single uncheckpointed run
+		// the memo is pure overhead.
+		if opts.Reasoner == nil {
+			opts.Reasoner = parowl.NewAutoReasoner(tbox)
+		}
+		opts.Reasoner = parowl.NewCachedReasoner(opts.Reasoner)
+	}
+	if *chaos != "" {
+		copts, err := parowl.ParseChaos(*chaos)
+		if err != nil {
+			return err
+		}
+		if opts.Reasoner == nil {
+			opts.Reasoner = parowl.NewAutoReasoner(tbox)
+		}
+		fmt.Fprintf(os.Stderr, "owlclass: WARNING: chaos fault injection active (%s)\n", *chaos)
+		opts.Reasoner = parowl.NewChaosReasoner(opts.Reasoner, copts)
+	}
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -160,9 +191,30 @@ func run() error {
 	}
 	elapsed := time.Since(start)
 
+	if res.Resumed {
+		fmt.Fprintf(os.Stderr, "owlclass: resumed from checkpoint %s\n", *resume)
+	}
+	if res.ResumeError != nil {
+		fmt.Fprintf(os.Stderr, "owlclass: WARNING: checkpoint not resumable, classified from scratch: %v\n", res.ResumeError)
+	}
+	if res.CheckpointError != nil {
+		fmt.Fprintf(os.Stderr, "owlclass: WARNING: checkpoint writes failed: %v\n", res.CheckpointError)
+	}
 	if n := len(res.Undecided); n > 0 {
 		fmt.Fprintf(os.Stderr, "owlclass: WARNING: %d test(s) undecided (budget %v, %d retries); "+
 			"the taxonomy is sound but may be missing subsumptions\n", n, *testTimeout, *testRetries)
+		if res.Stats.TimedOut > 0 {
+			fmt.Fprintf(os.Stderr, "owlclass: WARNING: %d test(s) exceeded the per-test time budget\n", res.Stats.TimedOut)
+		}
+		if res.Stats.NodeBudget > 0 {
+			fmt.Fprintf(os.Stderr, "owlclass: WARNING: %d test(s) exhausted the reasoner's node budget\n", res.Stats.NodeBudget)
+		}
+		if res.Stats.BranchBudget > 0 {
+			fmt.Fprintf(os.Stderr, "owlclass: WARNING: %d test(s) exhausted the reasoner's branch budget\n", res.Stats.BranchBudget)
+		}
+		if res.Stats.Recovered > 0 {
+			fmt.Fprintf(os.Stderr, "owlclass: WARNING: %d reasoner panic(s) recovered\n", res.Stats.Recovered)
+		}
 		for _, u := range res.Undecided {
 			fmt.Fprintf(os.Stderr, "  undecided: %v\n", u)
 		}
@@ -213,6 +265,12 @@ func run() error {
 		}
 		if res.Stats.TimedOut > 0 {
 			fmt.Printf("timed out:   %d tests abandoned after exhausting their budget\n", res.Stats.TimedOut)
+		}
+		if res.Stats.NodeBudget > 0 {
+			fmt.Printf("node budget: %d tests abandoned on reasoner node-budget exhaustion\n", res.Stats.NodeBudget)
+		}
+		if res.Stats.BranchBudget > 0 {
+			fmt.Printf("branch budget: %d tests abandoned on reasoner branch-budget exhaustion\n", res.Stats.BranchBudget)
 		}
 		if res.Stats.Recovered > 0 {
 			fmt.Printf("recovered:   %d plug-in panics converted to undecided tests\n", res.Stats.Recovered)

@@ -6,7 +6,9 @@
 //
 //	taxdiff old.obo new.obo
 //
-// Exit status: 0 when identical, 1 when different, 2 on error.
+// Exit status: 0 when identical, 1 when different, 2 on error — including
+// when either classification leaves tests undecided under the per-test
+// budget, because a diff over an incomplete taxonomy proves nothing.
 package main
 
 import (
@@ -55,10 +57,16 @@ func run(oldPath, newPath string) (*parowl.TaxonomyDiff, error) {
 			return nil, fmt.Errorf("classifying %s: %w", path, err)
 		}
 		if n := len(res.Undecided); n > 0 {
-			// An undecided test can hide a real difference: warn loudly so
-			// a clean diff under budgets is not mistaken for a proof.
-			fmt.Fprintf(os.Stderr, "taxdiff: WARNING: %s: %d test(s) undecided under the %v budget; "+
-				"the diff may miss subsumption changes\n", path, n, *testTimeout)
+			// An undecided test can hide a real difference, so comparing
+			// the incomplete taxonomies could report "identical" for
+			// ontologies that differ. Refuse to diff; list the pairs so the
+			// operator can rerun them with a larger budget.
+			fmt.Fprintf(os.Stderr, "taxdiff: %s: %d test(s) undecided under the %v budget; "+
+				"refusing to diff an incomplete taxonomy\n", path, n, *testTimeout)
+			for _, u := range res.Undecided {
+				fmt.Fprintf(os.Stderr, "  undecided: %v\n", u)
+			}
+			return nil, fmt.Errorf("%s: %d undecided test(s); raise -test-timeout/-test-retries and retry", path, n)
 		}
 		return res.Taxonomy, nil
 	}

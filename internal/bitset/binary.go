@@ -1,0 +1,175 @@
+package bitset
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Binary serialization for Set, Atomic and Matrix, used by the
+// classifier's checkpoint snapshots. The encoding is stable across
+// versions and platforms:
+//
+//	uint32 LE  n        bit capacity
+//	uint64 LE  words    wordsFor(n) words, lowest bits first
+//	uint32 LE  crc      CRC-32 (IEEE) of the n and word bytes above
+//
+// Every frame carries its own checksum so a truncated or bit-flipped
+// snapshot is rejected instead of silently decoding into a wrong set.
+// Decoding additionally rejects frames whose tail word carries bits
+// beyond the declared capacity, which would break Count/IsEmpty
+// invariants.
+
+// ErrCorrupt reports binary data that failed structural validation or
+// its checksum. All decode errors wrap it.
+var ErrCorrupt = errors.New("bitset: corrupt binary data")
+
+// binarySize returns the encoded frame size for an n-bit set.
+func binarySize(n int) int { return 4 + wordsFor(n)*8 + 4 }
+
+// appendFrame appends the standard frame for n bits whose i-th word is
+// word(i).
+func appendFrame(b []byte, n int, word func(i int) uint64) []byte {
+	start := len(b)
+	b = binary.LittleEndian.AppendUint32(b, uint32(n))
+	for i, w := 0, wordsFor(n); i < w; i++ {
+		b = binary.LittleEndian.AppendUint64(b, word(i))
+	}
+	return binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b[start:]))
+}
+
+// readFrame validates the frame at the head of data and returns the bit
+// capacity, the decoded words, and the bytes following the frame.
+func readFrame(data []byte) (n int, words []uint64, rest []byte, err error) {
+	if len(data) < 4 {
+		return 0, nil, nil, fmt.Errorf("%w: truncated header (%d bytes)", ErrCorrupt, len(data))
+	}
+	n = int(binary.LittleEndian.Uint32(data))
+	total := binarySize(n)
+	if len(data) < total {
+		return 0, nil, nil, fmt.Errorf("%w: truncated frame (have %d bytes, need %d)", ErrCorrupt, len(data), total)
+	}
+	want := binary.LittleEndian.Uint32(data[total-4:])
+	if got := crc32.ChecksumIEEE(data[:total-4]); got != want {
+		return 0, nil, nil, fmt.Errorf("%w: checksum mismatch (%08x != %08x)", ErrCorrupt, got, want)
+	}
+	words = make([]uint64, wordsFor(n))
+	for i := range words {
+		words[i] = binary.LittleEndian.Uint64(data[4+i*8:])
+	}
+	if rem := n % wordBits; rem != 0 && len(words) > 0 {
+		if words[len(words)-1]&^((1<<uint(rem))-1) != 0 {
+			return 0, nil, nil, fmt.Errorf("%w: bits set beyond capacity %d", ErrCorrupt, n)
+		}
+	}
+	return n, words, data[total:], nil
+}
+
+// AppendBinary appends s's binary encoding to b and returns the extended
+// slice.
+func (s *Set) AppendBinary(b []byte) []byte {
+	return appendFrame(b, s.n, func(i int) uint64 { return s.words[i] })
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (s *Set) MarshalBinary() ([]byte, error) {
+	return s.AppendBinary(make([]byte, 0, binarySize(s.n))), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler. The data must
+// contain exactly one encoded set.
+func (s *Set) UnmarshalBinary(data []byte) error {
+	dec, rest, err := ReadSet(data)
+	if err != nil {
+		return err
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(rest))
+	}
+	*s = *dec
+	return nil
+}
+
+// ReadSet decodes one Set from the head of data and returns it together
+// with the remaining bytes, for streaming several frames from one buffer.
+func ReadSet(data []byte) (*Set, []byte, error) {
+	n, words, rest, err := readFrame(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Set{n: n, words: words}, rest, nil
+}
+
+// AppendBinary appends a word-by-word snapshot of a's contents to b. Like
+// Snapshot, concurrent writers may be observed at different instants per
+// word; serialize quiescent sets for exact captures.
+func (a *Atomic) AppendBinary(b []byte) []byte {
+	return appendFrame(b, a.n, func(i int) uint64 { return a.words[i].Load() })
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler on a snapshot of a.
+func (a *Atomic) MarshalBinary() ([]byte, error) {
+	return a.AppendBinary(make([]byte, 0, binarySize(a.n))), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler. The data must
+// contain exactly one encoded set.
+func (a *Atomic) UnmarshalBinary(data []byte) error {
+	dec, rest, err := ReadAtomic(data)
+	if err != nil {
+		return err
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(rest))
+	}
+	*a = *dec
+	return nil
+}
+
+// ReadAtomic decodes one Atomic from the head of data and returns it with
+// the remaining bytes.
+func ReadAtomic(data []byte) (*Atomic, []byte, error) {
+	n, words, rest, err := readFrame(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	a := NewAtomic(n)
+	for i, w := range words {
+		a.words[i].Store(w)
+	}
+	return a, rest, nil
+}
+
+// AppendBinary appends the matrix encoding to b: a dimension header
+// (uint32 rows, uint32 cols, uint32 CRC-32 of both) followed by the
+// backing Atomic's frame.
+func (m *Matrix) AppendBinary(b []byte) []byte {
+	start := len(b)
+	b = binary.LittleEndian.AppendUint32(b, uint32(m.rows))
+	b = binary.LittleEndian.AppendUint32(b, uint32(m.cols))
+	b = binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b[start:]))
+	return m.bits.AppendBinary(b)
+}
+
+// ReadMatrix decodes one Matrix from the head of data and returns it with
+// the remaining bytes.
+func ReadMatrix(data []byte) (*Matrix, []byte, error) {
+	if len(data) < 12 {
+		return nil, nil, fmt.Errorf("%w: truncated matrix header (%d bytes)", ErrCorrupt, len(data))
+	}
+	rows := int(binary.LittleEndian.Uint32(data))
+	cols := int(binary.LittleEndian.Uint32(data[4:]))
+	want := binary.LittleEndian.Uint32(data[8:])
+	if got := crc32.ChecksumIEEE(data[:8]); got != want {
+		return nil, nil, fmt.Errorf("%w: matrix header checksum mismatch", ErrCorrupt)
+	}
+	bits, rest, err := ReadAtomic(data[12:])
+	if err != nil {
+		return nil, nil, err
+	}
+	if rows*cols != bits.Len() {
+		return nil, nil, fmt.Errorf("%w: matrix dims %dx%d do not match %d bits", ErrCorrupt, rows, cols, bits.Len())
+	}
+	return &Matrix{rows: rows, cols: cols, bits: bits}, rest, nil
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"parowl/internal/dl"
+	"parowl/internal/reasoner"
 )
 
 // errTestTimedOut marks a reasoner test whose every budgeted attempt hit
@@ -21,20 +22,23 @@ var errTestTimedOut = errors.New("core: reasoner test exceeded its budget")
 var errReasonerPanic = errors.New("core: reasoner plug-in panicked")
 
 // Undecided records one reasoner test abandoned under the per-test budget
-// (Options.TestTimeout) or recovered from a plug-in panic. The taxonomy
-// stays sound — an abandoned subsumption test is never asserted, and an
-// abandoned satisfiability test conservatively treats the concept as
-// satisfiable — but it may be incomplete: a subsumption that holds could
-// be missing. Callers that need certainty re-run the listed tests with a
-// larger budget.
+// (Options.TestTimeout), recovered from a plug-in panic, or cut off by
+// the plug-in's own resource budget. The taxonomy stays sound — an
+// abandoned subsumption test is never asserted, and an abandoned
+// satisfiability test conservatively treats the concept as satisfiable —
+// but it may be incomplete: a subsumption that holds could be missing.
+// Callers that need certainty re-run the listed tests with a larger
+// budget.
 type Undecided struct {
 	// Sup and Sub identify the directed test subs?(Sup, Sub) — "is
 	// Sub ⊑ Sup" — that was abandoned. For an abandoned satisfiability
 	// test Sup is nil and Sub is the concept whose sat?() call was cut
 	// off.
 	Sup, Sub *dl.Concept
-	// Reason is "timeout" for a budget expiry or "panic" for a recovered
-	// plug-in panic.
+	// Reason is "timeout" for a budget expiry, "panic" for a recovered
+	// plug-in panic, or "node-budget" / "branch-budget" when the plug-in
+	// reported exhausting its own resource limits (reasoner.ErrNodeBudget
+	// / ErrBranchBudget).
 	Reason string
 }
 
@@ -110,19 +114,29 @@ func (s *state) budgetedSubs(sup, sub *dl.Concept) (bool, error) {
 	return s.budgeted(func(ctx context.Context) (bool, error) { return s.safeSubs(ctx, sup, sub) })
 }
 
-// isDegraded reports whether err is a per-test degradation (budget expiry
-// or recovered panic) rather than an error that should fail the run.
+// isDegraded reports whether err is a per-test degradation (per-test
+// budget expiry, recovered panic, or a plug-in resource-budget
+// exhaustion) rather than an error that should fail the run.
 func isDegraded(err error) bool {
-	return errors.Is(err, errTestTimedOut) || errors.Is(err, errReasonerPanic)
+	return errors.Is(err, errTestTimedOut) || errors.Is(err, errReasonerPanic) ||
+		errors.Is(err, reasoner.ErrNodeBudget) || errors.Is(err, reasoner.ErrBranchBudget)
 }
 
 // recordUndecided notes one degraded test and bumps the matching counter.
 func (s *state) recordUndecided(sup, sub *dl.Concept, err error) {
-	reason := "timeout"
-	if errors.Is(err, errReasonerPanic) {
+	var reason string
+	switch {
+	case errors.Is(err, errReasonerPanic):
 		reason = "panic"
 		s.recovered.Add(1)
-	} else {
+	case errors.Is(err, reasoner.ErrNodeBudget):
+		reason = "node-budget"
+		s.nodeBudget.Add(1)
+	case errors.Is(err, reasoner.ErrBranchBudget):
+		reason = "branch-budget"
+		s.branchBudget.Add(1)
+	default:
+		reason = "timeout"
 		s.timedOut.Add(1)
 	}
 	s.undecidedMu.Lock()

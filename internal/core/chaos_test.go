@@ -1,0 +1,110 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"parowl/internal/reasoner"
+	"parowl/internal/taxonomy"
+)
+
+// TestChaosPanicSoundness: a run whose reasoner randomly panics must
+// degrade (undecided pairs), never lie — the degraded taxonomy may miss
+// subsumptions versus a clean run but must not invent any.
+func TestChaosPanicSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 4; trial++ {
+		tb := randomMixedTBox(rng, 8+rng.Intn(8))
+		ref := classify(t, tb, Options{Workers: 4})
+
+		chaotic := reasoner.NewChaos(tableauFactory(tb), reasoner.ChaosOptions{
+			Seed:      int64(trial) + 1,
+			PanicRate: 0.15,
+			ErrRate:   0, // plain errors fail the run; panics degrade
+		})
+		res := classify(t, tb, Options{Workers: 4, Reasoner: chaotic})
+
+		if res.Stats.Recovered > 0 {
+			if len(res.Undecided) == 0 {
+				t.Errorf("trial %d: %d recovered panics but no undecided pairs", trial, res.Stats.Recovered)
+			}
+			for _, u := range res.Undecided {
+				if u.Reason != "panic" {
+					t.Errorf("trial %d: undecided reason = %q, want panic", trial, u.Reason)
+				}
+			}
+		}
+		// A concept that is really unsatisfiable sits in the reference's
+		// Bottom node with no listed subsumers; when its sat?() test is
+		// abandoned the degraded run conservatively keeps it satisfiable and
+		// its (valid — unsat is below everything) subsumptions surface as
+		// "added". Only pairs whose subclass is satisfiable in the reference
+		// can witness a genuine unsoundness.
+		diff := taxonomy.Compare(ref.Taxonomy, res.Taxonomy)
+		unsatInRef := map[string]bool{}
+		for _, name := range diff.NoLongerUnsatisfiable {
+			unsatInRef[name] = true
+		}
+		for _, p := range diff.AddedSubsumptions {
+			if !unsatInRef[p[0]] {
+				t.Errorf("trial %d: degraded run invented subsumption %v", trial, p)
+			}
+		}
+	}
+}
+
+// TestChaosBudgetCounters: injected budget exhaustion must land in the
+// dedicated NodeBudget/BranchBudget counters with matching reasons —
+// not in TimedOut, and not as a run failure.
+func TestChaosBudgetCounters(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var sawNode, sawBranch bool
+	for trial := 0; trial < 8 && !(sawNode && sawBranch); trial++ {
+		tb := randomMixedTBox(rng, 10)
+		chaotic := reasoner.NewChaos(tableauFactory(tb), reasoner.ChaosOptions{
+			Seed:       int64(trial) * 31,
+			BudgetRate: 0.3,
+		})
+		res := classify(t, tb, Options{Workers: 3, Reasoner: chaotic})
+		if res.Stats.TimedOut != 0 {
+			t.Fatalf("trial %d: budget errors miscounted as timeouts: %+v", trial, res.Stats)
+		}
+		var node, branch int64
+		for _, u := range res.Undecided {
+			switch u.Reason {
+			case "node-budget":
+				node++
+			case "branch-budget":
+				branch++
+			default:
+				t.Fatalf("trial %d: unexpected undecided reason %q", trial, u.Reason)
+			}
+		}
+		if node != res.Stats.NodeBudget || branch != res.Stats.BranchBudget {
+			t.Fatalf("trial %d: counters %d/%d don't match undecided reasons %d/%d",
+				trial, res.Stats.NodeBudget, res.Stats.BranchBudget, node, branch)
+		}
+		sawNode = sawNode || node > 0
+		sawBranch = sawBranch || branch > 0
+	}
+	if !sawNode || !sawBranch {
+		t.Fatalf("chaos never exercised both budget kinds: node=%v branch=%v", sawNode, sawBranch)
+	}
+}
+
+// TestChaosErrorFailsRun: plain injected errors (unlike panics and
+// budget errors) are not a per-test degradation — they must fail the run
+// and surface as ErrInjected for the caller to inspect.
+func TestChaosErrorFailsRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	tb := randomMixedTBox(rng, 12)
+	chaotic := reasoner.NewChaos(tableauFactory(tb), reasoner.ChaosOptions{
+		Seed:    5,
+		ErrRate: 0.5,
+	})
+	_, err := Classify(tb, Options{Workers: 4, Reasoner: chaotic})
+	if !errors.Is(err, reasoner.ErrInjected) {
+		t.Fatalf("Classify error = %v, want ErrInjected", err)
+	}
+}

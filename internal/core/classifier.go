@@ -105,6 +105,24 @@ type Options struct {
 	// Only meaningful with TestTimeout > 0; Validate rejects it
 	// otherwise.
 	TestRetries int
+	// Checkpoint, when non-empty, is a file path the run periodically
+	// snapshots its shared state to (atomic rename, see checkpoint.go).
+	// Snapshots are taken only at phase/batch boundaries, so every
+	// on-disk snapshot is consistent and resumable. A write failure never
+	// fails the run; it is reported in Result.CheckpointError.
+	Checkpoint string
+	// CheckpointInterval is the minimum time between snapshots. ≤ 0
+	// writes a snapshot at every boundary (useful for tests; production
+	// runs should use ~1s to keep overhead negligible).
+	CheckpointInterval time.Duration
+	// ResumeFrom, when non-empty, restores the shared state from a
+	// checkpoint file before classification starts, skipping all settled
+	// work. The snapshot must match the ontology (fingerprint), mode, and
+	// concept count; a missing, truncated, corrupted, or mismatched file
+	// is reported in Result.ResumeError and the run falls back to a clean
+	// classification — resume can degrade to a restart but never to a
+	// wrong taxonomy. ResumeFrom and Checkpoint may name the same file.
+	ResumeFrom string
 }
 
 // Validate reports the first configuration error, or nil. ClassifyContext
@@ -160,6 +178,12 @@ type Stats struct {
 	FilterHits int64
 	TimedOut   int64 // tests abandoned after exhausting their budget
 	Recovered  int64 // plug-in panics recovered into per-test errors
+	// NodeBudget and BranchBudget count tests the plug-in itself
+	// abandoned on resource exhaustion (reasoner.ErrNodeBudget /
+	// ErrBranchBudget), kept separate from TimedOut so operators can tell
+	// which degradation fired.
+	NodeBudget   int64
+	BranchBudget int64
 }
 
 // Result is a completed classification.
@@ -173,6 +197,16 @@ type Result struct {
 	Undecided []Undecided
 	// Trace is non-nil when Options.CollectTrace was set.
 	Trace *Trace
+	// Resumed reports whether the run restored state from
+	// Options.ResumeFrom. False with a non-nil ResumeError means the
+	// snapshot was rejected and the run started clean.
+	Resumed bool
+	// ResumeError is the reason Options.ResumeFrom could not be used
+	// (wrapping ErrBadSnapshot); the run then classified from scratch.
+	ResumeError error
+	// CheckpointError is the first snapshot-write failure, if any; the
+	// classification itself still completed.
+	CheckpointError error
 }
 
 // ErrNoReasoner is returned when Options.Reasoner is nil.
@@ -221,6 +255,38 @@ func ClassifyContext(ctx context.Context, t *dl.TBox, opts Options) (*Result, er
 	if opts.ModelFilter {
 		s.filter = reasoner.AsModelFilter(opts.Reasoner)
 	}
+
+	// Restore a prior run's state before any worker exists; a rejected
+	// snapshot leaves the fresh state untouched and the run starts clean.
+	var (
+		resumed     bool
+		resumeErr   error
+		resumePhase = PhaseRandom
+	)
+	if opts.ResumeFrom != "" {
+		snap, err := readSnapshotFile(opts.ResumeFrom)
+		if err == nil {
+			err = s.restoreSnapshot(snap)
+		}
+		if err != nil {
+			resumeErr = err
+		} else {
+			resumed = true
+			resumePhase = snap.phase
+			if porter := reasoner.AsCachePorter(opts.Reasoner); porter != nil {
+				porter.ImportCache(snap.cache)
+			}
+		}
+	}
+	var ck *checkpointer
+	if opts.Checkpoint != "" {
+		ck = &checkpointer{
+			path:     opts.Checkpoint,
+			interval: opts.CheckpointInterval,
+			porter:   reasoner.AsCachePorter(opts.Reasoner),
+		}
+	}
+
 	if ctx.Done() != nil {
 		stopWatch := make(chan struct{})
 		defer close(stopWatch)
@@ -242,19 +308,28 @@ func ClassifyContext(ctx context.Context, t *dl.TBox, opts Options) (*Result, er
 	}
 	defer p.close()
 
-	if opts.ELPrepass && !s.failed() {
+	// A snapshot whose prepass already ran restored its seeded facts;
+	// re-running the prepass over a resumed state would be sound (claims
+	// no-op) but wasted.
+	if opts.ELPrepass && !s.prepassed && !s.failed() {
 		s.runPrepass(p, workers, trace)
+		ck.maybeWrite(s, PhaseRandom, false)
 	}
 
 	rng := rand.New(rand.NewSource(opts.Seed))
 	initial := s.remainingPossible()
-	for cycle := 1; cycle <= cycles && !s.failed(); cycle++ {
-		before := s.remainingPossible()
-		s.runRandomCycle(p, rng, workers, cycle, trace)
-		if opts.AdaptiveCycles && initial > 0 {
-			gain := float64(before-s.remainingPossible()) / float64(initial)
-			if gain < minGain {
-				break // the group-division phase finishes the rest
+	// A snapshot taken during the group phase proves the random phase
+	// finished; re-running it would only no-op on claimed pairs.
+	if !(resumed && resumePhase == PhaseGroup) {
+		for cycle := 1; cycle <= cycles && !s.failed(); cycle++ {
+			before := s.remainingPossible()
+			s.runRandomCycle(p, rng, workers, cycle, trace)
+			ck.maybeWrite(s, PhaseRandom, false)
+			if opts.AdaptiveCycles && initial > 0 {
+				gain := float64(before-s.remainingPossible()) / float64(initial)
+				if gain < minGain {
+					break // the group-division phase finishes the rest
+				}
 			}
 		}
 	}
@@ -262,6 +337,7 @@ func ClassifyContext(ctx context.Context, t *dl.TBox, opts Options) (*Result, er
 		if !s.runGroupCycle(p, iter, trace) {
 			break
 		}
+		ck.maybeWrite(s, PhaseGroup, false)
 	}
 	if err := s.errOrNil(); err != nil {
 		return nil, fmt.Errorf("core: classification failed: %w", err)
@@ -269,6 +345,8 @@ func ClassifyContext(ctx context.Context, t *dl.TBox, opts Options) (*Result, er
 	if rem := s.remainingPossible(); rem != 0 {
 		return nil, fmt.Errorf("core: internal error: %d possible pairs left after group phase", rem)
 	}
+	// Final snapshot: resuming from a completed run converges immediately.
+	ck.maybeWrite(s, PhaseGroup, true)
 
 	tax, err := s.buildTaxonomy(p, trace)
 	if err != nil {
@@ -280,17 +358,22 @@ func ClassifyContext(ctx context.Context, t *dl.TBox, opts Options) (*Result, er
 	return &Result{
 		Taxonomy: tax,
 		Stats: Stats{
-			SatTests:   s.satTests.Load(),
-			SubsTests:  s.subsTests.Load(),
-			Pruned:     s.pruned.Load(),
-			ToldHits:   s.toldHits.Load(),
-			PreSeeded:  s.preSeeded.Load(),
-			FilterHits: s.filterHits.Load(),
-			TimedOut:   s.timedOut.Load(),
-			Recovered:  s.recovered.Load(),
+			SatTests:     s.satTests.Load(),
+			SubsTests:    s.subsTests.Load(),
+			Pruned:       s.pruned.Load(),
+			ToldHits:     s.toldHits.Load(),
+			PreSeeded:    s.preSeeded.Load(),
+			FilterHits:   s.filterHits.Load(),
+			TimedOut:     s.timedOut.Load(),
+			Recovered:    s.recovered.Load(),
+			NodeBudget:   s.nodeBudget.Load(),
+			BranchBudget: s.branchBudget.Load(),
 		},
-		Undecided: s.takeUndecided(),
-		Trace:     trace,
+		Undecided:       s.takeUndecided(),
+		Trace:           trace,
+		Resumed:         resumed,
+		ResumeError:     resumeErr,
+		CheckpointError: ck.firstErr(),
 	}, nil
 }
 

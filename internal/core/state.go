@@ -106,6 +106,12 @@ type state struct {
 	filterHits atomic.Int64 // subs? dispatches skipped by the model filter
 	timedOut   atomic.Int64 // tests abandoned on budget expiry
 	recovered  atomic.Int64 // plug-in panics converted to per-test errors
+	// nodeBudget / branchBudget count tests the plug-in itself abandoned
+	// on resource exhaustion (reasoner.ErrNodeBudget / ErrBranchBudget),
+	// kept separate from timedOut so operators can tell which degradation
+	// fired.
+	nodeBudget   atomic.Int64
+	branchBudget atomic.Int64
 
 	// undecided collects the degraded tests for Result.Undecided.
 	undecidedMu sync.Mutex

@@ -3,6 +3,7 @@ package reasoner
 import (
 	"context"
 	"errors"
+	"sort"
 	"sync"
 
 	"parowl/internal/dl"
@@ -193,6 +194,76 @@ func (c *Cached) Subs(ctx context.Context, sup, sub *dl.Concept) (bool, error) {
 	return c.subs[shardOf(key)].do(ctx, key, func(ctx context.Context) (bool, error) {
 		return c.r.Subs(ctx, sup, sub)
 	})
+}
+
+// Unwrap implements Wrapper so capability probes reach the wrapped
+// plug-in. Note Cached implements ModelFilter itself (memo-integrated),
+// so AsModelFilter never walks past it.
+func (c *Cached) Unwrap() Interface { return c.r }
+
+// CacheEntry is one settled answer in a portable cache snapshot. Keys are
+// the same dense-concept-ID compounds Cached uses internally, so a
+// snapshot is only meaningful for the same TBox (IDs are assigned in
+// first-use order and are stable across re-parses of the same ontology —
+// checkpoints guard this with an ontology fingerprint).
+type CacheEntry struct {
+	Key uint64
+	Val bool
+}
+
+// CacheSnapshot is a portable dump of a plug-in's settled answers.
+type CacheSnapshot struct {
+	Sat  []CacheEntry
+	Subs []CacheEntry
+}
+
+// CachePorter is an optional capability: exporting and importing settled
+// answers, so classification checkpoints can persist tableau work that is
+// not yet reflected in the shared bitsets. Implementations must be safe
+// for concurrent use.
+type CachePorter interface {
+	ExportCache() CacheSnapshot
+	ImportCache(CacheSnapshot)
+}
+
+// exportShards collects the settled entries of a shard group, sorted by
+// key so exports are deterministic.
+func exportShards(shards *[cacheShards]cacheShard) []CacheEntry {
+	var out []CacheEntry
+	for i := range shards {
+		s := &shards[i]
+		s.mu.Lock()
+		for k, v := range s.vals {
+			out = append(out, CacheEntry{Key: k, Val: v})
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// importShards settles every entry that is not already settled.
+func importShards(shards *[cacheShards]cacheShard, entries []CacheEntry) {
+	for _, e := range entries {
+		shards[shardOf(e.Key)].put(e.Key, e.Val)
+	}
+}
+
+// ExportCache implements CachePorter. Each shard is read under its own
+// lock; entries settled while the export runs may or may not appear,
+// which is fine for checkpointing (the snapshot is a subset of truth).
+func (c *Cached) ExportCache() CacheSnapshot {
+	return CacheSnapshot{
+		Sat:  exportShards(&c.sat),
+		Subs: exportShards(&c.subs),
+	}
+}
+
+// ImportCache implements CachePorter, pre-settling the answers of a
+// previously exported snapshot. Entries already settled locally win.
+func (c *Cached) ImportCache(snap CacheSnapshot) {
+	importShards(&c.sat, snap.Sat)
+	importShards(&c.subs, snap.Subs)
 }
 
 // IsSatisfiable is the context-free convenience form of Sat.

@@ -26,9 +26,25 @@ package reasoner
 
 import (
 	"context"
+	"errors"
 	"sync/atomic"
 
 	"parowl/internal/dl"
+)
+
+// Budget-exhaustion sentinels. A plug-in whose internal resource budget
+// (node pool, branching limit, …) runs out should return an error
+// wrapping one of these so the classifier can degrade the single test to
+// undecided — and report which budget blew — instead of failing the run.
+// They are defined here, not in a concrete plug-in package, so the
+// classifier stays plug-in-agnostic.
+var (
+	// ErrNodeBudget reports that a plug-in exhausted its per-test node
+	// (memory) budget.
+	ErrNodeBudget = errors.New("reasoner: node budget exhausted")
+	// ErrBranchBudget reports that a plug-in exhausted its per-test
+	// non-deterministic branching budget.
+	ErrBranchBudget = errors.New("reasoner: branch budget exhausted")
 )
 
 // Interface is the classifier's view of a reasoner plug-in. All methods
@@ -96,12 +112,44 @@ type ModelFilter interface {
 	DisprovesSubs(ctx context.Context, sup, sub *dl.Concept) bool
 }
 
-// AsModelFilter returns r's ModelFilter capability, or nil if r does not
-// implement it. Decorators in this package forward the capability of the
-// plug-in they wrap.
+// Wrapper is implemented by decorators (Counting, Cached, Chaos) that
+// delegate to an inner plug-in. Capability probes walk the Unwrap chain
+// so a capability is found regardless of decoration order.
+type Wrapper interface {
+	Unwrap() Interface
+}
+
+// AsModelFilter returns r's ModelFilter capability, or nil if neither r
+// nor any plug-in it wraps implements it. Decorators that transform
+// answers should implement ModelFilter themselves to intercept the probe;
+// pass-through decorators get chain discovery for free.
 func AsModelFilter(r Interface) ModelFilter {
-	if mf, ok := r.(ModelFilter); ok {
-		return mf
+	for r != nil {
+		if mf, ok := r.(ModelFilter); ok {
+			return mf
+		}
+		w, ok := r.(Wrapper)
+		if !ok {
+			return nil
+		}
+		r = w.Unwrap()
+	}
+	return nil
+}
+
+// AsCachePorter returns r's CachePorter capability (the ability to export
+// and import settled answers, used by classification checkpoints), or nil
+// if neither r nor any plug-in it wraps implements it.
+func AsCachePorter(r Interface) CachePorter {
+	for r != nil {
+		if cp, ok := r.(CachePorter); ok {
+			return cp
+		}
+		w, ok := r.(Wrapper)
+		if !ok {
+			return nil
+		}
+		r = w.Unwrap()
 	}
 	return nil
 }
@@ -148,3 +196,7 @@ func (c Counting) DisprovesSubs(ctx context.Context, sup, sub *dl.Concept) bool 
 	c.S.FilterHits.Add(1)
 	return true
 }
+
+// Unwrap implements Wrapper so capability probes reach the wrapped
+// plug-in through a Counting decorator.
+func (c Counting) Unwrap() Interface { return c.R }

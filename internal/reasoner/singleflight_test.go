@@ -1,0 +1,109 @@
+package reasoner
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"parowl/internal/dl"
+)
+
+// blockOnceReasoner's first Subs call parks until its context is
+// cancelled and returns the context error; every later call answers
+// immediately. This scripts the "leader dies mid-flight" scenario.
+type blockOnceReasoner struct {
+	calls   atomic.Int64
+	entered chan struct{} // closed when the first call is in flight
+}
+
+func (b *blockOnceReasoner) Sat(context.Context, *dl.Concept) (bool, error) { return true, nil }
+
+func (b *blockOnceReasoner) Subs(ctx context.Context, _, _ *dl.Concept) (bool, error) {
+	if b.calls.Add(1) == 1 {
+		close(b.entered)
+		<-ctx.Done()
+		return false, ctx.Err()
+	}
+	return true, nil
+}
+
+// TestCachedCancelledLeaderDoesNotPoison: when the single-flight leader's
+// own context is cancelled mid-call, followers with live contexts must
+// not inherit the cancellation — they retry under their own budget,
+// settle the entry, and later callers hit the cache.
+func TestCachedCancelledLeaderDoesNotPoison(t *testing.T) {
+	tb := oracleTBox()
+	f := tb.Factory
+	r := &blockOnceReasoner{entered: make(chan struct{})}
+	c := NewCached(r)
+	a, b := f.Name("A"), f.Name("B")
+
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, err := c.Subs(leaderCtx, a, b)
+		leaderErr <- err
+	}()
+	<-r.entered // the leader's underlying call is parked on its context
+
+	followerDone := make(chan error, 1)
+	var followerVal bool
+	go func() {
+		ok, err := c.Subs(context.Background(), a, b)
+		followerVal = ok
+		followerDone <- err
+	}()
+	// Give the follower time to join the leader's flight (joining is the
+	// interesting path; if it races ahead and becomes its own runner the
+	// assertions below still hold).
+	time.Sleep(20 * time.Millisecond)
+
+	cancelLeader()
+	if err := <-leaderErr; err != context.Canceled {
+		t.Fatalf("leader error = %v, want context.Canceled", err)
+	}
+	select {
+	case err := <-followerDone:
+		if err != nil || !followerVal {
+			t.Fatalf("follower got %v, %v; want true, nil", followerVal, err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("follower deadlocked after leader cancellation")
+	}
+
+	// The follower's retry settled the entry: no further underlying calls.
+	before := r.calls.Load()
+	if ok, err := c.Subs(context.Background(), a, b); err != nil || !ok {
+		t.Fatalf("cached Subs = %v, %v", ok, err)
+	}
+	if after := r.calls.Load(); after != before {
+		t.Fatalf("settled entry re-ran the plug-in: %d -> %d calls", before, after)
+	}
+	if before != 2 {
+		t.Errorf("underlying calls = %d, want 2 (cancelled leader + follower retry)", before)
+	}
+}
+
+// TestCachedWaiterOwnDeadline: a waiter whose own context expires while
+// the flight is still running stops waiting with its error instead of
+// blocking on the (parked) leader.
+func TestCachedWaiterOwnDeadline(t *testing.T) {
+	tb := oracleTBox()
+	f := tb.Factory
+	r := &blockOnceReasoner{entered: make(chan struct{})}
+	c := NewCached(r)
+	a, b := f.Name("A"), f.Name("B")
+
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	defer cancelLeader()
+	go func() { _, _ = c.Subs(leaderCtx, a, b) }()
+	<-r.entered
+
+	waiterCtx, cancelWaiter := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancelWaiter()
+	_, err := c.Subs(waiterCtx, a, b)
+	if err != context.DeadlineExceeded {
+		t.Fatalf("waiter error = %v, want DeadlineExceeded", err)
+	}
+}

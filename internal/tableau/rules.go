@@ -2,20 +2,22 @@ package tableau
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"sort"
 
 	"parowl/internal/dl"
+	"parowl/internal/reasoner"
 )
 
 // ErrBudget is returned when a satisfiability test exceeds the reasoner's
-// node budget. It indicates the test was abandoned, not answered.
-var ErrBudget = errors.New("tableau: node budget exhausted")
+// node budget. It indicates the test was abandoned, not answered. The
+// error wraps the plug-in-agnostic reasoner.ErrNodeBudget sentinel so the
+// classifier can classify the degradation without importing tableau.
+var ErrBudget = fmt.Errorf("tableau: %w", reasoner.ErrNodeBudget)
 
 // ErrBranchBudget is returned when a satisfiability test exceeds the
-// reasoner's branching budget.
-var ErrBranchBudget = errors.New("tableau: branch budget exhausted")
+// reasoner's branching budget. It wraps reasoner.ErrBranchBudget.
+var ErrBranchBudget = fmt.Errorf("tableau: %w", reasoner.ErrBranchBudget)
 
 // solver carries the mutable state of one satisfiability test plus the
 // arenas (see arena.go) that let the state be recycled across tests.

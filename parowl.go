@@ -85,6 +85,8 @@ type (
 	Profile = ontogen.Profile
 	// CostModel assigns virtual durations to oracle subsumption tests.
 	CostModel = reasoner.CostModel
+	// ChaosOptions configures NewChaosReasoner's fault mix.
+	ChaosOptions = reasoner.ChaosOptions
 )
 
 // Classification modes and scheduling policies (re-exported constants).
@@ -346,6 +348,23 @@ func ClassifyEnhancedTraversalContext(ctx context.Context, t *TBox, r Reasoner) 
 	}
 	return core.EnhancedTraversalContext(ctx, t, r)
 }
+
+// NewCachedReasoner wraps a plug-in with the sharded single-flight memo
+// table. A cached plug-in also gains the cache export/import capability
+// that lets classification checkpoints (Options.Checkpoint) persist
+// settled answers across a crash.
+func NewCachedReasoner(r Reasoner) Reasoner { return reasoner.NewCached(r) }
+
+// NewChaosReasoner wraps a plug-in with deterministic fault injection
+// (random errors, panics, hangs, budget exhaustion, added latency) for
+// crash-safety and degradation testing. Compose it outside other
+// decorators: NewChaosReasoner(NewCachedReasoner(r), o), never the
+// reverse. Panics on invalid options.
+func NewChaosReasoner(r Reasoner, o ChaosOptions) Reasoner { return reasoner.NewChaos(r, o) }
+
+// ParseChaos parses the compact chaos spec used by owlclass's -chaos
+// flag, e.g. "err=0.01,panic=0.005,slow=2ms,seed=7".
+func ParseChaos(spec string) (ChaosOptions, error) { return reasoner.ParseChaos(spec) }
 
 // AdaptReasoner wraps a pre-context plug-in as a Reasoner. The adapter
 // checks the context before each call but cannot interrupt a call in

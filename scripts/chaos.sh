@@ -1,0 +1,16 @@
+#!/bin/sh
+# chaos.sh — the crash-safety torture loop, also available as `make chaos`:
+# the full fault-injection and kill-and-resume suites, in-process (under the
+# race detector) and via subprocess SIGKILL of the real owlclass binary.
+# Slower than verify.sh's short chaos step; run it when touching the
+# checkpoint format, the resume path, or the worker pool's barriers.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== in-process kill-and-resume + chaos suites (-race)"
+go test -race -count=1 -v -run 'TestKillAndResume|TestChaos|TestResumeRejects|TestSnapshotDecodeFuzz|TestCheckpoint' ./internal/core/
+echo "== reasoner decorator suites (-race): chaos, cache port, single flight"
+go test -race -count=1 -run 'TestChaos|TestCachePort|TestCached' ./internal/reasoner/
+echo "== subprocess SIGKILL driver (owlclass -checkpoint/-resume)"
+go test -count=1 -v -run 'TestCLIKillAndResume|TestCLIResumeRejectsCorruptSnapshot' .
+echo "chaos: OK"

@@ -15,6 +15,8 @@ echo "== go test -race (core, tableau, reasoner, el)"
 go test -race ./internal/core/... ./internal/tableau/... ./internal/reasoner/... ./internal/el/...
 echo "== cheap-first pipeline equivalence suite (-race)"
 go test -race -count=1 -run 'TestQuickPipelineEquivalence|TestPipelineEquivalenceOntogen|TestPipelineReducesCalls|TestPrepassFragmentUnsatConcept' ./internal/core/
+echo "== crash-safety suite: kill-and-resume + chaos soundness (-race)"
+go test -race -count=1 -run 'TestKillAndResumeEquivalence|TestChaosPanicSoundness|TestResumeRejectsBadSnapshots' ./internal/core/
 
 # Static analysis beyond vet, when the tools are installed. staticcheck
 # failures are hard errors; govulncheck needs the network for its vuln DB,
