@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify chaos bench bench-tableau bench-classify
+.PHONY: build test verify chaos bench bench-tableau bench-classify bench-sched
 
 build:
 	$(GO) build ./...
@@ -32,3 +32,10 @@ bench-tableau:
 # the previous run via benchstat when available.
 bench-classify:
 	sh scripts/bench_classify.sh
+
+# Scheduler-policy benchmark (round-robin vs work-sharing vs
+# work-stealing on a skewed corpus, real per-test durations), written to
+# BENCH_sched.json. Uses the same scripts/corpus.sh ontology as `make
+# chaos`; compares against the previous run via benchstat when available.
+bench-sched:
+	sh scripts/bench_sched.sh

@@ -37,6 +37,7 @@ import (
 	"testing"
 	"time"
 
+	"parowl"
 	"parowl/internal/core"
 	"parowl/internal/dl"
 	"parowl/internal/ontogen"
@@ -46,7 +47,7 @@ import (
 )
 
 var (
-	expFlag     = flag.String("exp", "all", "experiment: table4|table5|fig9a|fig9b|fig9c|fig10a|fig10b|fig11|balance|future|tableau|classify|all")
+	expFlag     = flag.String("exp", "all", "experiment: table4|table5|fig9a|fig9b|fig9c|fig10a|fig10b|fig11|balance|future|tableau|classify|sched|all")
 	seedFlag    = flag.Int64("seed", 1, "corpus generation and shuffle seed")
 	scaleFlag   = flag.Int("scale", 4, "divide corpus sizes by this factor (1 = full size)")
 	cyclesFlag  = flag.Int("cycles", 2, "random-division cycles for speedup runs")
@@ -58,6 +59,11 @@ var (
 	classifyOut     = flag.String("classifyout", "BENCH_classify.json", "output path for the -exp classify results")
 	classifyScale   = flag.Int("classifyscale", 16, "corpus scale divisor for -exp classify (real tableau reasoning; larger = faster)")
 	classifyWorkers = flag.Int("classifyworkers", 8, "worker count for -exp classify")
+
+	schedOut     = flag.String("schedout", "BENCH_sched.json", "output path for the -exp sched results")
+	schedScale   = flag.Int("schedscale", 12, "corpus scale divisor for -exp sched")
+	schedWorkers = flag.Int("schedworkers", 8, "worker count for -exp sched")
+	schedCorpus  = flag.String("schedcorpus", "", "classify this ontology file for -exp sched instead of a generated profile (see scripts/corpus.sh)")
 )
 
 func main() {
@@ -78,6 +84,7 @@ func main() {
 		"future":   future,        // not part of "all": several minutes of work
 		"tableau":  tableauHot,    // not part of "all": hot-path microbenchmarks
 		"classify": classifyBench, // not part of "all": real end-to-end reasoning
+		"sched":    schedBench,    // not part of "all": wall-clock scheduler comparison
 	}
 	order := []string{"table4", "table5", "fig9a", "fig9b", "fig9c", "fig10a", "fig10b", "fig11", "balance"}
 	run := func(name string) {
@@ -719,6 +726,177 @@ func classifyBench() error {
 		return err
 	}
 	fmt.Printf("wrote %s and %s\n", *classifyOut, benchPath)
+	return nil
+}
+
+// schedSkewCost is a concept-correlated heavy tail: a deterministic
+// fraction of concepts is "hard", and any test involving a hard concept
+// costs factor× the base (twice over when both ends are hard). Unlike
+// reasoner.HeavyTailCost, whose expensive pairs are scattered randomly,
+// the skew here follows concepts — past test durations predict future
+// ones, which is both the signal the WorkStealing hardness EWMA feeds on
+// and the shape the paper attributes to high-QCR ontologies (a few
+// concepts cause all the expensive tests, Sec. V-B).
+func schedSkewCost(base time.Duration, prob, factor float64, seed uint64) reasoner.CostModel {
+	threshold := uint64(prob * float64(^uint64(0)))
+	hard := func(id int32) bool {
+		x := uint64(uint32(id)) ^ seed
+		x += 0x9e3779b97f4a7c15
+		x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+		x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+		return (x ^ (x >> 31)) < threshold
+	}
+	return func(sup, sub *dl.Concept, _ bool) time.Duration {
+		d := base
+		if hard(sup.ID) {
+			d = time.Duration(float64(d) * factor)
+		}
+		if hard(sub.ID) {
+			d = time.Duration(float64(d) * factor)
+		}
+		return d
+	}
+}
+
+// schedRun is one policy's row in BENCH_sched.json.
+type schedRun struct {
+	Policy            string  `json:"policy"`
+	WallMS            float64 `json:"wall_ms"`
+	Imbalance         float64 `json:"imbalance_max_over_mean"`
+	Steals            int64   `json:"steals"`
+	SpeedupVsRR       float64 `json:"speedup_vs_roundrobin"`
+	TaxonomyIdentical bool    `json:"taxonomy_identical"`
+}
+
+// schedBench compares the three pool scheduling policies on a skewed
+// corpus with real (slept) per-test durations: the oracle plug-in runs in
+// RealTime mode under a concept-correlated heavy-tail cost model, so the
+// pool's assignment decisions — not the reasoner — determine the
+// makespan. Reports wall clock, max/mean worker-load imbalance, and steal
+// counts per policy, checks taxonomies stay byte-identical, and writes
+// BENCH_sched.json plus a benchstat-format twin (compare successive
+// commits with scripts/bench_sched.sh).
+func schedBench() error {
+	var (
+		tb  *dl.TBox
+		err error
+	)
+	corpusName := *schedCorpus
+	if corpusName != "" {
+		tb, err = parowl.LoadFile(corpusName)
+	} else {
+		var p ontogen.Profile
+		p, ok := ontogen.ByName("ncitations_functional")
+		if !ok {
+			return fmt.Errorf("ncitations profile missing")
+		}
+		if *schedScale > 1 {
+			p = ontogen.Mini(p, *schedScale)
+		}
+		corpusName = p.Name
+		tb, err = p.Generate(*seedFlag)
+	}
+	if err != nil {
+		return err
+	}
+	// ~5% hard concepts at 40× the 40µs base: a handful of tasks carry
+	// most of the runtime, the regime where static round-robin straggles.
+	oracle := reasoner.NewOracle(tb, reasoner.OracleOptions{
+		SubsCost: schedSkewCost(40*time.Microsecond, 0.05, 60, uint64(*seedFlag)),
+		SatCost:  20 * time.Microsecond,
+		RealTime: true,
+	})
+	repeats := *repeatsFlag
+	if repeats < 1 {
+		repeats = 1
+	}
+	policies := []core.Scheduling{core.RoundRobin, core.WorkSharing, core.WorkStealing}
+	fmt.Printf("sched: %s (%d concepts), %d workers, %d repeats, skewed real-time tests\n",
+		corpusName, tb.NumNamed(), *schedWorkers, repeats)
+	fmt.Printf("  %-14s %12s %12s %10s %12s\n", "policy", "wall", "imbalance", "steals", "vs roundrobin")
+	var (
+		rows    []schedRun
+		rrWall  float64
+		wantTax string
+	)
+	for _, sched := range policies {
+		var wall time.Duration
+		var imbalance float64
+		var row schedRun
+		row.Policy = sched.String()
+		for rep := 0; rep < repeats; rep++ {
+			start := time.Now()
+			res, err := core.Classify(tb, core.Options{
+				Reasoner: oracle, Workers: *schedWorkers, RandomCycles: 1,
+				Seed: *seedFlag + int64(rep), Scheduling: sched, CollectTrace: true,
+			})
+			if err != nil {
+				return fmt.Errorf("%v: %w", sched, err)
+			}
+			wall += time.Since(start)
+			imbalance += res.Trace.OverallImbalance()
+			row.Steals += res.Stats.Steals
+			if rep == 0 {
+				tax := res.Taxonomy.Render()
+				if wantTax == "" {
+					wantTax = tax
+				}
+				row.TaxonomyIdentical = tax == wantTax
+			}
+		}
+		row.WallMS = float64(wall) / float64(repeats) / 1e6
+		row.Imbalance = imbalance / float64(repeats)
+		row.Steals /= int64(repeats)
+		if sched == core.RoundRobin {
+			rrWall = row.WallMS
+		}
+		if rrWall > 0 {
+			row.SpeedupVsRR = rrWall / row.WallMS
+		}
+		rows = append(rows, row)
+		fmt.Printf("  %-14s %10.1fms %12.2f %10d %11.2fx\n",
+			row.Policy, row.WallMS, row.Imbalance, row.Steals, row.SpeedupVsRR)
+		if !row.TaxonomyIdentical {
+			return fmt.Errorf("%v: taxonomy differs from roundrobin", sched)
+		}
+	}
+	wsRow := rows[len(rows)-1]
+	gainPct := 100 * (1 - wsRow.WallMS/rrWall)
+	fmt.Printf("  workstealing vs roundrobin: %.1f%% wall-clock reduction, imbalance %.2f -> %.2f\n",
+		gainPct, rows[0].Imbalance, wsRow.Imbalance)
+	if gainPct < 15 {
+		fmt.Printf("  WARNING: below the 15%% acceptance bar\n")
+	}
+
+	report := struct {
+		Corpus   string     `json:"corpus"`
+		Concepts int        `json:"concepts"`
+		Workers  int        `json:"workers"`
+		Repeats  int        `json:"repeats"`
+		Seed     int64      `json:"seed"`
+		GainPct  float64    `json:"workstealing_vs_roundrobin_pct"`
+		Policies []schedRun `json:"policies"`
+	}{
+		Corpus: corpusName, Concepts: tb.NumNamed(), Workers: *schedWorkers,
+		Repeats: repeats, Seed: *seedFlag, GainPct: gainPct, Policies: rows,
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*schedOut, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	benchPath := strings.TrimSuffix(*schedOut, ".json") + ".bench"
+	var bench strings.Builder
+	for _, r := range rows {
+		fmt.Fprintf(&bench, "BenchmarkSched/policy=%s 1 %.0f ns/op %d steals %.3f imbalance\n",
+			r.Policy, r.WallMS*1e6, r.Steals, r.Imbalance)
+	}
+	if err := os.WriteFile(benchPath, []byte(bench.String()), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s and %s\n", *schedOut, benchPath)
 	return nil
 }
 

@@ -26,12 +26,13 @@ var (
 	cycles   = flag.Int("cycles", 2, "random-division cycles")
 	seed     = flag.Int64("seed", 1, "shuffle / generation seed")
 	mode     = flag.String("mode", "optimized", "optimized | basic")
-	sched    = flag.String("sched", "roundrobin", "roundrobin | worksharing")
+	sched    = flag.String("sched", "roundrobin", "roundrobin | worksharing | workstealing")
 	plugin   = flag.String("reasoner", "auto", "auto | tableau | tableau-mm | el")
 	profile  = flag.String("profile", "", "generate this Table IV/V profile instead of reading a file")
 	scale    = flag.Int("scale", 1, "shrink the generated profile by this factor")
 	stats    = flag.Bool("stats", false, "print test statistics instead of the taxonomy")
 	trace    = flag.Bool("trace", false, "print the per-cycle trace")
+	loads    = flag.Bool("loads", false, "print the per-worker load and steal-count summary (paper Sec. V-C)")
 	dot      = flag.Bool("dot", false, "print the taxonomy in Graphviz DOT format")
 	summary  = flag.Bool("summary", false, "print a one-line taxonomy summary")
 	told     = flag.Bool("told", false, "answer told subsumptions without reasoner calls")
@@ -113,7 +114,7 @@ func run() error {
 		Workers:            *workers,
 		RandomCycles:       *cycles,
 		Seed:               *seed,
-		CollectTrace:       *trace,
+		CollectTrace:       *trace || *loads,
 		UseToldSubsumers:   *told,
 		AdaptiveCycles:     *adaptive,
 		ELPrepass:          *prepass,
@@ -137,6 +138,8 @@ func run() error {
 		opts.Scheduling = parowl.RoundRobin
 	case "worksharing":
 		opts.Scheduling = parowl.WorkSharing
+	case "workstealing":
+		opts.Scheduling = parowl.WorkStealing
 	default:
 		return fmt.Errorf("unknown -sched %q", *sched)
 	}
@@ -275,11 +278,20 @@ func run() error {
 		if res.Stats.Recovered > 0 {
 			fmt.Printf("recovered:   %d plug-in panics converted to undecided tests\n", res.Stats.Recovered)
 		}
+		if res.Stats.Steals > 0 {
+			fmt.Printf("steals:      %d tasks ran on a different worker than queued\n", res.Stats.Steals)
+		}
 		if len(res.Undecided) > 0 {
 			fmt.Printf("undecided:   %d tests (taxonomy sound but possibly incomplete)\n", len(res.Undecided))
 		}
 	default:
-		fmt.Print(res.Taxonomy.Render())
+		if !*loads {
+			fmt.Print(res.Taxonomy.Render())
+		}
+	}
+	if *loads {
+		fmt.Printf("scheduling: %v, workers: %d, elapsed: %v\n", opts.Scheduling, res.Trace.Workers, elapsed)
+		fmt.Print(res.Trace.LoadSummary())
 	}
 	return nil
 }

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"sort"
+	"sync/atomic"
 	"time"
 
 	"parowl/internal/dl"
@@ -49,8 +51,10 @@ type Options struct {
 	Seed int64
 	// Mode selects Optimized (default) or Basic.
 	Mode Mode
-	// Scheduling selects RoundRobin (default, the paper's policy) or
-	// WorkSharing.
+	// Scheduling selects RoundRobin (default, the paper's policy),
+	// WorkSharing, or WorkStealing (Chase–Lev deques with
+	// hardness-ordered LPT dispatch; see pool.go). The taxonomy is
+	// identical under every policy.
 	Scheduling Scheduling
 	// CollectTrace records per-cycle statistics and task durations.
 	CollectTrace bool
@@ -141,7 +145,7 @@ func (o *Options) Validate() error {
 	if o.Mode != Optimized && o.Mode != Basic {
 		return fmt.Errorf("core: unknown Options.Mode %d", o.Mode)
 	}
-	if o.Scheduling != RoundRobin && o.Scheduling != WorkSharing {
+	if o.Scheduling != RoundRobin && o.Scheduling != WorkSharing && o.Scheduling != WorkStealing {
 		return fmt.Errorf("core: unknown Options.Scheduling %d", o.Scheduling)
 	}
 	if o.MinCycleGain < 0 || o.MinCycleGain >= 1 {
@@ -184,6 +188,11 @@ type Stats struct {
 	// which degradation fired.
 	NodeBudget   int64
 	BranchBudget int64
+	// Steals counts tasks that executed on a different worker than they
+	// were queued to (Scheduling == WorkStealing only; zero otherwise).
+	// Deliberately not part of checkpoint snapshots: it describes a
+	// particular run's scheduling, not the classification state.
+	Steals int64
 }
 
 // Result is a completed classification.
@@ -255,6 +264,12 @@ func ClassifyContext(ctx context.Context, t *dl.TBox, opts Options) (*Result, er
 	if opts.ModelFilter {
 		s.filter = reasoner.AsModelFilter(opts.Reasoner)
 	}
+	if opts.Scheduling == WorkStealing {
+		// Per-concept hardness EWMAs drive the LPT submission order; the
+		// slice stays nil under the other policies so their dispatch is
+		// byte-for-byte the seed behaviour.
+		s.hard = make([]atomic.Int64, s.n)
+	}
 
 	// Restore a prior run's state before any worker exists; a rejected
 	// snapshot leaves the fresh state untouched and the run starts clean.
@@ -300,7 +315,7 @@ func ClassifyContext(ctx context.Context, t *dl.TBox, opts Options) (*Result, er
 	}
 	var trace *Trace
 	if opts.CollectTrace {
-		trace = &Trace{Workers: workers, InitialPossible: s.remainingPossible()}
+		trace = &Trace{Workers: workers, Scheduling: opts.Scheduling, InitialPossible: s.remainingPossible()}
 	}
 	p := newPool(workers, opts.Scheduling)
 	p.onPanic = func(r any) {
@@ -368,6 +383,7 @@ func ClassifyContext(ctx context.Context, t *dl.TBox, opts Options) (*Result, er
 			Recovered:    s.recovered.Load(),
 			NodeBudget:   s.nodeBudget.Load(),
 			BranchBudget: s.branchBudget.Load(),
+			Steals:       p.totalSteals.Load(),
 		},
 		Undecided:       s.takeUndecided(),
 		Trace:           trace,
@@ -388,7 +404,7 @@ func (s *state) snapshot() counterSnapshot {
 	}
 }
 
-func (s *state) record(trace *Trace, phase Phase, index int, before counterSnapshot, durs, loads []time.Duration) {
+func (s *state) record(trace *Trace, phase Phase, index int, before counterSnapshot, rep batchReport) {
 	if trace == nil {
 		return
 	}
@@ -396,8 +412,11 @@ func (s *state) record(trace *Trace, phase Phase, index int, before counterSnaps
 	trace.Cycles = append(trace.Cycles, &Cycle{
 		Phase:             phase,
 		Index:             index,
-		Tasks:             durs,
-		WorkerLoads:       loads,
+		Tasks:             rep.durs,
+		TaskWorkers:       rep.workers,
+		WorkerLoads:       rep.loads,
+		Steals:            rep.steals,
+		StolenFrom:        rep.stolenFrom,
 		SubsTests:         now.subs - before.subs,
 		SatTests:          now.sat - before.sat,
 		Pruned:            now.pruned - before.pruned,
@@ -414,12 +433,43 @@ func (s *state) record(trace *Trace, phase Phase, index int, before counterSnaps
 func (s *state) runRandomCycle(p *pool, rng *rand.Rand, workers, cycle int, trace *Trace) {
 	before := s.snapshot()
 	perm := rng.Perm(s.n)
-	for _, g := range splitGroups(perm, workers) {
+	groups := splitGroups(perm, workers)
+	if p.scheduling == WorkStealing {
+		// LPT: hardest groups dispatch first so stealing mops up the
+		// cheap tail. The estimate is the pair count (groups are nearly
+		// equal-sized, so this only breaks ties in cycle 1) refined by
+		// the members' hardness EWMAs once earlier cycles provided data.
+		lptOrder(groups, func(g []int) int64 {
+			c := int64(len(g)) * int64(len(g)-1) / 2
+			for _, x := range g {
+				c += s.hard[x].Load()
+			}
+			return c
+		})
+	}
+	for _, g := range groups {
 		g := g
 		p.submit(func() time.Duration { return s.randomDivisionSubsTest(g) })
 	}
-	durs, loads := p.barrier()
-	s.record(trace, PhaseRandom, cycle, before, durs, loads)
+	s.record(trace, PhaseRandom, cycle, before, p.barrier())
+}
+
+// lptOrder sorts tasks by descending estimated cost (longest processing
+// time first); the sort is stable so equal estimates keep their
+// deterministic submission order.
+func lptOrder[T any](tasks []T, cost func(T) int64) {
+	type entry struct {
+		t T
+		c int64
+	}
+	es := make([]entry, len(tasks))
+	for i, t := range tasks {
+		es[i] = entry{t, cost(t)}
+	}
+	sort.SliceStable(es, func(i, j int) bool { return es[i].c > es[j].c })
+	for i, e := range es {
+		tasks[i] = e.t
+	}
 }
 
 // splitGroups partitions seq into at most w contiguous groups of nearly
@@ -465,13 +515,16 @@ func (s *state) randomDivisionSubsTest(g []int) time.Duration {
 // It reports whether any group was dispatched.
 func (s *state) runGroupCycle(p *pool, iter int, trace *Trace) bool {
 	before := s.snapshot()
-	submitted := false
+	type groupTask struct {
+		x int
+		g []int
+	}
+	var tasks []groupTask
 	for x := 0; x < s.n; x++ {
 		g := s.P[x].Members()
 		if len(g) == 0 {
 			continue
 		}
-		submitted = true
 		chunks := [][]int{g}
 		if s.maxGroupSize > 0 && len(g) > s.maxGroupSize {
 			chunks = nil
@@ -484,15 +537,30 @@ func (s *state) runGroupCycle(p *pool, iter int, trace *Trace) bool {
 			}
 		}
 		for _, chunk := range chunks {
-			x, chunk := x, chunk
-			p.submit(func() time.Duration { return s.groupDivisionSubsTest(x, chunk) })
+			tasks = append(tasks, groupTask{x, chunk})
 		}
 	}
-	if !submitted {
+	if len(tasks) == 0 {
 		return false
 	}
-	durs, loads := p.barrier()
-	s.record(trace, PhaseGroup, iter, before, durs, loads)
+	if p.scheduling == WorkStealing {
+		// LPT: group size is the zero-knowledge cost estimate (the
+		// paper's Sec. V-C observation that G_X sizes drive phase-2
+		// imbalance), refined by the hardness EWMAs phase 1 collected.
+		lptOrder(tasks, func(t groupTask) int64 {
+			hx := s.hard[t.x].Load()
+			c := int64(len(t.g))
+			for _, y := range t.g {
+				c += hx + s.hard[y].Load()
+			}
+			return c
+		})
+	}
+	for _, t := range tasks {
+		x, chunk := t.x, t.g
+		p.submit(func() time.Duration { return s.groupDivisionSubsTest(x, chunk) })
+	}
+	s.record(trace, PhaseGroup, iter, before, p.barrier())
 	return true
 }
 

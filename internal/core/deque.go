@@ -1,0 +1,126 @@
+package core
+
+import "sync/atomic"
+
+// wsDeque is a Chase–Lev-style lock-free work-stealing deque specialized
+// for the classification pool: the owning worker pushes and pops at the
+// bottom (LIFO) with plain atomic loads and stores, thieves steal from
+// the top (FIFO) with one CAS on the top index. The only contended
+// operation is the CAS that claims a slot; a thief that loses it simply
+// retries or moves to the next victim.
+//
+// Memory ordering: the published C11 algorithm needs carefully placed
+// acquire/release/seq-cst fences because relaxed atomics may reorder the
+// owner's bottom update against a thief's top read. Go's sync/atomic
+// operations are all sequentially consistent, so every load/store below
+// already carries the strongest ordering the algorithm ever requires —
+// the subtle fences collapse into the operations themselves (see
+// DESIGN.md §"Load balancing and work stealing" for the argument).
+//
+// Indices are monotonically increasing and are never reset between
+// batches: the deque is logically empty whenever top == bottom, so the
+// pool's barrier does not need to (and must not) mutate it, which is what
+// makes a late thief racing the barrier harmless.
+type wsDeque struct {
+	top    atomic.Int64 // next slot a thief claims; only ever incremented
+	bottom atomic.Int64 // next slot the owner pushes to; owner-written only
+	buf    atomic.Pointer[wsBuf]
+}
+
+// wsBuf is one ring-buffer generation. Slots are atomic because a thief
+// may read a slot while the owner concurrently overwrites it after a
+// wrap-around; the thief's subsequent CAS on top then fails (top must
+// have advanced for the slot to be reusable), so the stale read is never
+// acted on.
+type wsBuf struct {
+	mask int64
+	a    []atomic.Pointer[poolTask]
+}
+
+const wsMinCap = 64
+
+func newWsBuf(capacity int64) *wsBuf {
+	return &wsBuf{mask: capacity - 1, a: make([]atomic.Pointer[poolTask], capacity)}
+}
+
+func (b *wsBuf) load(i int64) *poolTask     { return b.a[i&b.mask].Load() }
+func (b *wsBuf) store(i int64, t *poolTask) { b.a[i&b.mask].Store(t) }
+
+// push appends t at the bottom. Owner-only.
+func (d *wsDeque) push(t *poolTask) {
+	bo := d.bottom.Load()
+	tp := d.top.Load()
+	buf := d.buf.Load()
+	if buf == nil || bo-tp >= int64(len(buf.a)) {
+		buf = d.grow(buf, tp, bo)
+	}
+	buf.store(bo, t)
+	d.bottom.Store(bo + 1)
+}
+
+// grow doubles the ring, copying the live range [top, bottom). Thieves
+// holding the old generation still read valid entries: the live range is
+// identical in both buffers and top's CAS arbitrates ownership.
+func (d *wsDeque) grow(old *wsBuf, top, bottom int64) *wsBuf {
+	capacity := int64(wsMinCap)
+	if old != nil {
+		capacity = 2 * int64(len(old.a))
+	}
+	nb := newWsBuf(capacity)
+	for i := top; i < bottom; i++ {
+		nb.store(i, old.load(i))
+	}
+	d.buf.Store(nb)
+	return nb
+}
+
+// pop removes the youngest task. Owner-only. The bottom decrement
+// published before the top load closes the window in which a thief and
+// the owner could both take a sole remaining task; when they do tie on
+// the last element, the CAS on top decides.
+func (d *wsDeque) pop() (*poolTask, bool) {
+	bo := d.bottom.Load() - 1
+	d.bottom.Store(bo)
+	tp := d.top.Load()
+	if bo < tp {
+		// Empty: undo the decrement.
+		d.bottom.Store(tp)
+		return nil, false
+	}
+	t := d.buf.Load().load(bo)
+	if bo > tp {
+		return t, true
+	}
+	// Last element: race thieves for it.
+	won := d.top.CompareAndSwap(tp, tp+1)
+	d.bottom.Store(tp + 1)
+	if !won {
+		return nil, false
+	}
+	return t, true
+}
+
+// steal removes the oldest task on behalf of another worker. Any thread.
+// The slot is read before the CAS; the CAS succeeding proves the slot
+// could not have been recycled (recycling requires top to move past tp).
+func (d *wsDeque) steal() (*poolTask, bool) {
+	for {
+		tp := d.top.Load()
+		bo := d.bottom.Load()
+		if tp >= bo {
+			return nil, false
+		}
+		t := d.buf.Load().load(tp)
+		if d.top.CompareAndSwap(tp, tp+1) {
+			return t, true
+		}
+		// Another thief (or the owner taking the last element) won the
+		// slot; re-read the indices and try again.
+	}
+}
+
+// empty reports whether the deque holds no tasks; used by the barrier
+// assertion that stealing never changes barrier semantics.
+func (d *wsDeque) empty() bool {
+	return d.top.Load() >= d.bottom.Load()
+}

@@ -102,8 +102,7 @@ func (s *state) buildTaxonomy(p *pool, trace *Trace) (*taxonomy.Taxonomy, error)
 			return time.Since(start)
 		})
 	}
-	durs, loads := p.barrier()
-	s.record(trace, PhaseHierarchy, 1, before, durs, loads)
+	s.record(trace, PhaseHierarchy, 1, before, p.barrier())
 	if err := s.errOrNil(); err != nil {
 		return nil, err
 	}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -19,43 +21,91 @@ const (
 	// takes the next task. Benchmarked as an ablation of the paper's
 	// choice.
 	WorkSharing
+	// WorkStealing gives each worker a Chase–Lev lock-free deque fed
+	// round-robin by the coordinator in hardness order (longest processing
+	// time first); an idle worker steals from randomly chosen victims
+	// before parking, so barrier stragglers shed their queued tail. The
+	// paper's Sec. V-C identifies exactly this skew — per-test cost, not
+	// test count — as the limit on speedup.
+	WorkStealing
 )
 
 func (s Scheduling) String() string {
-	if s == WorkSharing {
+	switch s {
+	case WorkSharing:
 		return "worksharing"
+	case WorkStealing:
+		return "workstealing"
 	}
 	return "roundrobin"
+}
+
+// ParseScheduling maps a policy name (as printed by String) back to the
+// constant, for CLI flags.
+func ParseScheduling(name string) (Scheduling, error) {
+	switch name {
+	case "roundrobin":
+		return RoundRobin, nil
+	case "worksharing":
+		return WorkSharing, nil
+	case "workstealing":
+		return WorkStealing, nil
+	}
+	return 0, fmt.Errorf("core: unknown scheduling policy %q (want roundrobin, worksharing, or workstealing)", name)
 }
 
 // task is one unit of pool work; it returns its charged duration.
 type task func() time.Duration
 
-// durChunkSize tasks share one duration chunk; chunks are allocated on
-// demand and their backing arrays never move, so a completing task can
-// store into its slot without any lock.
+// poolTask pairs a task with its batch bookkeeping slot. Tasks are
+// tracked by pointer so the work-stealing deque can move them between
+// workers without copying.
+type poolTask struct {
+	fn   task
+	cell *taskSlot
+}
+
+// taskSlot is one task's slot in the batch record: its charged duration
+// and the worker that actually executed it (1-based; 0 = never ran).
+// Completing tasks store into their slot without any lock; the barrier
+// reads after the inflight WaitGroup has synchronized.
+type taskSlot struct {
+	dur atomic.Int64
+	who atomic.Int32
+}
+
+// durChunkSize tasks share one slot chunk; chunks are allocated on demand
+// and their backing arrays never move, so a completing task can store
+// into its slot without any lock.
 const durChunkSize = 256
 
-type durChunk [durChunkSize]atomic.Int64
+type durChunk [durChunkSize]taskSlot
 
-// workerQueue is one worker's task queue under its own lock, so
+// workerQueue is one worker's submission queue under its own lock, so
 // submit/take traffic for different workers never contends. Tasks are
 // popped by advancing head rather than re-slicing, the popped slot is
 // nilled so the batch's backing array does not pin completed task
 // closures, and reset recycles the array for the next batch.
+//
+// Under WorkStealing the queue doubles as the worker's inbox: the
+// coordinator is not the deque's owner and therefore may not push into
+// it, so tasks land here and the owner drains them into its own deque in
+// one lock acquisition. Thieves may also pop from a victim's inbox —
+// that is what rescues tasks queued behind a straggler that never
+// returns to drain.
 type workerQueue struct {
 	mu   sync.Mutex
-	q    []task
+	q    []*poolTask
 	head int
 }
 
-func (wq *workerQueue) push(t task) {
+func (wq *workerQueue) push(t *poolTask) {
 	wq.mu.Lock()
 	wq.q = append(wq.q, t)
 	wq.mu.Unlock()
 }
 
-func (wq *workerQueue) pop() (task, bool) {
+func (wq *workerQueue) pop() (*poolTask, bool) {
 	wq.mu.Lock()
 	defer wq.mu.Unlock()
 	if wq.head >= len(wq.q) {
@@ -67,13 +117,48 @@ func (wq *workerQueue) pop() (task, bool) {
 	return t, true
 }
 
+// drain takes every queued task at once (one lock acquisition) and
+// leaves the queue empty but its storage intact for reuse.
+func (wq *workerQueue) drain() []*poolTask {
+	wq.mu.Lock()
+	defer wq.mu.Unlock()
+	if wq.head >= len(wq.q) {
+		return nil
+	}
+	out := make([]*poolTask, len(wq.q)-wq.head)
+	for i := range out {
+		out[i] = wq.q[wq.head+i]
+		wq.q[wq.head+i] = nil
+	}
+	wq.head = len(wq.q)
+	return out
+}
+
 // reset recycles the queue's storage; called only at the barrier, when
-// the queue is drained.
+// every submitted task has completed. The mutex makes it safe against a
+// late thief still probing the queue: the thief observes either the
+// drained pre-reset state or the empty post-reset state, never a torn
+// one.
 func (wq *workerQueue) reset() {
 	wq.mu.Lock()
 	wq.q = wq.q[:0]
 	wq.head = 0
 	wq.mu.Unlock()
+}
+
+// batchReport is what barrier returns for one barrier-delimited batch:
+// per-task charged durations and executing workers in dispatch order,
+// per-worker charged loads, and — under WorkStealing — per-worker steal
+// counts.
+type batchReport struct {
+	durs    []time.Duration
+	workers []int
+	loads   []time.Duration
+	// steals[w] counts tasks worker w took from other workers' queues;
+	// stolenFrom[w] counts tasks thieves took from worker w's queues.
+	// Both nil unless the pool runs WorkStealing.
+	steals     []int64
+	stolenFrom []int64
 }
 
 // pool is the fixed worker pool of Algorithm 1 (createWorkerPool). It is
@@ -82,7 +167,9 @@ func (wq *workerQueue) reset() {
 //
 // Under RoundRobin each worker owns a queue and a wake channel, so a
 // wakeup can never be consumed by a worker whose queue is empty; under
-// WorkSharing all workers drain queue 0 and share wake channel 0. Each
+// WorkSharing all workers drain queue 0 and share wake channel 0; under
+// WorkStealing each worker drains its round-robin-fed queue into a
+// private Chase–Lev deque and steals from random victims when idle. Each
 // queue has its own lock and completed tasks record their duration with
 // an atomic store into a pre-assigned chunk slot, so the only shared
 // lock left (submitMu) is taken by the submitting goroutine alone.
@@ -91,6 +178,7 @@ type pool struct {
 	scheduling Scheduling
 
 	queues []workerQueue
+	deques []wsDeque // non-nil only under WorkStealing
 
 	// Batch bookkeeping, guarded by submitMu. Only the submitter takes
 	// this lock: tasks store durations straight into their chunk slot,
@@ -105,6 +193,13 @@ type pool struct {
 	// WaitGroup in barrier orders those writes before the read, and the
 	// queue locks order the barrier's slice swap before the next batch.
 	busy []time.Duration
+
+	// steals/stolenFrom are this batch's per-worker steal counters
+	// (WorkStealing only); totalSteals accumulates across the whole run
+	// for Stats.
+	steals      []atomic.Int64
+	stolenFrom  []atomic.Int64
+	totalSteals atomic.Int64
 
 	inflight sync.WaitGroup
 	wake     []chan struct{}
@@ -129,6 +224,11 @@ func newPool(w int, sched Scheduling) *pool {
 		wake:       make([]chan struct{}, w),
 		quit:       make(chan struct{}),
 	}
+	if sched == WorkStealing {
+		p.deques = make([]wsDeque, w)
+		p.steals = make([]atomic.Int64, w)
+		p.stolenFrom = make([]atomic.Int64, w)
+	}
 	for i := range p.wake {
 		p.wake[i] = make(chan struct{}, 1)
 	}
@@ -152,7 +252,8 @@ func (p *pool) slotFor() int {
 
 // submit enqueues one task for the barrier of the current batch. Task
 // durations are recorded in dispatch order so the virtual-time scheduler
-// can replay the exact round-robin assignment (task i → worker i mod w).
+// can replay the assignment (task i → worker i mod w under RoundRobin;
+// greedy earliest-idle under the stealing policy).
 func (p *pool) submit(t task) {
 	p.inflight.Add(1)
 	p.submitMu.Lock()
@@ -164,39 +265,43 @@ func (p *pool) submit(t task) {
 	}
 	cell := &p.durs[idx/durChunkSize][idx%durChunkSize]
 	p.submitMu.Unlock()
-	wrapped := func() time.Duration {
-		d := t()
-		cell.Store(int64(d))
-		return d
-	}
-	p.queues[slot].push(wrapped)
-	if p.scheduling == WorkSharing {
-		// Any worker may take it: nudge them all (non-blocking).
-		for i := range p.wake {
-			select {
-			case p.wake[i] <- struct{}{}:
-			default:
-			}
+	p.queues[slot].push(&poolTask{fn: t, cell: cell})
+	if p.scheduling == RoundRobin {
+		select {
+		case p.wake[slot] <- struct{}{}:
+		default:
 		}
 		return
 	}
-	select {
-	case p.wake[slot] <- struct{}{}:
-	default:
+	// WorkSharing: any worker may take it. WorkStealing: the owner may be
+	// mid-task, and any parked worker can steal it — nudge them all
+	// (non-blocking).
+	for i := range p.wake {
+		select {
+		case p.wake[i] <- struct{}{}:
+		default:
+		}
 	}
 }
 
-// barrier waits for every submitted task to finish and returns the task
-// durations in dispatch order together with the per-worker charged loads
-// of the batch (the paper's Sec. V-C load-balancing measurement).
-func (p *pool) barrier() ([]time.Duration, []time.Duration) {
+// barrier waits for every submitted task to finish and returns the batch
+// report: task durations and executing workers in dispatch order together
+// with the per-worker charged loads (the paper's Sec. V-C load-balancing
+// measurement) and, under WorkStealing, the per-worker steal counts.
+func (p *pool) barrier() batchReport {
 	p.inflight.Wait()
 	p.submitMu.Lock()
-	durs := make([]time.Duration, p.count)
-	for i := range durs {
+	rep := batchReport{
+		durs:    make([]time.Duration, p.count),
+		workers: make([]int, p.count),
+	}
+	for i := range rep.durs {
 		cell := &p.durs[i/durChunkSize][i%durChunkSize]
-		durs[i] = time.Duration(cell.Load())
-		cell.Store(0) // a reused slot must not leak into the next batch
+		rep.durs[i] = time.Duration(cell.dur.Load())
+		rep.workers[i] = int(cell.who.Load()) - 1
+		// A reused slot must not leak into the next batch.
+		cell.dur.Store(0)
+		cell.who.Store(0)
 	}
 	p.count = 0
 	p.next = 0
@@ -204,9 +309,27 @@ func (p *pool) barrier() ([]time.Duration, []time.Duration) {
 	for i := range p.queues {
 		p.queues[i].reset()
 	}
-	busy := p.busy
+	if p.scheduling == WorkStealing {
+		// Checkpoints are taken at barriers on the strength of this
+		// invariant: every task of the batch has run, so no deque may
+		// still hold one. The deque indices themselves are monotonic and
+		// are deliberately left alone — a late thief racing this barrier
+		// sees an empty deque, not a reset one.
+		for i := range p.deques {
+			if !p.deques[i].empty() {
+				panic(fmt.Sprintf("core: pool barrier passed with worker %d's deque non-empty", i))
+			}
+		}
+		rep.steals = make([]int64, p.workers)
+		rep.stolenFrom = make([]int64, p.workers)
+		for i := 0; i < p.workers; i++ {
+			rep.steals[i] = p.steals[i].Swap(0)
+			rep.stolenFrom[i] = p.stolenFrom[i].Swap(0)
+		}
+	}
+	rep.loads = p.busy
 	p.busy = make([]time.Duration, p.workers)
-	return durs, busy
+	return rep
 }
 
 // close stops the workers; call only after a final barrier.
@@ -215,8 +338,8 @@ func (p *pool) close() {
 	p.done.Wait()
 }
 
-// take pops a task for worker id.
-func (p *pool) take(id int) (task, bool) {
+// take pops a task for worker id under RoundRobin or WorkSharing.
+func (p *pool) take(id int) (*poolTask, bool) {
 	if p.scheduling == WorkSharing {
 		id = 0
 	}
@@ -225,6 +348,10 @@ func (p *pool) take(id int) (task, bool) {
 
 func (p *pool) worker(id int) {
 	defer p.done.Done()
+	if p.scheduling == WorkStealing {
+		p.stealWorker(id)
+		return
+	}
 	wake := p.wake[id]
 	for {
 		t, ok := p.take(id)
@@ -240,9 +367,97 @@ func (p *pool) worker(id int) {
 	}
 }
 
+// stealWorker is the WorkStealing worker loop: run own work (deque, then
+// inbox), then try to steal, then yield and retry the steal once, then
+// park on the wake channel. The single retry after a yield is the
+// backoff: it catches a victim that was between its inbox drain and its
+// deque publish without spinning the CPU while queues stay empty.
+func (p *pool) stealWorker(id int) {
+	wake := p.wake[id]
+	// Cheap xorshift state, decorrelated per worker so thieves fan out
+	// over different victims instead of convoying on one deque.
+	rng := uint64(id)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+	for {
+		if t, ok := p.localNext(id); ok {
+			p.runTask(id, t)
+			continue
+		}
+		if t, victim, ok := p.trySteal(id, &rng); ok {
+			p.recordSteal(id, victim)
+			p.runTask(id, t)
+			continue
+		}
+		runtime.Gosched()
+		if t, victim, ok := p.trySteal(id, &rng); ok {
+			p.recordSteal(id, victim)
+			p.runTask(id, t)
+			continue
+		}
+		select {
+		case <-wake:
+		case <-p.quit:
+			return
+		}
+	}
+}
+
+// localNext returns worker id's next own task: the youngest deque entry,
+// or — when the deque is empty — the submission inbox drained into the
+// deque. The drain pushes in reverse so that LIFO pops replay submission
+// order: the coordinator submits hardest-first (LPT), so the owner always
+// starts its biggest pending task next while thieves, stealing FIFO from
+// the top, mop up the cheap tail.
+func (p *pool) localNext(id int) (*poolTask, bool) {
+	if t, ok := p.deques[id].pop(); ok {
+		return t, true
+	}
+	batch := p.queues[id].drain()
+	if len(batch) == 0 {
+		return nil, false
+	}
+	for i := len(batch) - 1; i > 0; i-- {
+		p.deques[id].push(batch[i])
+	}
+	return batch[0], true
+}
+
+// trySteal scans every other worker once, starting from a random victim:
+// first the victim's deque (lock-free, oldest task), then its submission
+// inbox (mutex, for tasks queued behind a straggler that never drains).
+func (p *pool) trySteal(id int, rng *uint64) (*poolTask, int, bool) {
+	if p.workers == 1 {
+		return nil, 0, false
+	}
+	x := *rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	*rng = x
+	off := int(x % uint64(p.workers))
+	for k := 0; k < p.workers; k++ {
+		v := (off + k) % p.workers
+		if v == id {
+			continue
+		}
+		if t, ok := p.deques[v].steal(); ok {
+			return t, v, true
+		}
+		if t, ok := p.queues[v].pop(); ok {
+			return t, v, true
+		}
+	}
+	return nil, 0, false
+}
+
+func (p *pool) recordSteal(thief, victim int) {
+	p.steals[thief].Add(1)
+	p.stolenFrom[victim].Add(1)
+	p.totalSteals.Add(1)
+}
+
 // runTask executes one task, converting panics into onPanic callbacks so
 // the barrier always completes.
-func (p *pool) runTask(id int, t task) {
+func (p *pool) runTask(id int, t *poolTask) {
 	defer p.inflight.Done()
 	defer func() {
 		if r := recover(); r != nil {
@@ -251,6 +466,8 @@ func (p *pool) runTask(id int, t task) {
 			}
 		}
 	}()
-	d := t()
+	t.cell.who.Store(int32(id + 1))
+	d := t.fn()
+	t.cell.dur.Store(int64(d))
 	p.busy[id] += d
 }

@@ -7,38 +7,64 @@ import (
 	"time"
 )
 
+var allSchedulings = []Scheduling{RoundRobin, WorkSharing, WorkStealing}
+
 // TestPoolDurationsInDispatchOrder submits more tasks than one duration
 // chunk holds and checks the barrier reports every charged duration in
 // dispatch order, with the per-worker loads accounting for the same total
-// — the contract the virtual-time scheduler replays.
+// — the contract the virtual-time scheduler replays. The executing-worker
+// record must name a real worker for every task, whatever the policy.
 func TestPoolDurationsInDispatchOrder(t *testing.T) {
-	for _, sched := range []Scheduling{RoundRobin, WorkSharing} {
+	for _, sched := range allSchedulings {
 		p := newPool(4, sched)
 		n := durChunkSize + 50 // force a second chunk
 		for i := 0; i < n; i++ {
 			d := time.Duration(i+1) * time.Microsecond
 			p.submit(func() time.Duration { return d })
 		}
-		durs, loads := p.barrier()
-		if len(durs) != n {
-			t.Fatalf("%v: %d durations, want %d", sched, len(durs), n)
+		rep := p.barrier()
+		if len(rep.durs) != n {
+			t.Fatalf("%v: %d durations, want %d", sched, len(rep.durs), n)
 		}
 		var fromDurs, fromLoads time.Duration
-		for i, d := range durs {
+		for i, d := range rep.durs {
 			want := time.Duration(i+1) * time.Microsecond
 			if d != want {
 				t.Fatalf("%v: durs[%d] = %v, want %v (dispatch order)", sched, i, d, want)
 			}
 			fromDurs += d
 		}
-		if len(loads) != 4 {
-			t.Fatalf("%v: %d worker loads, want 4", sched, len(loads))
+		if len(rep.workers) != n {
+			t.Fatalf("%v: %d worker records, want %d", sched, len(rep.workers), n)
 		}
-		for _, l := range loads {
+		for i, w := range rep.workers {
+			if w < 0 || w >= 4 {
+				t.Fatalf("%v: task %d ran on worker %d, want 0..3", sched, i, w)
+			}
+			if sched == RoundRobin && w != i%4 {
+				t.Fatalf("%v: task %d ran on worker %d, want %d (i mod w)", sched, i, w, i%4)
+			}
+		}
+		if len(rep.loads) != 4 {
+			t.Fatalf("%v: %d worker loads, want 4", sched, len(rep.loads))
+		}
+		for _, l := range rep.loads {
 			fromLoads += l
 		}
 		if fromDurs != fromLoads {
 			t.Errorf("%v: loads sum to %v, durations to %v", sched, fromLoads, fromDurs)
+		}
+		if sched == WorkStealing {
+			var steals, stolen int64
+			for w := 0; w < 4; w++ {
+				steals += rep.steals[w]
+				stolen += rep.stolenFrom[w]
+			}
+			if steals != stolen {
+				t.Errorf("steals total %d but stolenFrom total %d", steals, stolen)
+			}
+		} else if rep.steals != nil || rep.stolenFrom != nil {
+			t.Errorf("%v: steal counters reported for a non-stealing pool", sched)
 		}
 		p.close()
 	}
@@ -48,44 +74,46 @@ func TestPoolDurationsInDispatchOrder(t *testing.T) {
 // recycled queue storage and duration slots must not leak stale values
 // into the second batch.
 func TestPoolBatchReuse(t *testing.T) {
-	p := newPool(3, RoundRobin)
-	defer p.close()
-	for i := 0; i < durChunkSize+10; i++ {
-		p.submit(func() time.Duration { return time.Second })
-	}
-	p.barrier()
-
-	var ran atomic.Int64
-	for i := 0; i < 5; i++ {
-		p.submit(func() time.Duration { ran.Add(1); return time.Millisecond })
-	}
-	durs, loads := p.barrier()
-	if ran.Load() != 5 {
-		t.Fatalf("second batch ran %d tasks, want 5", ran.Load())
-	}
-	if len(durs) != 5 {
-		t.Fatalf("second batch reported %d durations, want 5", len(durs))
-	}
-	for i, d := range durs {
-		if d != time.Millisecond {
-			t.Errorf("durs[%d] = %v leaked from the first batch", i, d)
+	for _, sched := range allSchedulings {
+		p := newPool(3, sched)
+		for i := 0; i < durChunkSize+10; i++ {
+			p.submit(func() time.Duration { return time.Second })
 		}
-	}
-	var total time.Duration
-	for _, l := range loads {
-		total += l
-	}
-	if total != 5*time.Millisecond {
-		t.Errorf("second-batch loads sum to %v, want 5ms", total)
+		p.barrier()
+
+		var ran atomic.Int64
+		for i := 0; i < 5; i++ {
+			p.submit(func() time.Duration { ran.Add(1); return time.Millisecond })
+		}
+		rep := p.barrier()
+		if ran.Load() != 5 {
+			t.Fatalf("%v: second batch ran %d tasks, want 5", sched, ran.Load())
+		}
+		if len(rep.durs) != 5 {
+			t.Fatalf("%v: second batch reported %d durations, want 5", sched, len(rep.durs))
+		}
+		for i, d := range rep.durs {
+			if d != time.Millisecond {
+				t.Errorf("%v: durs[%d] = %v leaked from the first batch", sched, i, d)
+			}
+		}
+		var total time.Duration
+		for _, l := range rep.loads {
+			total += l
+		}
+		if total != 5*time.Millisecond {
+			t.Errorf("%v: second-batch loads sum to %v, want 5ms", sched, total)
+		}
+		p.close()
 	}
 }
 
 // TestPoolConcurrentSubmitters hammers the per-queue locks: several
 // goroutines submit simultaneously while workers drain, across repeated
-// batches. Run under -race this pins the submit/pop/barrier
-// happens-before chains of the rewritten pool.
+// batches. Run under -race this pins the submit/pop/steal/barrier
+// happens-before chains of the pool.
 func TestPoolConcurrentSubmitters(t *testing.T) {
-	for _, sched := range []Scheduling{RoundRobin, WorkSharing} {
+	for _, sched := range allSchedulings {
 		p := newPool(4, sched)
 		var ran atomic.Int64
 		for batch := 0; batch < 3; batch++ {
@@ -103,14 +131,64 @@ func TestPoolConcurrentSubmitters(t *testing.T) {
 				}()
 			}
 			submitted.Wait()
-			durs, _ := p.barrier()
-			if len(durs) != 6*40 {
-				t.Fatalf("%v batch %d: %d durations, want %d", sched, batch, len(durs), 6*40)
+			rep := p.barrier()
+			if len(rep.durs) != 6*40 {
+				t.Fatalf("%v batch %d: %d durations, want %d", sched, batch, len(rep.durs), 6*40)
 			}
 		}
 		if ran.Load() != 3*6*40 {
 			t.Fatalf("%v: ran %d tasks, want %d", sched, ran.Load(), 3*6*40)
 		}
 		p.close()
+	}
+}
+
+// TestPoolStealingBalancesSkew blocks one worker inside a long task while
+// a pile of cheap work sits queued behind it; under WorkStealing the
+// other workers must steal that queued tail (the straggler-rescue path
+// through the victim's inbox), or the barrier would deadlock.
+func TestPoolStealingBalancesSkew(t *testing.T) {
+	p := newPool(4, WorkStealing)
+	defer p.close()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	// Task 0 blocks whichever worker picks it up; the barrier can only
+	// pass if every task queued to that worker afterwards is stolen.
+	p.submit(func() time.Duration {
+		close(started)
+		<-release
+		return time.Millisecond
+	})
+	<-started
+	var others atomic.Int64
+	for i := 0; i < 40; i++ {
+		p.submit(func() time.Duration {
+			if others.Add(1) == 40 {
+				close(release) // all queued work done; release the blocked worker
+			}
+			return time.Microsecond
+		})
+	}
+	rep := p.barrier()
+	if got := others.Load(); got != 40 {
+		t.Fatalf("queued tasks ran %d times, want 40", got)
+	}
+	blocked := rep.workers[0]
+	// The 40 tasks round-robin over 4 queues, so exactly 10 landed on the
+	// blocked worker's queue — and it could not run any of them.
+	if rep.stolenFrom[blocked] < 10 {
+		t.Fatalf("expected worker %d (blocked) to be stolen from >= 10 times, got %d",
+			blocked, rep.stolenFrom[blocked])
+	}
+	var steals, stolen int64
+	for w := 0; w < 4; w++ {
+		steals += rep.steals[w]
+		stolen += rep.stolenFrom[w]
+	}
+	if steals != stolen {
+		t.Fatalf("steals total %d but stolenFrom total %d", steals, stolen)
+	}
+	if rep.workers[0] == blocked && rep.durs[0] != time.Millisecond {
+		t.Errorf("blocker's charged duration = %v, want 1ms", rep.durs[0])
 	}
 }

@@ -123,7 +123,10 @@ func (s *state) runPrepass(p *pool, workers int, trace *Trace) {
 			return 0
 		})
 	}
-	durs, loads := p.barrier()
-	durs = append([]time.Duration{seedDur}, durs...)
-	s.record(trace, PhasePrepass, 1, before, durs, loads)
+	rep := p.barrier()
+	// The sequential seeding work is charged as a pseudo-task that ran on
+	// no pool worker (-1), keeping durs and workers aligned.
+	rep.durs = append([]time.Duration{seedDur}, rep.durs...)
+	rep.workers = append([]int{-1}, rep.workers...)
+	s.record(trace, PhasePrepass, 1, before, rep)
 }

@@ -97,6 +97,13 @@ type state struct {
 	// K-shortcircuit in testDirected; when off the hot path pays nothing.
 	prepassed bool
 
+	// hard[x] is an EWMA (α = 1/4, nanoseconds) of the charged cost of
+	// plug-in tests involving concept x; non-nil only under WorkStealing,
+	// where it orders each batch's submission hardest-first (LPT). Updates
+	// are racy plain load/store by design: a lost update costs a little
+	// smoothing accuracy on a scheduling heuristic, never correctness.
+	hard []atomic.Int64
+
 	// counters for statistics
 	satTests   atomic.Int64
 	subsTests  atomic.Int64
@@ -365,10 +372,28 @@ func (s *state) testDirected(x, y int) (bool, time.Duration) {
 	} else {
 		cost = time.Since(start)
 	}
+	s.observeHard(x, y, cost)
 	if res {
 		s.K[x].Set(y)
 	}
 	return res, cost
+}
+
+// observeHard folds one finished directed test's cost into both concepts'
+// hardness EWMAs. First observation seeds the average; later ones blend
+// with α = 1/4. No-op unless the run scheduled with WorkStealing.
+func (s *state) observeHard(x, y int, cost time.Duration) {
+	if s.hard == nil || cost <= 0 {
+		return
+	}
+	for _, c := range [2]int{x, y} {
+		old := s.hard[c].Load()
+		if old == 0 {
+			s.hard[c].Store(int64(cost))
+		} else {
+			s.hard[c].Store(old + (int64(cost)-old)/4)
+		}
+	}
 }
 
 // filterDisproves asks the ModelFilter whether y ⊑ x is impossible. A

@@ -32,6 +32,20 @@ type Cycle struct {
 	// i mod w.
 	Tasks []time.Duration
 
+	// TaskWorkers records, parallel to Tasks, the pool worker that
+	// actually executed each task (-1 for work charged outside the pool,
+	// e.g. the prepass seeding pseudo-task). Under RoundRobin this
+	// replays i mod w; under WorkStealing the assignment is dynamic and
+	// this is the only record of it.
+	TaskWorkers []int
+
+	// Steals and StolenFrom are per-worker steal counters for the cycle
+	// (index = worker id; nil unless the run used WorkStealing):
+	// Steals[w] counts tasks worker w took from other workers' queues,
+	// StolenFrom[w] counts tasks thieves took from worker w's queues.
+	Steals     []int64
+	StolenFrom []int64
+
 	// WorkerLoads is the charged load each pool worker carried during
 	// the cycle (index = worker id); the paper's Sec. V-C load-balancing
 	// analysis compares these across the two phases.
@@ -85,6 +99,15 @@ func (c *Cycle) Imbalance() float64 {
 	return float64(max) / mean
 }
 
+// TotalSteals sums the cycle's steal counters.
+func (c *Cycle) TotalSteals() int64 {
+	var n int64
+	for _, s := range c.Steals {
+		n += s
+	}
+	return n
+}
+
 // Trace is the full instrumentation record of one classification run.
 type Trace struct {
 	InitialPossible int64
@@ -92,6 +115,8 @@ type Trace struct {
 
 	// Workers is the pool size the run used.
 	Workers int
+	// Scheduling is the policy the pool ran under.
+	Scheduling Scheduling
 	// WallElapsed is the measured wall-clock duration of the whole run.
 	WallElapsed time.Duration
 }
@@ -122,6 +147,87 @@ func (t *Trace) TotalPruned() int64 {
 		n += c.Pruned
 	}
 	return n
+}
+
+// TotalSteals counts tasks that changed workers across the run
+// (WorkStealing only; zero otherwise).
+func (t *Trace) TotalSteals() int64 {
+	var n int64
+	for _, c := range t.Cycles {
+		n += c.TotalSteals()
+	}
+	return n
+}
+
+// WorkerTotals aggregates the charged load each worker carried over the
+// whole run.
+func (t *Trace) WorkerTotals() []time.Duration {
+	loads := make([]time.Duration, t.Workers)
+	for _, c := range t.Cycles {
+		for w, l := range c.WorkerLoads {
+			if w >= 0 && w < len(loads) {
+				loads[w] += l
+			}
+		}
+	}
+	return loads
+}
+
+// OverallImbalance is max worker load divided by mean worker load,
+// aggregated over the whole run (1.0 = perfectly balanced).
+func (t *Trace) OverallImbalance() float64 {
+	loads := t.WorkerTotals()
+	if len(loads) == 0 {
+		return 0
+	}
+	var sum, max time.Duration
+	for _, l := range loads {
+		sum += l
+		if l > max {
+			max = l
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	return float64(max) / (float64(sum) / float64(len(loads)))
+}
+
+// LoadSummary renders the per-worker load and steal-count table for the
+// whole run (the paper's Sec. V-C load-balancing table, extended with the
+// stealing counters when the run used WorkStealing).
+func (t *Trace) LoadSummary() string {
+	loads := t.WorkerTotals()
+	steals := make([]int64, t.Workers)
+	stolen := make([]int64, t.Workers)
+	haveSteals := false
+	for _, c := range t.Cycles {
+		for w, n := range c.Steals {
+			if w < len(steals) {
+				steals[w] += n
+				haveSteals = true
+			}
+		}
+		for w, n := range c.StolenFrom {
+			if w < len(stolen) {
+				stolen[w] += n
+			}
+		}
+	}
+	var b strings.Builder
+	for w, l := range loads {
+		fmt.Fprintf(&b, "worker %2d load=%-12v", w, l)
+		if haveSteals {
+			fmt.Fprintf(&b, " steals=%-5d stolenFrom=%-5d", steals[w], stolen[w])
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "imbalance (max/mean): %.2f", t.OverallImbalance())
+	if haveSteals {
+		fmt.Fprintf(&b, ", total steals: %d", t.TotalSteals())
+	}
+	b.WriteByte('\n')
+	return b.String()
 }
 
 // PossibleRatio computes the paper's Definition 3 for the cycle at
@@ -157,9 +263,13 @@ func (t *Trace) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "initial possible: %d, workers: %d\n", t.InitialPossible, t.Workers)
 	for i, c := range t.Cycles {
-		fmt.Fprintf(&b, "cycle %2d %-9s tasks=%-4d tests=%-6d pruned=%-6d preseed=%-6d filter=%-6d remaining=%-8d possible=%5.1f%% runtime=%5.1f%% imbalance=%.2f\n",
+		fmt.Fprintf(&b, "cycle %2d %-9s tasks=%-4d tests=%-6d pruned=%-6d preseed=%-6d filter=%-6d remaining=%-8d possible=%5.1f%% runtime=%5.1f%% imbalance=%.2f",
 			i+1, c.Phase, len(c.Tasks), c.SubsTests, c.Pruned, c.PreSeeded, c.FilterHits, c.RemainingPossible,
 			t.PossibleRatio(i), t.RuntimeRatio(i), c.Imbalance())
+		if c.Steals != nil {
+			fmt.Fprintf(&b, " steals=%d", c.TotalSteals())
+		}
+		b.WriteByte('\n')
 	}
 	return b.String()
 }

@@ -80,6 +80,7 @@ type Oracle struct {
 	unsat     *bitset.Set
 	subsCost  CostModel
 	satCost   time.Duration
+	realTime  bool
 }
 
 // OracleOptions configures the synthetic cost model.
@@ -88,6 +89,12 @@ type OracleOptions struct {
 	SubsCost CostModel
 	// SatCost is charged per satisfiability test.
 	SatCost time.Duration
+	// RealTime makes Sat/Subs actually sleep their virtual cost instead
+	// of answering instantly. Virtual-time replay (schedsim) does not
+	// need this, but wall-clock scheduler benchmarks do: with real
+	// per-test durations the pool's policies produce measurably different
+	// makespans. Sleeps respect context cancellation.
+	RealTime bool
 }
 
 // NewOracle builds the told-closure oracle for t. ⊤ participates as a
@@ -100,6 +107,7 @@ func NewOracle(t *dl.TBox, opts OracleOptions) *Oracle {
 		named:    named,
 		subsCost: opts.SubsCost,
 		satCost:  opts.SatCost,
+		realTime: opts.RealTime,
 	}
 	for i, c := range named {
 		o.index[c] = i
@@ -191,6 +199,11 @@ func (o *Oracle) Sat(ctx context.Context, c *dl.Concept) (bool, error) {
 	if !ok {
 		return false, errNotNamed(c, o.tbox)
 	}
+	if o.realTime {
+		if err := sleepFor(ctx, o.satCost); err != nil {
+			return false, err
+		}
+	}
 	return !o.unsat.Test(i), nil
 }
 
@@ -216,7 +229,32 @@ func (o *Oracle) Subs(ctx context.Context, sup, sub *dl.Concept) (bool, error) {
 	if !ok {
 		return false, errNotNamed(sup, o.tbox)
 	}
-	return o.ancestors[si].Test(pi), nil
+	res := o.ancestors[si].Test(pi)
+	if o.realTime && o.subsCost != nil {
+		if err := sleepFor(ctx, o.subsCost(sup, sub, res)); err != nil {
+			return false, err
+		}
+	}
+	return res, nil
+}
+
+// sleepFor blocks for d, honouring context cancellation (RealTime mode).
+func sleepFor(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	if ctx.Done() == nil {
+		time.Sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // IsSatisfiable is the context-free convenience form of Sat.

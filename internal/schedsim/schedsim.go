@@ -8,7 +8,9 @@
 // figure harness instead runs the real classifier with an oracle plug-in
 // (charging each test its deterministic virtual cost), collects the exact
 // task stream the pool dispatched, and feeds it to Simulate. The simulated
-// pool uses the same round-robin policy as the real one; only the clock is
+// pool replays the real pool's policy — round-robin assignment, shared
+// greedy queue, or work stealing (whose virtual-time equivalent is greedy
+// earliest-idle assignment over the LPT-sorted batch) — only the clock is
 // virtual. An overhead model — per-task dispatch cost and a per-cycle
 // barrier whose cost grows with w — reproduces the behaviour the paper
 // observes: speedup climbs roughly linearly, peaks when partitions n/w get
@@ -17,10 +19,22 @@ package schedsim
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"parowl/internal/core"
 )
+
+// greedyAssign gives one task to the earliest-free virtual worker.
+func greedyAssign(loads []time.Duration, t time.Duration, ov Overhead) {
+	min := 0
+	for i := 1; i < len(loads); i++ {
+		if loads[i] < loads[min] {
+			min = i
+		}
+	}
+	loads[min] += t + ov.PerTask
+}
 
 // Overhead parametrizes the scheduling cost model.
 type Overhead struct {
@@ -89,13 +103,19 @@ func simulateCycle(tasks []time.Duration, w int, ov Overhead, sched core.Schedul
 	case core.WorkSharing:
 		// Greedy: each task goes to the earliest-free worker.
 		for _, t := range tasks {
-			min := 0
-			for i := 1; i < w; i++ {
-				if loads[i] < loads[min] {
-					min = i
-				}
-			}
-			loads[min] += t + ov.PerTask
+			greedyAssign(loads, t, ov)
+		}
+	case core.WorkStealing:
+		// Virtual-time equivalent of stealing: a worker going idle
+		// immediately takes the next pending task, which is exactly
+		// greedy earliest-idle assignment — over the LPT order the real
+		// coordinator dispatched (the trace's Tasks are recorded in
+		// dispatch order, i.e. already hardness-sorted descending when
+		// the run used WorkStealing).
+		sorted := append([]time.Duration(nil), tasks...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] > sorted[j] })
+		for _, t := range sorted {
+			greedyAssign(loads, t, ov)
 		}
 	default: // RoundRobin, the paper's policy
 		for i, t := range tasks {

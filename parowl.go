@@ -99,6 +99,10 @@ const (
 	RoundRobin = core.RoundRobin
 	// WorkSharing lets any idle worker take the next task.
 	WorkSharing = core.WorkSharing
+	// WorkStealing gives each worker a lock-free deque and lets idle
+	// workers steal queued tasks from busy ones, with batches submitted
+	// hardest-first (LPT).
+	WorkStealing = core.WorkStealing
 )
 
 // Concept constructor kinds (re-exported for plug-in authors inspecting

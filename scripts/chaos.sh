@@ -13,4 +13,12 @@ echo "== reasoner decorator suites (-race): chaos, cache port, single flight"
 go test -race -count=1 -run 'TestChaos|TestCachePort|TestCached' ./internal/reasoner/
 echo "== subprocess SIGKILL driver (owlclass -checkpoint/-resume)"
 go test -count=1 -v -run 'TestCLIKillAndResume|TestCLIResumeRejectsCorruptSnapshot' .
+echo "== owlclass cross-policy smoke on the shared corpus (scripts/corpus.sh)"
+CORPUS=$(sh scripts/corpus.sh)
+for SCHED in roundrobin worksharing workstealing; do
+    go run ./cmd/owlclass -sched "$SCHED" -workers 4 -prepass "$CORPUS" \
+        >".corpus/taxonomy.$SCHED"
+done
+cmp .corpus/taxonomy.roundrobin .corpus/taxonomy.worksharing
+cmp .corpus/taxonomy.roundrobin .corpus/taxonomy.workstealing
 echo "chaos: OK"

@@ -1,0 +1,36 @@
+#!/bin/sh
+# corpus.sh — shared deterministic corpus generation for the driver
+# scripts (`make bench-sched`, `make chaos`). Generates an ontology file
+# with ontogen, caches it under .corpus/ keyed by the arguments, and
+# prints its path on stdout:
+#
+#   scripts/corpus.sh [PROFILE] [SCALE] [SEED]
+#
+# PROFILE defaults to ncitations_functional (the moderate-QCR corpus the
+# scheduler benchmark skews), SCALE to 12, SEED to 1. Because the cache
+# key is (profile, scale, seed) and generation is seeded, every caller
+# sees the byte-identical file — the chaos loop kills the same ontology
+# the scheduler benchmark times.
+set -eu
+cd "$(dirname "$0")/.."
+
+PROFILE=${1:-ncitations_functional}
+SCALE=${2:-12}
+SEED=${3:-1}
+
+DIR=.corpus
+# Profile names contain '#' and '.'; keep the cache key filesystem-safe.
+KEY=$(printf '%s' "$PROFILE" | tr -c 'A-Za-z0-9_-' '_')
+case "$PROFILE" in
+*.obo | *EMAP* | *EHDA* | *CLEMAPA* | *lanogaster* | *MIRO* | *PREVIOUS*)
+    EXT=obo ;;
+*)
+    EXT=ofn ;;
+esac
+OUT="$DIR/$KEY-s$SCALE-r$SEED.$EXT"
+
+mkdir -p "$DIR"
+if [ ! -f "$OUT" ]; then
+    go run ./cmd/ontogen -profile "$PROFILE" -scale "$SCALE" -seed "$SEED" -o "$OUT" 1>&2
+fi
+echo "$OUT"

@@ -17,6 +17,8 @@ echo "== cheap-first pipeline equivalence suite (-race)"
 go test -race -count=1 -run 'TestQuickPipelineEquivalence|TestPipelineEquivalenceOntogen|TestPipelineReducesCalls|TestPrepassFragmentUnsatConcept' ./internal/core/
 echo "== crash-safety suite: kill-and-resume + chaos soundness (-race)"
 go test -race -count=1 -run 'TestKillAndResumeEquivalence|TestChaosPanicSoundness|TestResumeRejectsBadSnapshots' ./internal/core/
+echo "== scheduler suite: cross-policy equivalence + stealing-deque properties (-race)"
+go test -race -count=1 -run 'TestQuickCrossPolicyEquivalence|TestWorkStealingActuallySteals|TestKillAndResumeWorkStealing|TestSchedulingValidation|TestDequeOwnerThiefProperty|TestDequeLastElementRace|TestWorkerQueueResetLateThief|TestBarrierAssertsDequesEmpty|TestPoolStealingBalancesSkew' ./internal/core/
 
 # Static analysis beyond vet, when the tools are installed. staticcheck
 # failures are hard errors; govulncheck needs the network for its vuln DB,
