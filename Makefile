@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify chaos bench bench-tableau bench-classify bench-sched
+.PHONY: build test verify chaos bench bench-tableau bench-classify bench-sched bench-query
 
 build:
 	$(GO) build ./...
@@ -39,3 +39,10 @@ bench-classify:
 # chaos`; compares against the previous run via benchstat when available.
 bench-sched:
 	sh scripts/bench_sched.sh
+
+# Taxonomy query benchmark (bit-matrix kernel vs pointer-DAG lookups on
+# full-size corpora, answers verified identical), written to
+# BENCH_query.json; compares against the previous run via benchstat when
+# available.
+bench-query:
+	sh scripts/bench_query.sh

@@ -111,3 +111,69 @@ func TestCLIOwlclassErrors(t *testing.T) {
 		t.Errorf("bogus reasoner accepted:\n%s", out)
 	}
 }
+
+func TestCLIOwlclassQueryKernel(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "mini.obo")
+	src := "[Term]\nid: A\n\n[Term]\nid: B\nis_a: A\n\n[Term]\nid: C\nis_a: B\n"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	kernel := filepath.Join(dir, "mini.kernel")
+	spec := "subsumes:A,C;subsumes:C,A;ancestors:C;lca:B,C;depth:C"
+	wantLines := []string{
+		"subsumes(A, C) = true",
+		"subsumes(C, A) = false",
+		"ancestors(C) = A, B, ⊤",
+		"lca(B, C) = B",
+		"depth(C) = 3",
+	}
+
+	out, err := runCmd(t, "owlclass", "-kernel", kernel, "-query", spec, path)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range append([]string{"query kernel saved to"}, wantLines...) {
+		if !strings.Contains(out, want) {
+			t.Errorf("first run missing %q:\n%s", want, out)
+		}
+	}
+
+	// The second run must adopt the saved kernel and answer identically.
+	out, err = runCmd(t, "owlclass", "-kernel", kernel, "-query", spec, path)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range append([]string{"query kernel adopted from"}, wantLines...) {
+		if !strings.Contains(out, want) {
+			t.Errorf("adopting run missing %q:\n%s", want, out)
+		}
+	}
+
+	// A corrupted kernel file degrades to recompilation, never wrong
+	// answers or a failed run.
+	data, err := os.ReadFile(kernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(kernel, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err = runCmd(t, "owlclass", "-kernel", kernel, "-query", spec, path)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, want := range append([]string{"WARNING: saved kernel unreadable"}, wantLines...) {
+		if !strings.Contains(out, want) {
+			t.Errorf("corrupt-kernel run missing %q:\n%s", want, out)
+		}
+	}
+
+	if out, err := runCmd(t, "owlclass", "-query", "frobnicate:A", path); err == nil {
+		t.Errorf("unknown query op accepted:\n%s", out)
+	}
+	if out, err := runCmd(t, "owlclass", "-query", "depth:Nope", path); err == nil {
+		t.Errorf("unknown concept accepted:\n%s", out)
+	}
+}

@@ -47,7 +47,7 @@ import (
 )
 
 var (
-	expFlag     = flag.String("exp", "all", "experiment: table4|table5|fig9a|fig9b|fig9c|fig10a|fig10b|fig11|balance|future|tableau|classify|sched|all")
+	expFlag     = flag.String("exp", "all", "experiment: table4|table5|fig9a|fig9b|fig9c|fig10a|fig10b|fig11|balance|future|tableau|classify|sched|query|all")
 	seedFlag    = flag.Int64("seed", 1, "corpus generation and shuffle seed")
 	scaleFlag   = flag.Int("scale", 4, "divide corpus sizes by this factor (1 = full size)")
 	cyclesFlag  = flag.Int("cycles", 2, "random-division cycles for speedup runs")
@@ -85,6 +85,7 @@ func main() {
 		"tableau":  tableauHot,    // not part of "all": hot-path microbenchmarks
 		"classify": classifyBench, // not part of "all": real end-to-end reasoning
 		"sched":    schedBench,    // not part of "all": wall-clock scheduler comparison
+		"query":    queryBench,    // not part of "all": kernel-vs-DAG query latency
 	}
 	order := []string{"table4", "table5", "fig9a", "fig9b", "fig9c", "fig10a", "fig10b", "fig11", "balance"}
 	run := func(name string) {

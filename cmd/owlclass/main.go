@@ -15,6 +15,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strings"
 	"time"
 
@@ -43,6 +44,9 @@ var (
 
 	testTimeout = flag.Duration("test-timeout", 0, "budget per sat?/subs? test; expired tests are retried then recorded as undecided (0 = none)")
 	testRetries = flag.Int("test-retries", 0, "escalating retries per timed-out test (each doubles the budget)")
+
+	query      = flag.String("query", "", "answer taxonomy queries from the compiled kernel, e.g. 'subsumes:A,B;ancestors:C;lca:A,B' (ops: subsumes, ancestors, descendants, equivalents, lca, depth)")
+	kernelFile = flag.String("kernel", "", "persist the compiled query kernel at this file: adopted when present (bad frames fall back to recompilation), written after compilation otherwise")
 
 	checkpoint         = flag.String("checkpoint", "", "periodically snapshot classification state to this file (atomic rename)")
 	checkpointInterval = flag.Duration("checkpoint-interval", time.Second, "minimum time between checkpoint snapshots (0 = every phase boundary)")
@@ -125,6 +129,17 @@ func run() error {
 		CheckpointInterval: *checkpointInterval,
 		ResumeFrom:         *resume,
 	}
+	// A saved kernel file, when present, replaces post-run compilation:
+	// the classifier skips CompileKernel and the frame is adopted below.
+	// Otherwise -query/-kernel ask the classifier to compile one (which
+	// also rides along in -checkpoint snapshots).
+	adoptKernel := false
+	if *kernelFile != "" {
+		if _, statErr := os.Stat(*kernelFile); statErr == nil {
+			adoptKernel = true
+		}
+	}
+	opts.CompileKernel = (*query != "" || *kernelFile != "") && !adoptKernel
 	switch *mode {
 	case "optimized":
 		opts.Mode = parowl.ModeOptimized
@@ -223,6 +238,30 @@ func run() error {
 		}
 	}
 
+	if res.KernelError != nil {
+		fmt.Fprintf(os.Stderr, "owlclass: WARNING: checkpointed kernel unusable, recompiled: %v\n", res.KernelError)
+	}
+	if adoptKernel {
+		if k, kerr := parowl.ReadKernelFile(*kernelFile); kerr != nil {
+			fmt.Fprintf(os.Stderr, "owlclass: WARNING: saved kernel unreadable, recompiling: %v\n", kerr)
+		} else if aerr := res.Taxonomy.AdoptKernel(k); aerr != nil {
+			fmt.Fprintf(os.Stderr, "owlclass: WARNING: saved kernel does not match this ontology, recompiling: %v\n", aerr)
+		} else {
+			fmt.Fprintf(os.Stderr, "owlclass: query kernel adopted from %s\n", *kernelFile)
+		}
+	}
+	if *query != "" || *kernelFile != "" {
+		k := parowl.CompileKernel(res.Taxonomy) // no-op when adopted or already compiled
+		if *kernelFile != "" && !adoptKernel {
+			if werr := parowl.WriteKernelFile(*kernelFile, k); werr != nil {
+				fmt.Fprintf(os.Stderr, "owlclass: WARNING: kernel not saved: %v\n", werr)
+			} else {
+				fmt.Fprintf(os.Stderr, "owlclass: query kernel saved to %s (%d classes, %d closure bytes)\n",
+					*kernelFile, k.NumClasses(), k.MemoryFootprint())
+			}
+		}
+	}
+
 	if *baseline != "" {
 		var want *parowl.Taxonomy
 		switch *baseline {
@@ -244,6 +283,10 @@ func run() error {
 	}
 
 	switch {
+	case *query != "":
+		if err := runQueries(res.Taxonomy, tbox, *query); err != nil {
+			return err
+		}
 	case *trace:
 		fmt.Print(res.Trace.String())
 	case *dot:
@@ -294,6 +337,88 @@ func run() error {
 		fmt.Print(res.Trace.LoadSummary())
 	}
 	return nil
+}
+
+// queryArity maps each -query operation to its argument count.
+var queryArity = map[string]int{
+	"subsumes": 2, "lca": 2,
+	"ancestors": 1, "descendants": 1, "equivalents": 1, "depth": 1,
+}
+
+// runQueries evaluates the semicolon-separated -query specs against the
+// compiled bit-matrix kernel, one result line per query.
+func runQueries(tax *parowl.Taxonomy, tbox *parowl.TBox, spec string) error {
+	k := tax.Kernel()
+	if k == nil {
+		k = parowl.CompileKernel(tax)
+	}
+	byName := make(map[string]*parowl.Concept, tbox.NumNamed())
+	for _, c := range tbox.NamedConcepts() {
+		byName[c.Name] = c
+	}
+	for _, q := range strings.Split(spec, ";") {
+		q = strings.TrimSpace(q)
+		if q == "" {
+			continue
+		}
+		opName, rest, _ := strings.Cut(q, ":")
+		opName = strings.TrimSpace(opName)
+		arity, ok := queryArity[opName]
+		if !ok {
+			return fmt.Errorf("query: unknown op %q (want subsumes, ancestors, descendants, equivalents, lca, or depth)", opName)
+		}
+		parts := strings.Split(rest, ",")
+		if len(parts) != arity {
+			return fmt.Errorf("query %q: %s takes %d argument(s)", q, opName, arity)
+		}
+		args := make([]*parowl.Concept, arity)
+		for i, p := range parts {
+			c, ok := byName[strings.TrimSpace(p)]
+			if !ok {
+				return fmt.Errorf("query %q: unknown concept %q", q, strings.TrimSpace(p))
+			}
+			args[i] = c
+		}
+		switch opName {
+		case "subsumes":
+			fmt.Printf("subsumes(%s, %s) = %v\n", args[0], args[1], k.Subsumes(args[0], args[1]))
+		case "lca":
+			fmt.Printf("lca(%s, %s) = %s\n", args[0], args[1], nodeList(k.LCA(args[0], args[1])))
+		case "ancestors":
+			fmt.Printf("ancestors(%s) = %s\n", args[0], nodeList(k.Ancestors(args[0])))
+		case "descendants":
+			fmt.Printf("descendants(%s) = %s\n", args[0], nodeList(k.Descendants(args[0])))
+		case "equivalents":
+			fmt.Printf("equivalents(%s) = %s\n", args[0], conceptList(k.Equivalents(args[0])))
+		case "depth":
+			fmt.Printf("depth(%s) = %d\n", args[0], k.Depth(args[0]))
+		}
+	}
+	return nil
+}
+
+func nodeList(nodes []*parowl.TaxonomyNode) string {
+	if len(nodes) == 0 {
+		return "(none)"
+	}
+	out := make([]string, len(nodes))
+	for i, n := range nodes {
+		out[i] = n.Label()
+	}
+	sort.Strings(out)
+	return strings.Join(out, ", ")
+}
+
+func conceptList(cs []*parowl.Concept) string {
+	if len(cs) == 0 {
+		return "(none)"
+	}
+	out := make([]string, len(cs))
+	for i, c := range cs {
+		out[i] = c.String()
+	}
+	sort.Strings(out)
+	return strings.Join(out, ", ")
 }
 
 func load() (*parowl.TBox, error) {

@@ -13,6 +13,7 @@ import (
 	"parowl/internal/bitset"
 	"parowl/internal/dl"
 	"parowl/internal/reasoner"
+	"parowl/internal/taxonomy"
 )
 
 // Checkpoint snapshots make a classification run crash-safe: the shared
@@ -46,10 +47,16 @@ import (
 //	         uint16 reason length, reason bytes
 //	uint32   sat cache count; per entry: uint64 key, uint8 val
 //	uint32   subs cache count; per entry: uint64 key, uint8 val
+//	uint8    hasKernel (optional section; absent in pre-kernel files);
+//	         if 1, a taxonomy kernel frame (versioned, self-checksummed)
 //	uint32   CRC-32 (IEEE) of everything above
 //
 // The trailing whole-file checksum catches truncation; the per-bitset
-// frame checksums catch local corruption with a better error.
+// frame checksums catch local corruption with a better error. The kernel
+// section is doubly optional: files written before it existed decode
+// fine (no trailing bytes after the caches), and a kernel frame that
+// fails its own validation only degrades the resume to recompilation —
+// the classification state in P/K is never rejected because of it.
 
 // checkpointMagic identifies parowl checkpoint files.
 var checkpointMagic = [8]byte{'P', 'A', 'R', 'O', 'W', 'L', 'C', 'K'}
@@ -110,6 +117,12 @@ type snapshot struct {
 	satState    []int32
 	undecided   []undecidedRef
 	cache       reasoner.CacheSnapshot
+	// kernel is the decoded (unbound) taxonomy query kernel, when the
+	// snapshot carried one and it decoded cleanly; kernelErr records a
+	// kernel frame that failed validation (the snapshot itself stays
+	// valid — resume just recompiles).
+	kernel    *taxonomy.Kernel
+	kernelErr error
 }
 
 // undecidedRef is an Undecided entry with concepts replaced by their
@@ -120,8 +133,10 @@ type undecidedRef struct {
 }
 
 // encodeSnapshot serializes the current shared state. Call only between
-// barriers on a non-failed run; see the consistency note above.
-func (s *state) encodeSnapshot(phase Phase, cache reasoner.CacheSnapshot) []byte {
+// barriers on a non-failed run; see the consistency note above. kern,
+// when non-nil, is appended as the optional kernel section so a resume
+// of a completed run skips recompiling the query kernel.
+func (s *state) encodeSnapshot(phase Phase, cache reasoner.CacheSnapshot, kern *taxonomy.Kernel) []byte {
 	phaseByte := byte(0)
 	if phase == PhaseGroup {
 		phaseByte = 1
@@ -187,6 +202,12 @@ func (s *state) encodeSnapshot(phase Phase, cache reasoner.CacheSnapshot) []byte
 			}
 			b = append(b, v)
 		}
+	}
+	if kern != nil {
+		b = append(b, 1)
+		b = kern.AppendBinary(b)
+	} else {
+		b = append(b, 0)
 	}
 	return binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b))
 }
@@ -372,6 +393,28 @@ func decodeSnapshot(data []byte) (*snapshot, error) {
 	if r.err != nil {
 		return nil, r.err
 	}
+	// Optional kernel section. Files written before it existed end here;
+	// newer files always carry the hasKernel byte. A kernel frame that
+	// fails its own validation is recorded in kernelErr and skipped: the
+	// P/K classification state above it is intact, so rejecting the whole
+	// snapshot would throw away settled work only to rebuild the same
+	// kernel anyway.
+	if len(r.data) > 0 {
+		switch r.u8() {
+		case 0:
+		case 1:
+			k, rest, err := taxonomy.DecodeKernel(r.data)
+			if err != nil {
+				snap.kernelErr = fmt.Errorf("%w: kernel frame: %v", ErrBadSnapshot, err)
+				r.data = nil
+			} else {
+				snap.kernel = k
+				r.data = rest
+			}
+		default:
+			return nil, fmt.Errorf("%w: unknown kernel marker", ErrBadSnapshot)
+		}
+	}
 	if len(r.data) != 0 {
 		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadSnapshot, len(r.data))
 	}
@@ -484,6 +527,17 @@ type checkpointer struct {
 // ≤ 0 writes at every boundary). force overrides the interval for
 // phase-final snapshots. Failed runs are never snapshotted.
 func (c *checkpointer) maybeWrite(s *state, phase Phase, force bool) {
+	c.write(s, phase, force, nil)
+}
+
+// writeKernel force-writes a final snapshot that also carries the
+// compiled taxonomy kernel, so a resume (or server restart) of a
+// completed run skips recompilation.
+func (c *checkpointer) writeKernel(s *state, kern *taxonomy.Kernel) {
+	c.write(s, PhaseGroup, true, kern)
+}
+
+func (c *checkpointer) write(s *state, phase Phase, force bool, kern *taxonomy.Kernel) {
 	if c == nil || s.failed() {
 		return
 	}
@@ -494,7 +548,7 @@ func (c *checkpointer) maybeWrite(s *state, phase Phase, force bool) {
 	if c.porter != nil {
 		cache = c.porter.ExportCache()
 	}
-	if err := writeFileAtomic(c.path, s.encodeSnapshot(phase, cache)); err != nil {
+	if err := writeFileAtomic(c.path, s.encodeSnapshot(phase, cache, kern)); err != nil {
 		if c.err == nil {
 			c.err = fmt.Errorf("core: checkpoint write: %w", err)
 		}

@@ -119,6 +119,15 @@ type Options struct {
 	// writes a snapshot at every boundary (useful for tests; production
 	// runs should use ~1s to keep overhead negligible).
 	CheckpointInterval time.Duration
+	// CompileKernel compiles the taxonomy's bit-matrix query kernel
+	// (taxonomy.Compile) after classification, attaching it so every
+	// subsequent query (Subsumes/Ancestors/Descendants/LCA/Depth) runs on
+	// dense closure matrices instead of pointer-chasing the DAG. When
+	// Checkpoint is also set, the final snapshot carries the kernel so a
+	// resume skips recompilation; a checkpointed kernel that fails
+	// validation degrades to recompiling (reported in Result.KernelError),
+	// never to wrong answers.
+	CompileKernel bool
 	// ResumeFrom, when non-empty, restores the shared state from a
 	// checkpoint file before classification starts, skipping all settled
 	// work. The snapshot must match the ontology (fingerprint), mode, and
@@ -216,6 +225,11 @@ type Result struct {
 	// CheckpointError is the first snapshot-write failure, if any; the
 	// classification itself still completed.
 	CheckpointError error
+	// KernelError is non-nil when Options.CompileKernel was set and a
+	// checkpointed kernel frame could not be used (corrupt frame or
+	// fingerprint mismatch, wrapping ErrBadSnapshot); the kernel was then
+	// recompiled from the taxonomy, so queries are still served from bits.
+	KernelError error
 }
 
 // ErrNoReasoner is returned when Options.Reasoner is nil.
@@ -274,9 +288,11 @@ func ClassifyContext(ctx context.Context, t *dl.TBox, opts Options) (*Result, er
 	// Restore a prior run's state before any worker exists; a rejected
 	// snapshot leaves the fresh state untouched and the run starts clean.
 	var (
-		resumed     bool
-		resumeErr   error
-		resumePhase = PhaseRandom
+		resumed       bool
+		resumeErr     error
+		resumePhase   = PhaseRandom
+		snapKernel    *taxonomy.Kernel
+		snapKernelErr error
 	)
 	if opts.ResumeFrom != "" {
 		snap, err := readSnapshotFile(opts.ResumeFrom)
@@ -288,6 +304,8 @@ func ClassifyContext(ctx context.Context, t *dl.TBox, opts Options) (*Result, er
 		} else {
 			resumed = true
 			resumePhase = snap.phase
+			snapKernel = snap.kernel
+			snapKernelErr = snap.kernelErr
 			if porter := reasoner.AsCachePorter(opts.Reasoner); porter != nil {
 				porter.ImportCache(snap.cache)
 			}
@@ -367,6 +385,28 @@ func ClassifyContext(ctx context.Context, t *dl.TBox, opts Options) (*Result, er
 	if err != nil {
 		return nil, err
 	}
+	var kernelErr error
+	if opts.CompileKernel {
+		adopted := false
+		if snapKernel != nil {
+			// AdoptKernel validates the frame's node count and taxonomy
+			// fingerprint against the taxonomy just built, so a stale or
+			// mismatched kernel can never serve wrong answers.
+			if err := tax.AdoptKernel(snapKernel); err != nil {
+				kernelErr = fmt.Errorf("%w: checkpoint kernel rejected: %v", ErrBadSnapshot, err)
+			} else {
+				adopted = true
+			}
+		} else if snapKernelErr != nil {
+			kernelErr = snapKernelErr
+		}
+		if !adopted {
+			tax.CompileKernel(workers)
+		}
+		// Rewrite the final snapshot with the kernel aboard so the next
+		// resume (or server restart) skips recompilation.
+		ck.writeKernel(s, tax.Kernel())
+	}
 	if trace != nil {
 		trace.WallElapsed = time.Since(start)
 	}
@@ -390,6 +430,7 @@ func ClassifyContext(ctx context.Context, t *dl.TBox, opts Options) (*Result, er
 		Resumed:         resumed,
 		ResumeError:     resumeErr,
 		CheckpointError: ck.firstErr(),
+		KernelError:     kernelErr,
 	}, nil
 }
 

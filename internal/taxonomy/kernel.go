@@ -1,0 +1,470 @@
+package taxonomy
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"hash/fnv"
+	"os"
+	"runtime"
+	"sync"
+
+	"parowl/internal/bitset"
+	"parowl/internal/dl"
+)
+
+// Kernel is the compiled query form of a Taxonomy: dense node IDs plus
+// ancestor/descendant transitive-closure bit matrices, in the style of
+// the CNS OWL engine's uint64 closure tables. Subsumption becomes one
+// word-indexed bit test and the set-valued queries become word-parallel
+// row operations (OR/AND + popcount), replacing the pointer-chasing,
+// map-allocating walks in query.go.
+//
+// Node IDs are the node's index in Taxonomy.Nodes() (⊤ = 0, ⊥ = n-1),
+// which the builder makes deterministic, so a kernel serialized from one
+// process binds to the identically-fingerprinted taxonomy of another.
+// The matrices are allocated with a word-aligned column count
+// (bitset.AlignCols) so every row is a whole number of uint64 words; the
+// padding columns are never set.
+//
+// A Kernel is immutable after Compile/DecodeKernel and safe for
+// concurrent readers.
+type Kernel struct {
+	tax   *Taxonomy      // bound taxonomy; nil for a decoded, unbound kernel
+	nodes []*Node        // tax.nodes when bound
+	id    map[*Node]int  // node → dense ID when bound
+	n     int            // node count (matrix rows)
+	cols  int            // AlignCols(n) matrix columns
+	anc   *bitset.Matrix // bit (x,y): y is a strict ancestor of x
+	desc  *bitset.Matrix // bit (x,y): y is a strict descendant of x
+	depth []int32        // longest ⊤-path per node ID
+	fp    uint64         // FNV-1a of the source taxonomy's Fingerprint
+}
+
+// ErrBadKernel reports a kernel binary frame that failed structural
+// validation or its checksum, or a kernel that does not match the
+// taxonomy it is being adopted into. All kernel decode/adopt errors wrap
+// it.
+var ErrBadKernel = errors.New("taxonomy: bad kernel frame")
+
+// Compile builds the query kernel for t using one worker per available
+// CPU. See CompileWorkers.
+func Compile(t *Taxonomy) *Kernel { return CompileWorkers(t, runtime.GOMAXPROCS(0)) }
+
+// CompileWorkers builds the query kernel for t. The closure matrices are
+// built in a single reverse-topological sweep each: nodes are grouped
+// into antichain levels (equal longest-path depth), every node's row is
+// the word-parallel OR of its parents' (resp. children's) completed rows
+// plus one bit per direct edge, and the nodes within a level — which can
+// never be related — are compiled in parallel across workers.
+func CompileWorkers(t *Taxonomy, workers int) *Kernel {
+	n := len(t.nodes)
+	k := &Kernel{
+		tax:   t,
+		nodes: t.nodes,
+		id:    make(map[*Node]int, n),
+		n:     n,
+		cols:  bitset.AlignCols(n),
+		depth: make([]int32, n),
+		fp:    fingerprintHash(t.Fingerprint()),
+	}
+	for i, nd := range t.nodes {
+		k.id[nd] = i
+	}
+	k.anc = bitset.NewMatrix(n, k.cols)
+	k.desc = bitset.NewMatrix(n, k.cols)
+	if workers < 1 {
+		workers = 1
+	}
+
+	// Downward sweep: levels by longest-path depth from ⊤. Every parent
+	// of a level-d node sits at a level < d, so its ancestor row is
+	// already complete when the level is processed, and nodes within one
+	// level are an antichain (depth strictly increases along edges) so
+	// they touch disjoint rows.
+	ancLevels := k.levels(func(nd *Node) []*Node { return nd.parents })
+	for d, level := range ancLevels {
+		for _, x := range level {
+			k.depth[x] = int32(d)
+		}
+	}
+	for _, level := range ancLevels {
+		k.forEachParallel(level, workers, func(x int) {
+			for _, p := range k.nodes[x].parents {
+				pid := k.id[p]
+				k.anc.Set(x, pid)
+				k.anc.OrRow(x, pid)
+			}
+		})
+	}
+	// Upward sweep: the mirror image, levels by height above the leaves.
+	descLevels := k.levels(func(nd *Node) []*Node { return nd.children })
+	for _, level := range descLevels {
+		k.forEachParallel(level, workers, func(x int) {
+			for _, c := range k.nodes[x].children {
+				cid := k.id[c]
+				k.desc.Set(x, cid)
+				k.desc.OrRow(x, cid)
+			}
+		})
+	}
+	return k
+}
+
+// levels groups node IDs into antichain levels by longest-path distance
+// from the nodes with no prev-edges (Kahn's algorithm over prev). A node
+// is released only after every prev-edge is consumed, so its level — the
+// max over its prev nodes' levels plus one — is final when assigned.
+// Each returned slice holds the nodes of exactly one level, so within a
+// slice no two nodes are related and all their prev rows are complete.
+func (k *Kernel) levels(prev func(*Node) []*Node) [][]int {
+	remaining := make([]int, k.n)
+	// next-edge adjacency is the reverse of prev: rebuild it so the scan
+	// below visits each edge once.
+	next := make([][]int, k.n)
+	for i, nd := range k.nodes {
+		ps := prev(nd)
+		remaining[i] = len(ps)
+		for _, p := range ps {
+			pid := k.id[p]
+			next[pid] = append(next[pid], i)
+		}
+	}
+	level := make([]int, k.n)
+	var frontier []int
+	for i := range remaining {
+		if remaining[i] == 0 {
+			frontier = append(frontier, i)
+		}
+	}
+	processed, maxLevel := 0, 0
+	for len(frontier) > 0 {
+		var nf []int
+		for _, x := range frontier {
+			processed++
+			if level[x] > maxLevel {
+				maxLevel = level[x]
+			}
+			for _, y := range next[x] {
+				if level[x]+1 > level[y] {
+					level[y] = level[x] + 1
+				}
+				remaining[y]--
+				if remaining[y] == 0 {
+					nf = append(nf, y)
+				}
+			}
+		}
+		frontier = nf
+	}
+	if processed != k.n {
+		panic(fmt.Sprintf("taxonomy: kernel compile processed %d of %d nodes (cycle?)", processed, k.n))
+	}
+	byLevel := make([][]int, maxLevel+1)
+	for i, d := range level {
+		byLevel[d] = append(byLevel[d], i)
+	}
+	return byLevel
+}
+
+// forEachParallel runs fn over the IDs in level, fanning out across up to
+// `workers` goroutines when the level is large enough to pay for it. The
+// WaitGroup join gives the next level a happens-before edge on every row
+// written here.
+func (k *Kernel) forEachParallel(level []int, workers int, fn func(x int)) {
+	const minPerWorker = 16
+	if workers == 1 || len(level) < 2*minPerWorker {
+		for _, x := range level {
+			fn(x)
+		}
+		return
+	}
+	if max := (len(level) + minPerWorker - 1) / minPerWorker; workers > max {
+		workers = max
+	}
+	var wg sync.WaitGroup
+	chunk := (len(level) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= len(level) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(level) {
+			hi = len(level)
+		}
+		wg.Add(1)
+		go func(ids []int) {
+			defer wg.Done()
+			for _, x := range ids {
+				fn(x)
+			}
+		}(level[lo:hi])
+	}
+	wg.Wait()
+}
+
+func fingerprintHash(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// NumClasses returns the number of taxonomy nodes the kernel covers.
+func (k *Kernel) NumClasses() int { return k.n }
+
+// TaxonomyFingerprint returns the FNV-1a hash of the source taxonomy's
+// Fingerprint, used to pair a decoded kernel with its taxonomy.
+func (k *Kernel) TaxonomyFingerprint() uint64 { return k.fp }
+
+// MemoryFootprint returns the approximate resident size of the closure
+// matrices and depth table in bytes.
+func (k *Kernel) MemoryFootprint() int {
+	return 2*k.n*(k.cols/8) + 4*k.n
+}
+
+// bound panics if the kernel has been decoded but not yet adopted by a
+// taxonomy.
+func (k *Kernel) bound() {
+	if k.tax == nil {
+		panic("taxonomy: query on unbound kernel (call Taxonomy.AdoptKernel first)")
+	}
+}
+
+func (k *Kernel) idOf(c *dl.Concept) (int, bool) {
+	nd := k.tax.byConcept[c]
+	if nd == nil {
+		return 0, false
+	}
+	return k.id[nd], true
+}
+
+// IsAncestor reports whether anc is a strict ancestor of c: one bit test.
+func (k *Kernel) IsAncestor(anc, c *dl.Concept) bool {
+	k.bound()
+	ia, ok1 := k.idOf(anc)
+	ic, ok2 := k.idOf(c)
+	if !ok1 || !ok2 {
+		return false
+	}
+	return k.anc.Test(ic, ia)
+}
+
+// Subsumes reports c ⊑ sup: equivalence (same node) or strict ancestry.
+func (k *Kernel) Subsumes(sup, c *dl.Concept) bool {
+	k.bound()
+	is, ok1 := k.idOf(sup)
+	ic, ok2 := k.idOf(c)
+	if !ok1 || !ok2 {
+		return false
+	}
+	return is == ic || k.anc.Test(ic, is)
+}
+
+func (k *Kernel) rowNodes(m *bitset.Matrix, r int) []*Node {
+	out := make([]*Node, 0, m.RowCount(r))
+	m.RowForEach(r, func(c int) bool {
+		out = append(out, k.nodes[c])
+		return true
+	})
+	return out
+}
+
+// Ancestors returns all strict ancestor nodes of c in ID order.
+func (k *Kernel) Ancestors(c *dl.Concept) []*Node {
+	k.bound()
+	ic, ok := k.idOf(c)
+	if !ok {
+		return nil
+	}
+	return k.rowNodes(k.anc, ic)
+}
+
+// Descendants returns all strict descendant nodes of c in ID order.
+func (k *Kernel) Descendants(c *dl.Concept) []*Node {
+	k.bound()
+	ic, ok := k.idOf(c)
+	if !ok {
+		return nil
+	}
+	return k.rowNodes(k.desc, ic)
+}
+
+// Equivalents returns the concepts equivalent to c (including c).
+func (k *Kernel) Equivalents(c *dl.Concept) []*dl.Concept {
+	k.bound()
+	ic, ok := k.idOf(c)
+	if !ok {
+		return nil
+	}
+	return k.nodes[ic].Concepts
+}
+
+// Depth returns the longest ⊤-path length to c's node, or -1 if c is not
+// in the taxonomy.
+func (k *Kernel) Depth(c *dl.Concept) int {
+	k.bound()
+	ic, ok := k.idOf(c)
+	if !ok {
+		return -1
+	}
+	return int(k.depth[ic])
+}
+
+// LCA returns the lowest common ancestors of a and b (reflexive), sorted
+// by label. The common-ancestor set is two row snapshots intersected
+// word-parallel; a candidate is pruned when its descendant row intersects
+// the shared set.
+func (k *Kernel) LCA(a, b *dl.Concept) []*Node {
+	k.bound()
+	ia, ok1 := k.idOf(a)
+	ib, ok2 := k.idOf(b)
+	if !ok1 || !ok2 {
+		return nil
+	}
+	shared := k.anc.RowSnapshot(ia)
+	shared.Set(ia)
+	sb := k.anc.RowSnapshot(ib)
+	sb.Set(ib)
+	shared.Intersect(sb)
+	var lowest []*Node
+	shared.ForEach(func(c int) bool {
+		if !k.desc.RowIntersectsSet(c, shared) {
+			lowest = append(lowest, k.nodes[c])
+		}
+		return true
+	})
+	sortNodes(lowest)
+	return lowest
+}
+
+// Kernel binary frame. Layout (all integers little-endian):
+//
+//	magic   [8]byte  "PAROWLKF"
+//	uint32  version  currently 1
+//	uint64  fp       taxonomy fingerprint hash
+//	uint32  n        node count
+//	uint32  cols     matrix columns (must equal AlignCols(n))
+//	uint32  depth[n] longest ⊤-path per node
+//	anc     bitset.Matrix frame (self-checksummed)
+//	desc    bitset.Matrix frame (self-checksummed)
+//	uint32  crc      CRC-32 (IEEE) of every byte above
+//
+// The trailing CRC guards the whole frame (including the already-CRC'd
+// matrix frames) so any truncation or bit flip is detected as a unit.
+
+const kernelMagic = "PAROWLKF"
+const kernelVersion = 1
+
+// AppendBinary appends the kernel's binary frame to b.
+func (k *Kernel) AppendBinary(b []byte) []byte {
+	start := len(b)
+	b = append(b, kernelMagic...)
+	b = binary.LittleEndian.AppendUint32(b, kernelVersion)
+	b = binary.LittleEndian.AppendUint64(b, k.fp)
+	b = binary.LittleEndian.AppendUint32(b, uint32(k.n))
+	b = binary.LittleEndian.AppendUint32(b, uint32(k.cols))
+	for _, d := range k.depth {
+		b = binary.LittleEndian.AppendUint32(b, uint32(d))
+	}
+	b = k.anc.AppendBinary(b)
+	b = k.desc.AppendBinary(b)
+	return binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b[start:]))
+}
+
+// DecodeKernel decodes one kernel frame from the head of data and returns
+// the unbound kernel together with the remaining bytes. The kernel must
+// be bound with Taxonomy.AdoptKernel before use. All errors wrap
+// ErrBadKernel.
+func DecodeKernel(data []byte) (*Kernel, []byte, error) {
+	const headerLen = 8 + 4 + 8 + 4 + 4
+	if len(data) < headerLen {
+		return nil, nil, fmt.Errorf("%w: truncated header (%d bytes)", ErrBadKernel, len(data))
+	}
+	if string(data[:8]) != kernelMagic {
+		return nil, nil, fmt.Errorf("%w: bad magic %q", ErrBadKernel, data[:8])
+	}
+	if v := binary.LittleEndian.Uint32(data[8:]); v != kernelVersion {
+		return nil, nil, fmt.Errorf("%w: unsupported version %d", ErrBadKernel, v)
+	}
+	fp := binary.LittleEndian.Uint64(data[12:])
+	n := int(binary.LittleEndian.Uint32(data[20:]))
+	cols := int(binary.LittleEndian.Uint32(data[24:]))
+	if cols != bitset.AlignCols(n) {
+		return nil, nil, fmt.Errorf("%w: cols %d does not match AlignCols(%d)", ErrBadKernel, cols, n)
+	}
+	if len(data) < headerLen+4*n {
+		return nil, nil, fmt.Errorf("%w: truncated depth table", ErrBadKernel)
+	}
+	depth := make([]int32, n)
+	for i := range depth {
+		depth[i] = int32(binary.LittleEndian.Uint32(data[headerLen+4*i:]))
+	}
+	body := data[headerLen+4*n:]
+	anc, body, err := bitset.ReadMatrix(body)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: ancestor matrix: %v", ErrBadKernel, err)
+	}
+	desc, body, err := bitset.ReadMatrix(body)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: descendant matrix: %v", ErrBadKernel, err)
+	}
+	if anc.Rows() != n || anc.Cols() != cols || desc.Rows() != n || desc.Cols() != cols {
+		return nil, nil, fmt.Errorf("%w: matrix dims do not match header", ErrBadKernel)
+	}
+	frameLen := len(data) - len(body)
+	if len(body) < 4 {
+		return nil, nil, fmt.Errorf("%w: missing trailing checksum", ErrBadKernel)
+	}
+	want := binary.LittleEndian.Uint32(body)
+	if got := crc32.ChecksumIEEE(data[:frameLen]); got != want {
+		return nil, nil, fmt.Errorf("%w: frame checksum mismatch (%08x != %08x)", ErrBadKernel, got, want)
+	}
+	return &Kernel{n: n, cols: cols, anc: anc, desc: desc, depth: depth, fp: fp}, body[4:], nil
+}
+
+// WriteKernelFile writes the kernel frame to path (atomically via a
+// temporary file in the same directory).
+func WriteKernelFile(path string, k *Kernel) error {
+	data := k.AppendBinary(make([]byte, 0, 64+k.MemoryFootprint()))
+	tmp, err := os.CreateTemp(dirOf(path), ".kernel-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+func dirOf(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' || path[i] == os.PathSeparator {
+			return path[:i+1]
+		}
+	}
+	return "."
+}
+
+// ReadKernelFile reads one kernel frame from path. The kernel is unbound.
+func ReadKernelFile(path string) (*Kernel, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	k, rest, err := DecodeKernel(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadKernel, len(rest))
+	}
+	return k, nil
+}

@@ -1,0 +1,141 @@
+package taxonomy_test
+
+// External-package equivalence suite: classify scaled paper corpora with
+// the real pipeline (core + tableau; this file lives outside package
+// taxonomy so importing core is not a cycle), then check every query —
+// Subsumes/IsAncestor/Ancestors/Descendants/Equivalents/LCA/Depth — gives
+// identical answers on the pointer-DAG path and the compiled bit-matrix
+// kernel. Runs under -race via scripts/verify.sh.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"parowl/internal/core"
+	"parowl/internal/dl"
+	"parowl/internal/ontogen"
+	"parowl/internal/tableau"
+	"parowl/internal/taxonomy"
+)
+
+func labels(nodes []*taxonomy.Node) string {
+	out := make([]string, len(nodes))
+	for i, n := range nodes {
+		out[i] = n.Label()
+	}
+	sort.Strings(out)
+	return fmt.Sprint(out)
+}
+
+func conceptLabels(cs []*dl.Concept) string {
+	out := make([]string, len(cs))
+	for i, c := range cs {
+		out[i] = c.String()
+	}
+	sort.Strings(out)
+	return fmt.Sprint(out)
+}
+
+func TestKernelEquivalenceOntogen(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ontogen corpora are slow under -short")
+	}
+	corpora := []struct {
+		profile string
+		scale   int
+	}{
+		{"actpathway.obo", 60},
+		{"EHDAA2", 25},
+		{"rnao_functional", 12},
+	}
+	for _, c := range corpora {
+		c := c
+		t.Run(c.profile, func(t *testing.T) {
+			p, ok := ontogen.ByName(c.profile)
+			if !ok {
+				t.Fatalf("profile %q not found", c.profile)
+			}
+			tb, err := ontogen.Mini(p, c.scale).Generate(7)
+			if err != nil {
+				t.Fatalf("generate: %v", err)
+			}
+			res, err := core.Classify(tb, core.Options{
+				Reasoner: tableau.New(tb, tableau.Options{}),
+				Workers:  4, ELPrepass: true, ModelFilter: true,
+			})
+			if err != nil {
+				t.Fatalf("classify: %v", err)
+			}
+			tax := res.Taxonomy
+			named := tb.NamedConcepts()
+			rng := rand.New(rand.NewSource(13))
+			pairs := make([][2]*dl.Concept, 200)
+			for i := range pairs {
+				pairs[i] = [2]*dl.Concept{named[rng.Intn(len(named))], named[rng.Intn(len(named))]}
+			}
+			probe := named
+			if len(probe) > 150 {
+				probe = probe[:150]
+			}
+
+			type answers struct {
+				isAnc  []bool
+				lca    []string
+				anc    []string
+				desc   []string
+				equiv  []string
+				depths []int
+			}
+			collect := func() answers {
+				var a answers
+				for _, pr := range pairs {
+					a.isAnc = append(a.isAnc, tax.IsAncestor(pr[0], pr[1]))
+					a.lca = append(a.lca, labels(tax.LCA(pr[0], pr[1])))
+				}
+				for _, cpt := range probe {
+					a.anc = append(a.anc, labels(tax.Ancestors(cpt)))
+					a.desc = append(a.desc, labels(tax.Descendants(cpt)))
+					a.equiv = append(a.equiv, conceptLabels(tax.Equivalents(cpt)))
+					a.depths = append(a.depths, tax.Depth(cpt))
+				}
+				return a
+			}
+			want := collect()
+			if tax.Kernel() != nil {
+				t.Fatal("kernel attached before CompileKernel")
+			}
+			k := tax.CompileKernel(4)
+			got := collect()
+			for i := range pairs {
+				if want.isAnc[i] != got.isAnc[i] {
+					t.Fatalf("IsAncestor(%v) kernel=%v dag=%v", pairs[i], got.isAnc[i], want.isAnc[i])
+				}
+				if want.lca[i] != got.lca[i] {
+					t.Fatalf("LCA(%v) kernel=%s dag=%s", pairs[i], got.lca[i], want.lca[i])
+				}
+				// Subsumes has no DAG twin method; cross-check against the
+				// definition: same node or strict ancestry.
+				def := tax.NodeOf(pairs[i][0]) == tax.NodeOf(pairs[i][1]) || want.isAnc[i]
+				if k.Subsumes(pairs[i][0], pairs[i][1]) != def {
+					t.Fatalf("Subsumes(%v) disagrees with definition", pairs[i])
+				}
+			}
+			for i, cpt := range probe {
+				if want.anc[i] != got.anc[i] {
+					t.Fatalf("Ancestors(%s) differ:\nkernel=%s\ndag=%s", cpt, got.anc[i], want.anc[i])
+				}
+				if want.desc[i] != got.desc[i] {
+					t.Fatalf("Descendants(%s) differ:\nkernel=%s\ndag=%s", cpt, got.desc[i], want.desc[i])
+				}
+				if want.equiv[i] != got.equiv[i] {
+					t.Fatalf("Equivalents(%s) differ", cpt)
+				}
+				if want.depths[i] != got.depths[i] {
+					t.Fatalf("Depth(%s) kernel=%d dag=%d", cpt, got.depths[i], want.depths[i])
+				}
+			}
+		})
+	}
+}

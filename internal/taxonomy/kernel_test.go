@@ -1,0 +1,330 @@
+package taxonomy
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"parowl/internal/dl"
+)
+
+// randomTaxonomy builds a random DAG taxonomy: edges only from lower to
+// higher index among the first m concepts (guaranteeing acyclicity); the
+// edge-free tail block supplies equivalences and unsatisfiable concepts,
+// so merging a tail concept into any class can never create a cycle.
+func randomTaxonomy(rng *rand.Rand) (*Taxonomy, *dl.Factory, []*dl.Concept) {
+	f := dl.NewFactory()
+	n := 8 + rng.Intn(48)
+	m := n - n/6
+	cs := make([]*dl.Concept, n)
+	for i := range cs {
+		cs[i] = f.Name(fmt.Sprintf("C%03d", i))
+	}
+	b := NewBuilder(f)
+	for _, c := range cs {
+		b.AddConcept(c)
+	}
+	for j := 1; j < m; j++ {
+		for i := 0; i < j; i++ {
+			if rng.Float64() < 2.0/float64(j) {
+				b.AddEdge(cs[i], cs[j])
+			}
+		}
+	}
+	for i := m; i < n; i++ {
+		if rng.Intn(3) == 0 {
+			b.MarkUnsatisfiable(cs[i])
+		} else {
+			b.MarkEquivalent(cs[i], cs[rng.Intn(m)])
+		}
+	}
+	tax, err := b.Build()
+	if err != nil {
+		panic(fmt.Sprintf("random taxonomy build failed: %v", err))
+	}
+	return tax, f, cs
+}
+
+func labelSet(nodes []*Node) []string {
+	out := make([]string, len(nodes))
+	for i, n := range nodes {
+		out[i] = n.Label()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// queryAnswers records every query result over a concept universe so the
+// map-based and kernel paths can be compared answer-for-answer.
+type queryAnswers struct {
+	isAnc, subsumes   map[[2]int]bool
+	ancs, descs, lcas map[string][]string
+	equivs            map[int][]string
+	depths            map[int]int
+}
+
+func collectAnswers(tax *Taxonomy, cs []*dl.Concept, pairs [][2]int) *queryAnswers {
+	a := &queryAnswers{
+		isAnc:    map[[2]int]bool{},
+		subsumes: map[[2]int]bool{},
+		ancs:     map[string][]string{},
+		descs:    map[string][]string{},
+		lcas:     map[string][]string{},
+		equivs:   map[int][]string{},
+		depths:   map[int]int{},
+	}
+	k := tax.Kernel()
+	for _, p := range pairs {
+		x, y := cs[p[0]], cs[p[1]]
+		a.isAnc[p] = tax.IsAncestor(x, y)
+		if k != nil {
+			a.subsumes[p] = k.Subsumes(x, y)
+		} else {
+			a.subsumes[p] = tax.NodeOf(x) == tax.NodeOf(y) || tax.IsAncestor(x, y)
+		}
+		a.lcas[fmt.Sprint(p)] = labelSet(tax.LCA(x, y))
+	}
+	for i, c := range cs {
+		a.ancs[c.Name] = labelSet(tax.Ancestors(c))
+		a.descs[c.Name] = labelSet(tax.Descendants(c))
+		a.depths[i] = tax.Depth(c)
+		eq := append([]string(nil), conceptNames(tax.Equivalents(c))...)
+		sort.Strings(eq)
+		a.equivs[i] = eq
+	}
+	return a
+}
+
+func conceptNames(cs []*dl.Concept) []string {
+	out := make([]string, len(cs))
+	for i, c := range cs {
+		out[i] = conceptName(c)
+	}
+	return out
+}
+
+func diffAnswers(t *testing.T, trial int, want, got *queryAnswers) {
+	t.Helper()
+	for p, v := range want.isAnc {
+		if got.isAnc[p] != v {
+			t.Fatalf("trial %d: IsAncestor%v = %v, want %v", trial, p, got.isAnc[p], v)
+		}
+	}
+	for p, v := range want.subsumes {
+		if got.subsumes[p] != v {
+			t.Fatalf("trial %d: Subsumes%v = %v, want %v", trial, p, got.subsumes[p], v)
+		}
+	}
+	for key, v := range want.lcas {
+		if fmt.Sprint(got.lcas[key]) != fmt.Sprint(v) {
+			t.Fatalf("trial %d: LCA %s = %v, want %v", trial, key, got.lcas[key], v)
+		}
+	}
+	for c, v := range want.ancs {
+		if fmt.Sprint(got.ancs[c]) != fmt.Sprint(v) {
+			t.Fatalf("trial %d: Ancestors(%s) = %v, want %v", trial, c, got.ancs[c], v)
+		}
+	}
+	for c, v := range want.descs {
+		if fmt.Sprint(got.descs[c]) != fmt.Sprint(v) {
+			t.Fatalf("trial %d: Descendants(%s) = %v, want %v", trial, c, got.descs[c], v)
+		}
+	}
+	for i, v := range want.depths {
+		if got.depths[i] != v {
+			t.Fatalf("trial %d: Depth(#%d) = %d, want %d", trial, i, got.depths[i], v)
+		}
+	}
+	for i, v := range want.equivs {
+		if fmt.Sprint(got.equivs[i]) != fmt.Sprint(v) {
+			t.Fatalf("trial %d: Equivalents(#%d) = %v, want %v", trial, i, got.equivs[i], v)
+		}
+	}
+}
+
+func randomPairs(rng *rand.Rand, n, count int) [][2]int {
+	pairs := make([][2]int, count)
+	for i := range pairs {
+		pairs[i] = [2]int{rng.Intn(n), rng.Intn(n)}
+	}
+	return pairs
+}
+
+// TestKernelEquivalenceRandom checks all six query operations agree
+// between the map-based pointer-DAG path and the compiled kernel on
+// random taxonomies (satellite: randomized kernel-vs-DAG suite).
+func TestKernelEquivalenceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	for trial := 0; trial < 40; trial++ {
+		tax, _, cs := randomTaxonomy(rng)
+		pairs := randomPairs(rng, len(cs), 40)
+		want := collectAnswers(tax, cs, pairs) // kernel not yet compiled: map path
+		k := tax.CompileKernel(1 + rng.Intn(4))
+		if k == nil || tax.Kernel() != k {
+			t.Fatal("CompileKernel did not attach")
+		}
+		got := collectAnswers(tax, cs, pairs) // now delegates to the kernel
+		diffAnswers(t, trial, want, got)
+	}
+}
+
+// TestKernelDepthMatchesSummarize checks the shared-pass depth table
+// agrees with per-concept Depth and that Summarize's MaxDepth is the
+// maximum over nodes (satellite: Summarize single-pass depths).
+func TestKernelDepthMatchesSummarize(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		tax, _, _ := randomTaxonomy(rng)
+		depths := tax.allDepths()
+		maxDepth := 0
+		for i, n := range tax.nodes {
+			if d := tax.Depth(n.Canonical()); d != depths[i] {
+				t.Fatalf("trial %d: allDepths[%d] = %d, Depth = %d", trial, i, depths[i], d)
+			}
+			if n != tax.bottom && depths[i] > maxDepth {
+				maxDepth = depths[i]
+			}
+		}
+		if s := tax.Summarize(); s.MaxDepth != maxDepth {
+			t.Fatalf("trial %d: Summarize MaxDepth = %d, want %d", trial, s.MaxDepth, maxDepth)
+		}
+	}
+}
+
+// TestKernelRoundTrip serializes a kernel, decodes it, adopts it into an
+// identically-rebuilt taxonomy and checks every answer is identical.
+func TestKernelRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 10; trial++ {
+		seed := rng.Int63()
+		tax1, _, cs1 := randomTaxonomy(rand.New(rand.NewSource(seed)))
+		k1 := tax1.CompileKernel(2)
+		data := k1.AppendBinary(nil)
+
+		dec, rest, err := DecodeKernel(data)
+		if err != nil {
+			t.Fatalf("trial %d: decode: %v", trial, err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("trial %d: %d trailing bytes", trial, len(rest))
+		}
+		// Rebuild the same taxonomy from the same seed in a fresh factory:
+		// the kernel must bind by fingerprint, not pointer identity.
+		tax2, _, cs2 := randomTaxonomy(rand.New(rand.NewSource(seed)))
+		if err := tax2.AdoptKernel(dec); err != nil {
+			t.Fatalf("trial %d: adopt: %v", trial, err)
+		}
+		if tax2.Kernel() != dec {
+			t.Fatalf("trial %d: kernel not attached", trial)
+		}
+		pairs := randomPairs(rng, len(cs1), 30)
+		want := collectAnswers(tax1, cs1, pairs)
+		got := collectAnswers(tax2, cs2, pairs)
+		diffAnswers(t, trial, want, got)
+	}
+}
+
+func TestKernelFileRoundTrip(t *testing.T) {
+	tax, _, cs := randomTaxonomy(rand.New(rand.NewSource(5)))
+	k := tax.CompileKernel(0)
+	path := filepath.Join(t.TempDir(), "tax.kernel")
+	if err := WriteKernelFile(path, k); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := ReadKernelFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.NumClasses() != k.NumClasses() || dec.TaxonomyFingerprint() != k.TaxonomyFingerprint() {
+		t.Fatalf("decoded kernel header mismatch")
+	}
+	tax2, _, cs2 := randomTaxonomy(rand.New(rand.NewSource(5)))
+	if err := tax2.AdoptKernel(dec); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range cs2 {
+		if got, want := tax2.Depth(c), tax.Depth(cs[i]); got != want {
+			t.Fatalf("Depth(%s) = %d, want %d", c.Name, got, want)
+		}
+	}
+}
+
+// TestAdoptKernelRejectsMismatch checks a kernel cannot be adopted into a
+// structurally different taxonomy.
+func TestAdoptKernelRejectsMismatch(t *testing.T) {
+	tax1, _, _ := randomTaxonomy(rand.New(rand.NewSource(1)))
+	tax2, _, _ := randomTaxonomy(rand.New(rand.NewSource(2)))
+	data := Compile(tax1).AppendBinary(nil)
+	dec, _, err := DecodeKernel(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tax2.AdoptKernel(dec); !errors.Is(err, ErrBadKernel) {
+		t.Fatalf("adopt into mismatched taxonomy: err = %v, want ErrBadKernel", err)
+	}
+	if tax2.Kernel() != nil {
+		t.Fatal("mismatched kernel was attached")
+	}
+	if err := tax2.AdoptKernel(nil); !errors.Is(err, ErrBadKernel) {
+		t.Fatalf("adopt nil: err = %v, want ErrBadKernel", err)
+	}
+}
+
+// TestKernelDecodeCorruption flips every byte of a valid frame and
+// truncates it at every length: decode must always fail with ErrBadKernel
+// (the trailing CRC guards the whole frame) and never panic.
+func TestKernelDecodeCorruption(t *testing.T) {
+	tax, _, _ := randomTaxonomy(rand.New(rand.NewSource(9)))
+	data := Compile(tax).AppendBinary(nil)
+	if _, _, err := DecodeKernel(data); err != nil {
+		t.Fatalf("pristine frame rejected: %v", err)
+	}
+	for i := range data {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0x40
+		if _, _, err := DecodeKernel(mut); err == nil {
+			t.Fatalf("byte %d flipped: decode succeeded", i)
+		} else if !errors.Is(err, ErrBadKernel) {
+			t.Fatalf("byte %d flipped: err = %v, want ErrBadKernel", i, err)
+		}
+	}
+	for cut := 0; cut < len(data); cut += 7 {
+		if _, _, err := DecodeKernel(data[:cut]); !errors.Is(err, ErrBadKernel) {
+			t.Fatalf("truncated at %d: err = %v, want ErrBadKernel", cut, err)
+		}
+	}
+}
+
+// FuzzKernelDecode checks DecodeKernel never panics and classifies every
+// failure as ErrBadKernel on arbitrary input.
+func FuzzKernelDecode(f *testing.F) {
+	tax, _, _ := randomTaxonomy(rand.New(rand.NewSource(3)))
+	valid := Compile(tax).AppendBinary(nil)
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte(kernelMagic))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		k, rest, err := DecodeKernel(data)
+		if err != nil {
+			if !errors.Is(err, ErrBadKernel) {
+				t.Fatalf("err = %v, want ErrBadKernel", err)
+			}
+			return
+		}
+		if k == nil || len(rest) > len(data) {
+			t.Fatal("successful decode returned bad values")
+		}
+	})
+}
+
+func BenchmarkKernelCompile(b *testing.B) {
+	tax, _, _ := randomTaxonomy(rand.New(rand.NewSource(42)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		CompileWorkers(tax, 4)
+	}
+}

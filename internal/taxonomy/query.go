@@ -11,6 +11,9 @@ import (
 // Depth returns the length of the longest path from ⊤ to c's node
 // (⊤ itself has depth 0), or -1 if c is not in the taxonomy.
 func (t *Taxonomy) Depth(c *dl.Concept) int {
+	if k := t.kernel.Load(); k != nil {
+		return k.Depth(c)
+	}
 	n := t.byConcept[c]
 	if n == nil {
 		return -1
@@ -43,6 +46,9 @@ func (t *Taxonomy) Depth(c *dl.Concept) int {
 // taxonomies this is the single classical LCA; in a DAG there can be
 // several.
 func (t *Taxonomy) LCA(a, b *dl.Concept) []*Node {
+	if k := t.kernel.Load(); k != nil {
+		return k.LCA(a, b)
+	}
 	na, nb := t.byConcept[a], t.byConcept[b]
 	if na == nil || nb == nil {
 		return nil
@@ -75,22 +81,17 @@ func (t *Taxonomy) LCA(a, b *dl.Concept) []*Node {
 	}
 	var lowest []*Node
 	for _, n := range shared {
+		// A candidate is dominated iff some strict descendant is shared.
+		// The shared set is upward-closed (every ancestor of a common
+		// ancestor is itself a common ancestor), so if any strict
+		// descendant d of n is shared, the first step of a path n→…→d is
+		// an ancestor of d and hence shared too: checking the direct
+		// children suffices, no full Descendants traversal needed.
 		dominated := false
 		for _, ch := range n.children {
-			// A shared node with a shared strict descendant is not lowest.
 			if sharedSet[ch] {
 				dominated = true
 				break
-			}
-		}
-		if !dominated {
-			// Check deeper descendants too (children may be unshared
-			// while grandchildren are shared through another path).
-			for _, d := range t.Descendants(n.Canonical()) {
-				if sharedSet[d] {
-					dominated = true
-					break
-				}
 			}
 		}
 		if !dominated {
@@ -99,6 +100,49 @@ func (t *Taxonomy) LCA(a, b *dl.Concept) []*Node {
 	}
 	sortNodes(lowest)
 	return lowest
+}
+
+// allDepths returns the longest ⊤-path length for every node, indexed by
+// position in t.nodes, computed in one shared topological pass (Kahn's
+// algorithm over parents) instead of one memoized DFS per node.
+func (t *Taxonomy) allDepths() []int {
+	if k := t.kernel.Load(); k != nil {
+		out := make([]int, k.n)
+		for i, d := range k.depth {
+			out[i] = int(d)
+		}
+		return out
+	}
+	id := make(map[*Node]int, len(t.nodes))
+	for i, n := range t.nodes {
+		id[n] = i
+	}
+	remaining := make([]int, len(t.nodes))
+	depth := make([]int, len(t.nodes))
+	var frontier []int
+	for i, n := range t.nodes {
+		remaining[i] = len(n.parents)
+		if remaining[i] == 0 {
+			frontier = append(frontier, i)
+		}
+	}
+	for len(frontier) > 0 {
+		var next []int
+		for _, x := range frontier {
+			for _, ch := range t.nodes[x].children {
+				y := id[ch]
+				if depth[x]+1 > depth[y] {
+					depth[y] = depth[x] + 1
+				}
+				remaining[y]--
+				if remaining[y] == 0 {
+					next = append(next, y)
+				}
+			}
+		}
+		frontier = next
+	}
+	return depth
 }
 
 // Summary aggregates structural statistics of the taxonomy.
@@ -140,7 +184,8 @@ func (t *Taxonomy) Summarize() Summary {
 		}
 	}
 	internal, edges := 0, 0
-	for _, n := range t.nodes {
+	depths := t.allDepths()
+	for i, n := range t.nodes {
 		if n == t.bottom {
 			continue
 		}
@@ -154,7 +199,7 @@ func (t *Taxonomy) Summarize() Summary {
 			internal++
 			edges += kids
 		}
-		if d := t.Depth(n.Canonical()); d > s.MaxDepth && n != t.bottom {
+		if d := depths[i]; d > s.MaxDepth {
 			s.MaxDepth = d
 		}
 	}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"parowl/internal/dl"
 )
@@ -52,11 +53,66 @@ func conceptName(c *dl.Concept) string {
 	}
 }
 
-// Taxonomy is an immutable classification result.
+// Taxonomy is an immutable classification result. An optional compiled
+// query kernel (see Compile) can be attached after construction; the
+// queries below delegate to it when present.
 type Taxonomy struct {
 	top, bottom *Node
 	nodes       []*Node // all nodes, top first, bottom last
 	byConcept   map[*dl.Concept]*Node
+
+	kernel atomic.Pointer[Kernel]
+}
+
+// Kernel returns the attached query kernel, or nil if none was compiled.
+func (t *Taxonomy) Kernel() *Kernel { return t.kernel.Load() }
+
+// CompileKernel compiles and attaches the query kernel using `workers`
+// goroutines per antichain level (≤ 0 means one per CPU). It is
+// idempotent: an already-attached kernel is returned as-is.
+func (t *Taxonomy) CompileKernel(workers int) *Kernel {
+	if k := t.kernel.Load(); k != nil {
+		return k
+	}
+	var k *Kernel
+	if workers <= 0 {
+		k = Compile(t)
+	} else {
+		k = CompileWorkers(t, workers)
+	}
+	// Racing compilers produce identical kernels; first one wins.
+	if !t.kernel.CompareAndSwap(nil, k) {
+		return t.kernel.Load()
+	}
+	return k
+}
+
+// AdoptKernel binds a decoded (unbound) kernel to t and attaches it,
+// validating that the kernel was compiled from an identically-shaped
+// taxonomy (same node count and fingerprint hash). On mismatch the
+// taxonomy is left unchanged and the error wraps ErrBadKernel.
+func (t *Taxonomy) AdoptKernel(k *Kernel) error {
+	if k == nil {
+		return fmt.Errorf("%w: nil kernel", ErrBadKernel)
+	}
+	if k.n != len(t.nodes) {
+		return fmt.Errorf("%w: kernel covers %d classes, taxonomy has %d", ErrBadKernel, k.n, len(t.nodes))
+	}
+	if fp := fingerprintHash(t.Fingerprint()); k.fp != fp {
+		return fmt.Errorf("%w: kernel fingerprint %016x does not match taxonomy %016x", ErrBadKernel, k.fp, fp)
+	}
+	if k.tax == nil {
+		k.tax = t
+		k.nodes = t.nodes
+		k.id = make(map[*Node]int, len(t.nodes))
+		for i, nd := range t.nodes {
+			k.id[nd] = i
+		}
+	} else if k.tax != t {
+		return fmt.Errorf("%w: kernel already bound to another taxonomy", ErrBadKernel)
+	}
+	t.kernel.CompareAndSwap(nil, k)
+	return nil
 }
 
 // Top returns the ⊤ node.
@@ -85,6 +141,9 @@ func (t *Taxonomy) Equivalents(c *dl.Concept) []*dl.Concept {
 // IsAncestor reports whether anc is a strict ancestor of c in the
 // taxonomy (i.e. c ⊑ anc with c ≢ anc).
 func (t *Taxonomy) IsAncestor(anc, c *dl.Concept) bool {
+	if k := t.kernel.Load(); k != nil {
+		return k.IsAncestor(anc, c)
+	}
 	from, to := t.byConcept[c], t.byConcept[anc]
 	if from == nil || to == nil || from == to {
 		return false
@@ -111,6 +170,9 @@ func (t *Taxonomy) IsAncestor(anc, c *dl.Concept) bool {
 
 // Ancestors returns all strict ancestor nodes of c.
 func (t *Taxonomy) Ancestors(c *dl.Concept) []*Node {
+	if k := t.kernel.Load(); k != nil {
+		return k.Ancestors(c)
+	}
 	start := t.byConcept[c]
 	if start == nil {
 		return nil
@@ -133,6 +195,9 @@ func (t *Taxonomy) Ancestors(c *dl.Concept) []*Node {
 
 // Descendants returns all strict descendant nodes of c.
 func (t *Taxonomy) Descendants(c *dl.Concept) []*Node {
+	if k := t.kernel.Load(); k != nil {
+		return k.Descendants(c)
+	}
 	start := t.byConcept[c]
 	if start == nil {
 		return nil

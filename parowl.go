@@ -57,6 +57,12 @@ type (
 	TaxonomyNode = taxonomy.Node
 	// TaxonomyDiff reports semantic differences between two taxonomies.
 	TaxonomyDiff = taxonomy.Diff
+	// TaxonomyKernel is the compiled bit-matrix query form of a Taxonomy:
+	// dense node IDs plus ancestor/descendant closure matrices that serve
+	// Subsumes as one bit test and the set queries as word-parallel row
+	// operations. Compile with Taxonomy.CompileKernel, Options.CompileKernel,
+	// or CompileKernel; persist with WriteKernelFile/ReadKernelFile.
+	TaxonomyKernel = taxonomy.Kernel
 	// Reasoner is the plug-in interface behind sat?() and subs?(). Both
 	// methods receive a context; plug-ins must return promptly (with an
 	// error wrapping the context's error) once it is cancelled, which is
@@ -255,6 +261,28 @@ func ComputeMetrics(t *TBox) Metrics { return dl.ComputeMetrics(t) }
 // ontology when only a fragment's taxonomy is needed.
 func ExtractModule(t *TBox, seedConcepts []string) (*TBox, error) {
 	return module.Extract(t, seedConcepts)
+}
+
+// ErrBadKernel reports a taxonomy kernel frame that failed validation or
+// could not be adopted; see TaxonomyKernel.
+var ErrBadKernel = taxonomy.ErrBadKernel
+
+// CompileKernel compiles (and attaches) the bit-matrix query kernel for
+// an already-classified taxonomy, using one worker per CPU. Prefer
+// Options.CompileKernel to have Classify do this — and checkpoint the
+// result — automatically.
+func CompileKernel(t *Taxonomy) *TaxonomyKernel { return t.CompileKernel(0) }
+
+// WriteKernelFile persists a compiled kernel to path (atomic rename).
+func WriteKernelFile(path string, k *TaxonomyKernel) error {
+	return taxonomy.WriteKernelFile(path, k)
+}
+
+// ReadKernelFile loads a kernel written by WriteKernelFile. The kernel is
+// unbound; attach it to its taxonomy with Taxonomy.AdoptKernel, which
+// validates the pairing by fingerprint.
+func ReadKernelFile(path string) (*TaxonomyKernel, error) {
+	return taxonomy.ReadKernelFile(path)
 }
 
 // CompareTaxonomies reports the entailment differences from old to new

@@ -1,0 +1,36 @@
+#!/bin/sh
+# bench_query.sh — taxonomy query-path benchmark with commit-over-commit
+# comparison, also available as `make bench-query`.
+#
+# Runs `benchfig -exp query` (bit-matrix kernel vs pointer-DAG lookups on
+# full-size Table IV corpora, identical-answer check included), rotating
+# the previous BENCH_query.json/.bench to *.prev first. When benchstat is
+# installed and a previous run exists, the benchstat-format twins are
+# compared; otherwise the raw rows are printed side by side. Extra
+# arguments are passed to benchfig (e.g.
+# `scripts/bench_query.sh -queryscale 8` for a quick run).
+set -eu
+cd "$(dirname "$0")/.."
+
+OUT=BENCH_query.json
+BENCH=BENCH_query.bench
+for f in "$OUT" "$BENCH"; do
+    if [ -f "$f" ]; then
+        mv "$f" "$f.prev"
+    fi
+done
+
+go run ./cmd/benchfig -exp query -queryout "$OUT" "$@"
+
+if [ -f "$BENCH.prev" ]; then
+    if command -v benchstat >/dev/null 2>&1; then
+        echo "== benchstat vs previous run"
+        benchstat "$BENCH.prev" "$BENCH"
+    else
+        echo "== benchstat not installed; previous vs current:"
+        echo "-- $BENCH.prev"
+        cat "$BENCH.prev"
+        echo "-- $BENCH"
+        cat "$BENCH"
+    fi
+fi

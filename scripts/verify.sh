@@ -11,14 +11,18 @@ echo "== go vet ./..."
 go vet ./...
 echo "== go test ./..."
 go test ./...
-echo "== go test -race (core, tableau, reasoner, el)"
-go test -race ./internal/core/... ./internal/tableau/... ./internal/reasoner/... ./internal/el/...
+echo "== go test -race (core, tableau, reasoner, el, taxonomy, bitset)"
+go test -race ./internal/core/... ./internal/tableau/... ./internal/reasoner/... ./internal/el/... ./internal/taxonomy/... ./internal/bitset/...
 echo "== cheap-first pipeline equivalence suite (-race)"
 go test -race -count=1 -run 'TestQuickPipelineEquivalence|TestPipelineEquivalenceOntogen|TestPipelineReducesCalls|TestPrepassFragmentUnsatConcept' ./internal/core/
 echo "== crash-safety suite: kill-and-resume + chaos soundness (-race)"
 go test -race -count=1 -run 'TestKillAndResumeEquivalence|TestChaosPanicSoundness|TestResumeRejectsBadSnapshots' ./internal/core/
 echo "== scheduler suite: cross-policy equivalence + stealing-deque properties (-race)"
 go test -race -count=1 -run 'TestQuickCrossPolicyEquivalence|TestWorkStealingActuallySteals|TestKillAndResumeWorkStealing|TestSchedulingValidation|TestDequeOwnerThiefProperty|TestDequeLastElementRace|TestWorkerQueueResetLateThief|TestBarrierAssertsDequesEmpty|TestPoolStealingBalancesSkew' ./internal/core/
+
+echo "== query-kernel equivalence suite: kernel vs DAG answers + checkpoint frame corruption (-race)"
+go test -race -count=1 -run 'TestKernelEquivalenceRandom|TestKernelEquivalenceOntogen|TestKernelRoundTrip|TestKernelFileRoundTrip|TestKernelDecodeCorruption|TestAdoptKernelRejectsMismatch' ./internal/taxonomy/
+go test -race -count=1 -run 'TestKernelCheckpointRoundTrip|TestCheckpointKernelCorruptFrameFallsBack|TestCheckpointKernelMismatchRejected|TestCheckpointLegacyFileWithoutKernelSection|TestSnapshotKernelDecodeFuzz' ./internal/core/
 
 # Static analysis beyond vet, when the tools are installed. staticcheck
 # failures are hard errors; govulncheck needs the network for its vuln DB,
