@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify chaos bench bench-tableau bench-classify bench-sched bench-query
+.PHONY: build test verify chaos serve-smoke bench bench-tableau bench-classify bench-sched bench-query
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,13 @@ verify:
 # binary. See scripts/chaos.sh.
 chaos:
 	sh scripts/chaos.sh
+
+# End-to-end smoke test of the owld daemon: classify generated corpora
+# over HTTP and assert query answers and taxonomy output are
+# byte-identical to owlclass on the same files. See
+# scripts/serve_smoke.sh.
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 bench:
 	$(GO) test -bench . -benchmem -run xxx ./...

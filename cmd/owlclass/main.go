@@ -5,7 +5,9 @@
 //	owlclass -profile EMAP#EMAP -workers 8 -stats
 //
 // With -profile, a synthetic corpus from the paper's Tables IV/V is
-// generated instead of reading a file.
+// generated instead of reading a file. The command is a thin front end
+// over the parowl Engine/Ontology handles — the same object surface the
+// owld daemon serves over HTTP.
 package main
 
 import (
@@ -15,7 +17,6 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
-	"sort"
 	"strings"
 	"time"
 
@@ -96,22 +97,24 @@ func main() {
 }
 
 func run() error {
-	tbox, err := load()
+	eng := parowl.NewEngine()
+	ont, err := load(eng)
 	if err != nil {
 		return err
 	}
 	if *moduleOf != "" {
-		seeds := strings.Split(*moduleOf, ",")
-		m, err := parowl.ExtractModule(tbox, seeds)
+		full := ont.TBox()
+		ont, err = ont.ExtractModule(strings.Split(*moduleOf, ","))
 		if err != nil {
 			return err
 		}
+		m := ont.TBox()
 		fmt.Fprintf(os.Stderr, "module: %d of %d concepts, %d of %d axioms\n",
-			m.NumNamed(), tbox.NumNamed(), len(m.Axioms()), len(tbox.Axioms()))
-		tbox = m
+			m.NumNamed(), full.NumNamed(), len(m.Axioms()), len(full.Axioms()))
 	}
+	tbox := ont.TBox()
 	if *metrics {
-		fmt.Println(parowl.ComputeMetrics(tbox))
+		fmt.Println(ont.Metrics())
 		return nil
 	}
 	opts := parowl.Options{
@@ -148,18 +151,12 @@ func run() error {
 	default:
 		return fmt.Errorf("unknown -mode %q", *mode)
 	}
-	switch *sched {
-	case "roundrobin":
-		opts.Scheduling = parowl.RoundRobin
-	case "worksharing":
-		opts.Scheduling = parowl.WorkSharing
-	case "workstealing":
-		opts.Scheduling = parowl.WorkStealing
-	default:
-		return fmt.Errorf("unknown -sched %q", *sched)
+	opts.Scheduling, err = parowl.ParseScheduling(*sched)
+	if err != nil {
+		return err
 	}
 	switch *plugin {
-	case "auto":
+	case "auto": // nil: ClassifyWith falls back to the Engine's selection
 	case "tableau":
 		opts.Reasoner = parowl.NewTableauReasoner(tbox)
 	case "tableau-mm":
@@ -203,7 +200,7 @@ func run() error {
 		defer cancel()
 	}
 	start := time.Now()
-	res, err := parowl.ClassifyContext(ctx, tbox, opts)
+	res, err := ont.ClassifyWith(ctx, opts)
 	if err != nil {
 		return err
 	}
@@ -251,7 +248,7 @@ func run() error {
 		}
 	}
 	if *query != "" || *kernelFile != "" {
-		k := parowl.CompileKernel(res.Taxonomy) // no-op when adopted or already compiled
+		k := res.Taxonomy.CompileKernel(0) // no-op when adopted or already compiled
 		if *kernelFile != "" && !adoptKernel {
 			if werr := parowl.WriteKernelFile(*kernelFile, k); werr != nil {
 				fmt.Fprintf(os.Stderr, "owlclass: WARNING: kernel not saved: %v\n", werr)
@@ -266,9 +263,9 @@ func run() error {
 		var want *parowl.Taxonomy
 		switch *baseline {
 		case "brute":
-			want, err = parowl.ClassifySequential(tbox, opts.Reasoner)
+			want, err = ont.ClassifySequential(ctx, opts.Reasoner)
 		case "traversal":
-			want, err = parowl.ClassifyEnhancedTraversal(tbox, opts.Reasoner)
+			want, err = ont.ClassifyEnhancedTraversal(ctx, opts.Reasoner)
 		default:
 			err = fmt.Errorf("unknown -baseline %q", *baseline)
 		}
@@ -284,8 +281,16 @@ func run() error {
 
 	switch {
 	case *query != "":
-		if err := runQueries(res.Taxonomy, tbox, *query); err != nil {
-			return err
+		snap, serr := ont.Snapshot()
+		if serr != nil {
+			return serr
+		}
+		lines, qerr := snap.EvalSpec(ctx, *query)
+		if qerr != nil {
+			return qerr
+		}
+		for _, line := range lines {
+			fmt.Println(line)
 		}
 	case *trace:
 		fmt.Print(res.Trace.String())
@@ -339,89 +344,8 @@ func run() error {
 	return nil
 }
 
-// queryArity maps each -query operation to its argument count.
-var queryArity = map[string]int{
-	"subsumes": 2, "lca": 2,
-	"ancestors": 1, "descendants": 1, "equivalents": 1, "depth": 1,
-}
-
-// runQueries evaluates the semicolon-separated -query specs against the
-// compiled bit-matrix kernel, one result line per query.
-func runQueries(tax *parowl.Taxonomy, tbox *parowl.TBox, spec string) error {
-	k := tax.Kernel()
-	if k == nil {
-		k = parowl.CompileKernel(tax)
-	}
-	byName := make(map[string]*parowl.Concept, tbox.NumNamed())
-	for _, c := range tbox.NamedConcepts() {
-		byName[c.Name] = c
-	}
-	for _, q := range strings.Split(spec, ";") {
-		q = strings.TrimSpace(q)
-		if q == "" {
-			continue
-		}
-		opName, rest, _ := strings.Cut(q, ":")
-		opName = strings.TrimSpace(opName)
-		arity, ok := queryArity[opName]
-		if !ok {
-			return fmt.Errorf("query: unknown op %q (want subsumes, ancestors, descendants, equivalents, lca, or depth)", opName)
-		}
-		parts := strings.Split(rest, ",")
-		if len(parts) != arity {
-			return fmt.Errorf("query %q: %s takes %d argument(s)", q, opName, arity)
-		}
-		args := make([]*parowl.Concept, arity)
-		for i, p := range parts {
-			c, ok := byName[strings.TrimSpace(p)]
-			if !ok {
-				return fmt.Errorf("query %q: unknown concept %q", q, strings.TrimSpace(p))
-			}
-			args[i] = c
-		}
-		switch opName {
-		case "subsumes":
-			fmt.Printf("subsumes(%s, %s) = %v\n", args[0], args[1], k.Subsumes(args[0], args[1]))
-		case "lca":
-			fmt.Printf("lca(%s, %s) = %s\n", args[0], args[1], nodeList(k.LCA(args[0], args[1])))
-		case "ancestors":
-			fmt.Printf("ancestors(%s) = %s\n", args[0], nodeList(k.Ancestors(args[0])))
-		case "descendants":
-			fmt.Printf("descendants(%s) = %s\n", args[0], nodeList(k.Descendants(args[0])))
-		case "equivalents":
-			fmt.Printf("equivalents(%s) = %s\n", args[0], conceptList(k.Equivalents(args[0])))
-		case "depth":
-			fmt.Printf("depth(%s) = %d\n", args[0], k.Depth(args[0]))
-		}
-	}
-	return nil
-}
-
-func nodeList(nodes []*parowl.TaxonomyNode) string {
-	if len(nodes) == 0 {
-		return "(none)"
-	}
-	out := make([]string, len(nodes))
-	for i, n := range nodes {
-		out[i] = n.Label()
-	}
-	sort.Strings(out)
-	return strings.Join(out, ", ")
-}
-
-func conceptList(cs []*parowl.Concept) string {
-	if len(cs) == 0 {
-		return "(none)"
-	}
-	out := make([]string, len(cs))
-	for i, c := range cs {
-		out[i] = c.String()
-	}
-	sort.Strings(out)
-	return strings.Join(out, ", ")
-}
-
-func load() (*parowl.TBox, error) {
+// load builds the Ontology handle from -profile or the file argument.
+func load(eng *parowl.Engine) (*parowl.Ontology, error) {
 	if *profile != "" {
 		p, ok := parowl.ProfileByName(*profile)
 		if !ok {
@@ -430,10 +354,10 @@ func load() (*parowl.TBox, error) {
 		if *scale > 1 {
 			p = parowl.MiniProfile(p, *scale)
 		}
-		return parowl.Generate(p, *seed)
+		return eng.Generate(p, *seed)
 	}
 	if flag.NArg() != 1 {
 		return nil, fmt.Errorf("usage: owlclass [flags] ontology.(obo|ofn|owl) — or -profile NAME")
 	}
-	return parowl.LoadFile(flag.Arg(0))
+	return eng.LoadFile(flag.Arg(0))
 }

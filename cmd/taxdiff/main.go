@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -43,16 +44,17 @@ func main() {
 }
 
 func run(oldPath, newPath string) (*parowl.TaxonomyDiff, error) {
+	eng := parowl.NewEngine(parowl.WithOptions(parowl.Options{
+		Workers:     *workers,
+		TestTimeout: *testTimeout,
+		TestRetries: *testRetries,
+	}))
 	classifyFile := func(path string) (*parowl.Taxonomy, error) {
-		tb, err := parowl.LoadFile(path)
+		ont, err := eng.LoadFile(path)
 		if err != nil {
 			return nil, err
 		}
-		res, err := parowl.Classify(tb, parowl.Options{
-			Workers:     *workers,
-			TestTimeout: *testTimeout,
-			TestRetries: *testRetries,
-		})
+		res, err := ont.Classify(context.Background())
 		if err != nil {
 			return nil, fmt.Errorf("classifying %s: %w", path, err)
 		}

@@ -1,0 +1,126 @@
+// Deprecated package-level facade. Everything in this file is a thin
+// shim over the handle-based API (Engine / Ontology / Snapshot in
+// engine.go and ontology.go) kept so existing callers compile unchanged;
+// new code should construct an Engine and go through its handles, which
+// is what the cmd/ binaries and the owld daemon do.
+package parowl
+
+import (
+	"context"
+	"io"
+)
+
+// defaultEngine backs the deprecated package-level helpers: a
+// zero-configuration Engine reproducing the historical defaults.
+var defaultEngine = NewEngine()
+
+// LoadFile loads an ontology from disk, dispatching on the extension via
+// DetectFormat.
+//
+// Deprecated: use Engine.LoadFile, which returns an Ontology handle.
+func LoadFile(path string) (*TBox, error) {
+	o, err := defaultEngine.LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return o.TBox(), nil
+}
+
+// Classify runs parallel TBox classification (paper Algorithm 1). If
+// opts.Reasoner is nil, NewAutoReasoner picks one.
+//
+// Deprecated: use Engine.NewOntology and Ontology.ClassifyWith.
+func Classify(t *TBox, opts Options) (*Result, error) {
+	return ClassifyContext(context.Background(), t, opts)
+}
+
+// ClassifyContext is Classify with cancellation support.
+//
+// Deprecated: use Engine.NewOntology and Ontology.ClassifyWith.
+func ClassifyContext(ctx context.Context, t *TBox, opts Options) (*Result, error) {
+	return defaultEngine.NewOntology(t).ClassifyWith(ctx, opts)
+}
+
+// ClassifySequential is the brute-force sequential baseline (every pair
+// tested, one goroutine).
+//
+// Deprecated: use Ontology.ClassifySequential.
+func ClassifySequential(t *TBox, r Reasoner) (*Taxonomy, error) {
+	return ClassifySequentialContext(context.Background(), t, r)
+}
+
+// ClassifySequentialContext is ClassifySequential with cancellation: the
+// context reaches every reasoner call and is checked between pairs.
+//
+// Deprecated: use Ontology.ClassifySequential.
+func ClassifySequentialContext(ctx context.Context, t *TBox, r Reasoner) (*Taxonomy, error) {
+	return defaultEngine.NewOntology(t).ClassifySequential(ctx, r)
+}
+
+// ClassifyEnhancedTraversal is the classical insertion-based sequential
+// algorithm used by Racer/FaCT++/HermiT (the paper's sequential
+// comparator).
+//
+// Deprecated: use Ontology.ClassifyEnhancedTraversal.
+func ClassifyEnhancedTraversal(t *TBox, r Reasoner) (*Taxonomy, error) {
+	return ClassifyEnhancedTraversalContext(context.Background(), t, r)
+}
+
+// ClassifyEnhancedTraversalContext is ClassifyEnhancedTraversal with
+// cancellation: the context reaches every reasoner call and is checked
+// between concept insertions.
+//
+// Deprecated: use Ontology.ClassifyEnhancedTraversal.
+func ClassifyEnhancedTraversalContext(ctx context.Context, t *TBox, r Reasoner) (*Taxonomy, error) {
+	return defaultEngine.NewOntology(t).ClassifyEnhancedTraversal(ctx, r)
+}
+
+// CompileKernel compiles (and attaches) the bit-matrix query kernel for
+// an already-classified taxonomy, using one worker per CPU.
+//
+// Deprecated: use Taxonomy.CompileKernel, Ontology.Kernel, or
+// Options.CompileKernel.
+func CompileKernel(t *Taxonomy) *TaxonomyKernel { return t.CompileKernel(0) }
+
+// ExtractModule computes the ⊥-locality module of t for the seed concept
+// names: the (usually much smaller) sub-ontology that preserves every
+// entailment between the seeds.
+//
+// Deprecated: use Ontology.ExtractModule.
+func ExtractModule(t *TBox, seedConcepts []string) (*TBox, error) {
+	m, err := defaultEngine.NewOntology(t).ExtractModule(seedConcepts)
+	if err != nil {
+		return nil, err
+	}
+	return m.TBox(), nil
+}
+
+// WriteFunctional writes the TBox as OWL functional-style syntax.
+//
+// Deprecated: use Write with FormatFunctional.
+func WriteFunctional(w io.Writer, t *TBox) error { return Write(w, t, FormatFunctional) }
+
+// WriteOBO writes an EL TBox as an OBO document.
+//
+// Deprecated: use Write with FormatOBO.
+func WriteOBO(w io.Writer, t *TBox) error { return Write(w, t, FormatOBO) }
+
+// WriteManchester writes the TBox in Manchester syntax.
+//
+// Deprecated: use Write with FormatManchester.
+func WriteManchester(w io.Writer, t *TBox) error { return Write(w, t, FormatManchester) }
+
+// WriteFunctionalFile writes the TBox as OWL functional-style syntax.
+//
+// Deprecated: use WriteFile with FormatFunctional.
+func WriteFunctionalFile(path string, t *TBox) error { return WriteFile(path, t, FormatFunctional) }
+
+// WriteOBOFile writes an EL TBox as an OBO document.
+//
+// Deprecated: use WriteFile with FormatOBO.
+func WriteOBOFile(path string, t *TBox) error { return WriteFile(path, t, FormatOBO) }
+
+// WriteManchesterFile writes the TBox in Manchester syntax to a file.
+//
+// Deprecated: use WriteFile with FormatManchester.
+func WriteManchesterFile(path string, t *TBox) error { return WriteFile(path, t, FormatManchester) }

@@ -9,6 +9,88 @@ import (
 	"parowl"
 )
 
+// ExampleEngine shows the handle-based API: one Engine per process
+// (policy: workers, scheduling, reasoner selection), one Ontology per
+// TBox, and an immutable Snapshot per classified generation.
+func ExampleEngine() {
+	tb := parowl.NewTBox("pets")
+	animal := tb.Declare("Animal")
+	dog := tb.Declare("Dog")
+	puppy := tb.Declare("Puppy")
+	tb.SubClassOf(dog, animal)
+	tb.SubClassOf(puppy, dog)
+
+	eng := parowl.NewEngine(parowl.WithWorkers(2))
+	ont := eng.NewOntology(tb)
+	if _, err := ont.Classify(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	snap, err := ont.Snapshot()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(snap.Taxonomy().Render())
+	ok, _ := snap.Subsumes("Animal", "Puppy") // one bit test on the kernel
+	fmt.Println("Puppy ⊑ Animal:", ok)
+	// Output:
+	// ⊤
+	//   Animal
+	//     Dog
+	//       Puppy
+	// Puppy ⊑ Animal: true
+}
+
+// ExampleSnapshot_EvalSpec answers the query mini-language shared by
+// `owlclass -query` and the owld daemon's /query endpoint.
+func ExampleSnapshot_EvalSpec() {
+	tb := parowl.NewTBox("q")
+	animal := tb.Declare("Animal")
+	dog := tb.Declare("Dog")
+	cat := tb.Declare("Cat")
+	tb.SubClassOf(dog, animal)
+	tb.SubClassOf(cat, animal)
+
+	ont := parowl.NewEngine().NewOntology(tb)
+	if _, err := ont.Classify(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	snap, _ := ont.Snapshot()
+	lines, err := snap.EvalSpec(context.Background(), "subsumes:Animal,Dog;lca:Dog,Cat;depth:Cat")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, line := range lines {
+		fmt.Println(line)
+	}
+	// Output:
+	// subsumes(Animal, Dog) = true
+	// lca(Dog, Cat) = Animal
+	// depth(Cat) = 2
+}
+
+// ExampleOntology_ClassifyWith reclassifies an ontology with custom
+// options; queries issued against an earlier Snapshot keep seeing their
+// own generation while (and after) the swap happens.
+func ExampleOntology_ClassifyWith() {
+	tb := parowl.NewTBox("gen")
+	a := tb.Declare("A")
+	tb.SubClassOf(tb.Declare("B"), a)
+
+	ont := parowl.NewEngine().NewOntology(tb)
+	if _, err := ont.Classify(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	first, _ := ont.Snapshot()
+
+	if _, err := ont.ClassifyWith(context.Background(), parowl.Options{Workers: 2}); err != nil {
+		log.Fatal(err)
+	}
+	second, _ := ont.Snapshot()
+	fmt.Println(first.Generation(), second.Generation(), first.Taxonomy().Equal(second.Taxonomy()))
+	// Output:
+	// 1 2 true
+}
+
 // ExampleClassify builds a tiny ontology programmatically and classifies
 // it with the default options.
 func ExampleClassify() {

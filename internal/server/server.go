@@ -1,0 +1,511 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"parowl"
+)
+
+// Config configures a Server. The zero value works: a default Engine,
+// no checkpointing, a 16-deep admission queue, and two concurrent
+// classify jobs.
+type Config struct {
+	// Engine supplies reasoner selection and the base classification
+	// Options for every submitted ontology; nil means parowl.NewEngine().
+	Engine *parowl.Engine
+	// CheckpointDir, when non-empty, gives every classify job a
+	// checkpoint file <dir>/<id>.ck: jobs snapshot at phase boundaries,
+	// a drained or crashed job resumes from its last snapshot on the
+	// next submission, and completed jobs persist their compiled query
+	// kernel so a server restart warms up without recompiling.
+	CheckpointDir string
+	// CheckpointInterval is the minimum time between snapshots; ≤ 0
+	// writes at every phase boundary.
+	CheckpointInterval time.Duration
+	// QueueDepth bounds the classify admission queue; a submit arriving
+	// with the queue full is rejected with 429 + Retry-After. 0 means 16.
+	QueueDepth int
+	// ClassifyJobs is the number of classify jobs run concurrently
+	// (each with its own worker pool per the Engine's Options). 0 means 2.
+	ClassifyJobs int
+	// ClassifyTimeout caps each classify job's wall time; a submit's
+	// ?timeout= parameter overrides it per job. 0 means no cap.
+	ClassifyTimeout time.Duration
+	// RequestTimeout is the default deadline for query requests (the
+	// ?timeout= parameter overrides it per request); it maps onto the
+	// context every kernel evaluation checks. 0 means 30s.
+	RequestTimeout time.Duration
+	// DrainGrace is how long Drain waits for in-flight classify jobs to
+	// finish on their own before cancelling them (their checkpoints make
+	// the cancellation resumable). 0 means cancel immediately.
+	DrainGrace time.Duration
+	// MaxBodyBytes bounds submitted ontology documents. 0 means 64 MiB.
+	MaxBodyBytes int64
+	// Logf receives operational log lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Server is the owld HTTP daemon: an ontology registry with async,
+// admission-controlled classification and a query surface served from
+// warm classified state. Create with New, serve with net/http, stop with
+// Drain.
+//
+//	POST /ontologies?id=ID&format=obo      submit (body = ontology text)
+//	GET  /ontologies                       list
+//	GET  /ontologies/{id}                  status + stats
+//	GET  /ontologies/{id}/taxonomy         rendered taxonomy (text)
+//	GET  /ontologies/{id}/query?q=SPEC     evaluate query spec (text)
+//	POST /ontologies/{id}/subsumes         batched subsumption pairs (JSON)
+//	GET  /healthz                          liveness + queue state
+type Server struct {
+	cfg Config
+	mux *http.ServeMux
+	reg *registry
+
+	queue    chan *job
+	quit     chan struct{}
+	wg       sync.WaitGroup
+	draining atomic.Bool
+	drained  sync.Once
+}
+
+// job is one admitted classification request.
+type job struct {
+	entry   *entry
+	ont     *parowl.Ontology
+	timeout time.Duration
+}
+
+// New builds a Server and starts its classify workers.
+func New(cfg Config) (*Server, error) {
+	if cfg.Engine == nil {
+		cfg.Engine = parowl.NewEngine()
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 16
+	}
+	if cfg.ClassifyJobs <= 0 {
+		cfg.ClassifyJobs = 2
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 30 * time.Second
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 64 << 20
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	if cfg.CheckpointDir != "" {
+		if err := os.MkdirAll(cfg.CheckpointDir, 0o755); err != nil {
+			return nil, fmt.Errorf("server: checkpoint dir: %w", err)
+		}
+	}
+	s := &Server{
+		cfg:   cfg,
+		mux:   http.NewServeMux(),
+		reg:   newRegistry(),
+		queue: make(chan *job, cfg.QueueDepth),
+		quit:  make(chan struct{}),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("POST /ontologies", s.handleSubmit)
+	s.mux.HandleFunc("GET /ontologies", s.handleList)
+	s.mux.HandleFunc("GET /ontologies/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /ontologies/{id}/taxonomy", s.handleTaxonomy)
+	s.mux.HandleFunc("GET /ontologies/{id}/query", s.handleQuery)
+	s.mux.HandleFunc("POST /ontologies/{id}/query", s.handleQuery)
+	s.mux.HandleFunc("POST /ontologies/{id}/subsumes", s.handleSubsumes)
+	for i := 0; i < cfg.ClassifyJobs; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Drain performs a graceful shutdown of the classification side: new
+// submissions are rejected, queued-but-unstarted jobs are marked
+// interrupted, and in-flight jobs get DrainGrace to finish before their
+// contexts are cancelled — a cancelled job's last phase-boundary
+// checkpoint stays on disk, so resubmitting after a restart resumes
+// instead of restarting. Drain returns once every worker has stopped or
+// ctx expires. Queries are not touched; the HTTP listener's own
+// Shutdown decides when those stop.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	var err error
+	s.drained.Do(func() {
+		close(s.quit)
+		// Queued jobs that never started: hand back their admission
+		// slots and mark them interrupted (no checkpoint yet — a
+		// resubmission simply classifies from scratch).
+	flush:
+		for {
+			select {
+			case j := <-s.queue:
+				j.entry.markDone(nil, nil, errors.New("server drained before classification started"), true)
+			default:
+				break flush
+			}
+		}
+		done := make(chan struct{})
+		go func() {
+			s.wg.Wait()
+			close(done)
+		}()
+		if s.cfg.DrainGrace > 0 {
+			grace := time.NewTimer(s.cfg.DrainGrace)
+			defer grace.Stop()
+			select {
+			case <-done:
+				return
+			case <-grace.C:
+			case <-ctx.Done():
+			}
+		}
+		s.cfg.Logf("owld: drain: cancelling in-flight classification jobs (checkpoints remain resumable)")
+		s.reg.abortAll()
+		select {
+		case <-done:
+		case <-ctx.Done():
+			err = ctx.Err()
+		}
+	})
+	return err
+}
+
+// Draining reports whether Drain has been initiated.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// worker runs classify jobs from the admission queue until drained.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.quit:
+			return
+		default:
+		}
+		select {
+		case <-s.quit:
+			return
+		case j := <-s.queue:
+			s.runJob(j)
+		}
+	}
+}
+
+// runJob classifies one admitted ontology, resuming from (and writing)
+// its checkpoint when a checkpoint dir is configured, and swaps the
+// entry's warm serving state on success.
+func (s *Server) runJob(j *job) {
+	ctx, cancel := context.WithCancel(context.Background())
+	timeout := j.timeout
+	if timeout <= 0 {
+		timeout = s.cfg.ClassifyTimeout
+	}
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(context.Background(), timeout)
+	}
+	defer cancel()
+
+	opts := s.cfg.Engine.Options()
+	opts.CompileKernel = true // the query surface serves from the kernel
+	var ck string
+	if s.cfg.CheckpointDir != "" {
+		ck = filepath.Join(s.cfg.CheckpointDir, j.entry.id+".ck")
+		opts.Checkpoint = ck
+		opts.CheckpointInterval = s.cfg.CheckpointInterval
+		if _, err := os.Stat(ck); err == nil {
+			opts.ResumeFrom = ck
+		}
+	}
+	j.entry.markClassifying(cancel, ck)
+	s.cfg.Logf("owld: classify %s: started (resume=%v)", j.entry.id, opts.ResumeFrom != "")
+
+	start := time.Now()
+	res, err := j.ont.ClassifyWith(ctx, opts)
+	if err != nil {
+		interrupted := errors.Is(err, context.Canceled) || s.draining.Load()
+		j.entry.markDone(nil, nil, err, interrupted)
+		s.cfg.Logf("owld: classify %s: %s: %v", j.entry.id, map[bool]string{true: "interrupted", false: "failed"}[interrupted], err)
+		return
+	}
+	if res.ResumeError != nil {
+		s.cfg.Logf("owld: classify %s: checkpoint not resumable, classified from scratch: %v", j.entry.id, res.ResumeError)
+	}
+	if res.CheckpointError != nil {
+		s.cfg.Logf("owld: classify %s: checkpoint writes failed: %v", j.entry.id, res.CheckpointError)
+	}
+	j.entry.markDone(j.ont, res, nil, false)
+	s.cfg.Logf("owld: classify %s: done in %v (%d classes, %d subs tests, resumed=%v)",
+		j.entry.id, time.Since(start).Round(time.Millisecond), res.Taxonomy.NumClasses(), res.Stats.SubsTests, res.Resumed)
+}
+
+// idPattern bounds submitted ontology IDs: they name checkpoint files.
+var idPattern = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,99}$`)
+
+// handleSubmit admits one ontology for (re)classification: parse
+// synchronously, then enqueue the classify job or reject with 429 when
+// the admission queue is full.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeErr(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, s.cfg.MaxBodyBytes+1))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "reading body: "+err.Error())
+		return
+	}
+	if int64(len(body)) > s.cfg.MaxBodyBytes {
+		writeErr(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("ontology document exceeds %d bytes", s.cfg.MaxBodyBytes))
+		return
+	}
+	format, err := parowl.ParseFormat(r.FormValue("format"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	var timeout time.Duration
+	if v := r.FormValue("timeout"); v != "" {
+		timeout, err = time.ParseDuration(v)
+		if err != nil || timeout < 0 {
+			writeErr(w, http.StatusBadRequest, "bad timeout: "+v)
+			return
+		}
+	}
+	id := r.FormValue("id")
+	if id == "" {
+		h := fnv.New64a()
+		h.Write([]byte(format.String()))
+		h.Write(body)
+		id = fmt.Sprintf("x%016x", h.Sum64())
+	}
+	if !idPattern.MatchString(id) {
+		writeErr(w, http.StatusBadRequest, "bad id: want [A-Za-z0-9][A-Za-z0-9._-]{0,99}")
+		return
+	}
+	name := r.FormValue("name")
+	if name == "" {
+		name = id
+	}
+	ont, err := s.cfg.Engine.Load(strings.NewReader(string(body)), name, format)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "parsing ontology: "+err.Error())
+		return
+	}
+
+	e := s.reg.getOrCreate(id)
+	e.mu.Lock()
+	if e.status == StatusQueued || e.status == StatusClassifying {
+		e.mu.Unlock()
+		writeErr(w, http.StatusConflict, "classification already in flight for "+id)
+		return
+	}
+	// Holding e.mu across the (non-blocking) send makes the in-flight
+	// check and the admission one atomic step: two racing submits for the
+	// same id cannot both be admitted, and a worker dequeuing this job
+	// blocks on e.mu until the queued state is visible.
+	select {
+	case s.queue <- &job{entry: e, ont: ont, timeout: timeout}:
+		e.queuedLocked(name)
+		e.mu.Unlock()
+	default:
+		e.mu.Unlock()
+		s.reg.removeIfEmpty(id)
+		// Admission control: the classify queue is full. Load-shed with
+		// 429 and a Retry-After scaled to the backlog.
+		w.Header().Set("Retry-After", strconv.Itoa(1+len(s.queue)/max(1, s.cfg.ClassifyJobs)))
+		writeErr(w, http.StatusTooManyRequests,
+			fmt.Sprintf("classify queue full (%d queued)", len(s.queue)))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	json.NewEncoder(w).Encode(e.info())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{
+		"draining":   s.draining.Load(),
+		"queued":     len(s.queue),
+		"ontologies": s.reg.list(),
+	})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	e := s.reg.get(r.PathValue("id"))
+	if e == nil {
+		writeErr(w, http.StatusNotFound, "unknown ontology "+r.PathValue("id"))
+		return
+	}
+	writeJSON(w, e.info())
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{
+		"status":     "ok",
+		"draining":   s.draining.Load(),
+		"queued":     len(s.queue),
+		"ontologies": len(s.reg.list()),
+	})
+}
+
+// servingSnapshot resolves an id to its query-ready generation, writing
+// the HTTP error itself when there is none yet.
+func (s *Server) servingSnapshot(w http.ResponseWriter, id string) (*parowl.Snapshot, *entry, bool) {
+	e := s.reg.get(id)
+	if e == nil {
+		writeErr(w, http.StatusNotFound, "unknown ontology "+id)
+		return nil, nil, false
+	}
+	snap, err := e.snapshot()
+	if err != nil {
+		// Classified state does not exist yet (first classification still
+		// queued, running, failed, or interrupted): tell the client to
+		// come back rather than serving a half-built taxonomy.
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusConflict,
+			fmt.Sprintf("ontology %s not classified yet (status %s)", id, e.info().Status))
+		return nil, nil, false
+	}
+	return snap, e, true
+}
+
+func (s *Server) handleTaxonomy(w http.ResponseWriter, r *http.Request) {
+	snap, _, ok := s.servingSnapshot(w, r.PathValue("id"))
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Header().Set("X-Parowl-Generation", strconv.FormatUint(snap.Generation(), 10))
+	io.WriteString(w, snap.Taxonomy().Render())
+}
+
+// requestCtx applies the per-request deadline (?timeout= or the
+// configured default) to the request context.
+func (s *Server) requestCtx(w http.ResponseWriter, r *http.Request) (context.Context, context.CancelFunc, bool) {
+	d := s.cfg.RequestTimeout
+	if v := r.FormValue("timeout"); v != "" {
+		parsed, err := time.ParseDuration(v)
+		if err != nil || parsed <= 0 {
+			writeErr(w, http.StatusBadRequest, "bad timeout: "+v)
+			return nil, nil, false
+		}
+		d = parsed
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	return ctx, cancel, true
+}
+
+// handleQuery evaluates a semicolon-separated query spec (?q= or the
+// POST body) against the warm kernel, one text line per query — the
+// same evaluator and formatting as `owlclass -query`, so answers are
+// byte-identical across the two front ends.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	spec := r.FormValue("q")
+	if spec == "" && r.Method == http.MethodPost {
+		b, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "reading body: "+err.Error())
+			return
+		}
+		spec = string(b)
+	}
+	if strings.TrimSpace(spec) == "" {
+		writeErr(w, http.StatusBadRequest, "empty query spec (use ?q=subsumes:A,B;ancestors:C)")
+		return
+	}
+	snap, _, ok := s.servingSnapshot(w, r.PathValue("id"))
+	if !ok {
+		return
+	}
+	ctx, cancel, ok := s.requestCtx(w, r)
+	if !ok {
+		return
+	}
+	defer cancel()
+	lines, err := snap.EvalSpec(ctx, spec)
+	switch {
+	case err == nil:
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		writeErr(w, http.StatusGatewayTimeout, "query deadline exceeded")
+		return
+	default:
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Header().Set("X-Parowl-Generation", strconv.FormatUint(snap.Generation(), 10))
+	io.WriteString(w, strings.Join(lines, "\n")+"\n")
+}
+
+// subsumesRequest is the JSON body of POST /ontologies/{id}/subsumes:
+// pairs of [sup, sub] concept names, each asking sub ⊑ sup.
+type subsumesRequest struct {
+	Pairs [][2]string `json:"pairs"`
+}
+
+// handleSubsumes answers a batch of subsumption pairs in one request;
+// pairs sharing a subject are answered against a single kernel
+// ancestor-row sweep.
+func (s *Server) handleSubsumes(w http.ResponseWriter, r *http.Request) {
+	var req subsumesRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 8<<20)).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad JSON body: "+err.Error())
+		return
+	}
+	if len(req.Pairs) == 0 {
+		writeErr(w, http.StatusBadRequest, `empty batch (want {"pairs": [["Sup","Sub"], ...]})`)
+		return
+	}
+	snap, _, ok := s.servingSnapshot(w, r.PathValue("id"))
+	if !ok {
+		return
+	}
+	ctx, cancel, ok := s.requestCtx(w, r)
+	if !ok {
+		return
+	}
+	defer cancel()
+	if err := ctx.Err(); err != nil {
+		writeErr(w, http.StatusGatewayTimeout, "query deadline exceeded")
+		return
+	}
+	results, err := snap.SubsumesBatch(req.Pairs)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	w.Header().Set("X-Parowl-Generation", strconv.FormatUint(snap.Generation(), 10))
+	writeJSON(w, map[string]any{"results": results})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

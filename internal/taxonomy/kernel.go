@@ -31,15 +31,16 @@ import (
 // A Kernel is immutable after Compile/DecodeKernel and safe for
 // concurrent readers.
 type Kernel struct {
-	tax   *Taxonomy      // bound taxonomy; nil for a decoded, unbound kernel
-	nodes []*Node        // tax.nodes when bound
-	id    map[*Node]int  // node → dense ID when bound
-	n     int            // node count (matrix rows)
-	cols  int            // AlignCols(n) matrix columns
-	anc   *bitset.Matrix // bit (x,y): y is a strict ancestor of x
-	desc  *bitset.Matrix // bit (x,y): y is a strict descendant of x
-	depth []int32        // longest ⊤-path per node ID
-	fp    uint64         // FNV-1a of the source taxonomy's Fingerprint
+	bindMu sync.Mutex     // serializes AdoptKernel binding of a decoded kernel
+	tax    *Taxonomy      // bound taxonomy; nil for a decoded, unbound kernel
+	nodes  []*Node        // tax.nodes when bound
+	id     map[*Node]int  // node → dense ID when bound
+	n      int            // node count (matrix rows)
+	cols   int            // AlignCols(n) matrix columns
+	anc    *bitset.Matrix // bit (x,y): y is a strict ancestor of x
+	desc   *bitset.Matrix // bit (x,y): y is a strict descendant of x
+	depth  []int32        // longest ⊤-path per node ID
+	fp     uint64         // FNV-1a of the source taxonomy's Fingerprint
 }
 
 // ErrBadKernel reports a kernel binary frame that failed structural
@@ -260,6 +261,26 @@ func (k *Kernel) Subsumes(sup, c *dl.Concept) bool {
 		return false
 	}
 	return is == ic || k.anc.Test(ic, is)
+}
+
+// SubsumesBatch answers sub ⊑ sups[i] for every i against a single
+// ancestor row: sub's dense ID is resolved once and each candidate
+// subsumer costs one bit test into the same row, so a batched multi-pair
+// subsumption request does one row sweep instead of len(sups)
+// independent double lookups. A sub (or sup) outside the taxonomy
+// answers false, matching Subsumes.
+func (k *Kernel) SubsumesBatch(sub *dl.Concept, sups []*dl.Concept) []bool {
+	k.bound()
+	out := make([]bool, len(sups))
+	ic, ok := k.idOf(sub)
+	if !ok {
+		return out
+	}
+	for i, sup := range sups {
+		is, ok := k.idOf(sup)
+		out[i] = ok && (is == ic || k.anc.Test(ic, is))
+	}
+	return out
 }
 
 func (k *Kernel) rowNodes(m *bitset.Matrix, r int) []*Node {

@@ -91,6 +91,12 @@ func (t *Taxonomy) CompileKernel(workers int) *Kernel {
 // validating that the kernel was compiled from an identically-shaped
 // taxonomy (same node count and fingerprint hash). On mismatch the
 // taxonomy is left unchanged and the error wraps ErrBadKernel.
+//
+// Concurrent AdoptKernel calls (a server adopting one checkpointed
+// kernel while racing readers resolve queries) are safe: the binding
+// itself is mutex-guarded, and the kernel only becomes visible to
+// readers through the atomic attach below, which orders the bound fields
+// before any query can observe them.
 func (t *Taxonomy) AdoptKernel(k *Kernel) error {
 	if k == nil {
 		return fmt.Errorf("%w: nil kernel", ErrBadKernel)
@@ -101,16 +107,19 @@ func (t *Taxonomy) AdoptKernel(k *Kernel) error {
 	if fp := fingerprintHash(t.Fingerprint()); k.fp != fp {
 		return fmt.Errorf("%w: kernel fingerprint %016x does not match taxonomy %016x", ErrBadKernel, k.fp, fp)
 	}
+	k.bindMu.Lock()
 	if k.tax == nil {
-		k.tax = t
 		k.nodes = t.nodes
 		k.id = make(map[*Node]int, len(t.nodes))
 		for i, nd := range t.nodes {
 			k.id[nd] = i
 		}
+		k.tax = t
 	} else if k.tax != t {
+		k.bindMu.Unlock()
 		return fmt.Errorf("%w: kernel already bound to another taxonomy", ErrBadKernel)
 	}
+	k.bindMu.Unlock()
 	t.kernel.CompareAndSwap(nil, k)
 	return nil
 }

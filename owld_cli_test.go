@@ -1,0 +1,214 @@
+package parowl_test
+
+// Subprocess drain-and-resume driver for the owld daemon: a classify job
+// is stretched with chaos slow-down, the daemon is SIGTERMed
+// mid-classification, and a fresh daemon over the same checkpoint
+// directory must resume the job into a taxonomy byte-identical to
+// `owlclass` run on the same corpus — the service-level analogue of
+// crash_cli_test.go's kill loop.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// startOwld launches an owld subprocess and returns its base URL once the
+// ready file appears.
+func startOwld(t *testing.T, bin string, args ...string) (*exec.Cmd, string) {
+	t.Helper()
+	ready := filepath.Join(t.TempDir(), "ready")
+	args = append([]string{"-addr", "127.0.0.1:0", "-ready-file", ready}, args...)
+	cmd := exec.Command(bin, args...)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting owld: %v", err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if b, err := os.ReadFile(ready); err == nil && len(b) > 0 {
+			return cmd, strings.TrimSpace(string(b))
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			t.Fatal("owld never wrote its ready file")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func postOntology(t *testing.T, base, id, path string) {
+	t.Helper()
+	body, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/ontologies?format=obo&id="+id, "text/plain", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("submit: HTTP %d: %s", resp.StatusCode, b)
+	}
+}
+
+func ontologyStatus(t *testing.T, base, id string) map[string]any {
+	t.Helper()
+	resp, err := http.Get(base + "/ontologies/" + id)
+	if err != nil {
+		t.Fatalf("status: %v", err)
+	}
+	defer resp.Body.Close()
+	var info map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatalf("status decode: %v", err)
+	}
+	return info
+}
+
+func TestOwldSigtermDrainAndResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess daemon test is slow")
+	}
+	dir := t.TempDir()
+	owld := buildCmd(t, dir, "owld")
+	owlclass := buildCmd(t, dir, "owlclass")
+	ontogen := buildCmd(t, dir, "ontogen")
+
+	onto := filepath.Join(dir, "corpus.obo")
+	if out, err := exec.Command(ontogen, "-profile", "WBbt.obo", "-scale", "100", "-seed", "3", "-o", onto).CombinedOutput(); err != nil {
+		t.Fatalf("ontogen: %v\n%s", err, out)
+	}
+
+	refTaxonomy, err := exec.Command(owlclass, "-workers", "4", onto).Output()
+	if err != nil {
+		t.Fatalf("owlclass reference run: %v", err)
+	}
+
+	// Daemon 1: chaos slow-down stretches the classification so SIGTERM
+	// lands mid-run, after at least one phase-boundary checkpoint.
+	ckdir := filepath.Join(dir, "ck")
+	cmd1, base1 := startOwld(t, owld,
+		"-checkpoint-dir", ckdir, "-checkpoint-interval", "0",
+		"-workers", "4", "-cycles", "6", "-drain-grace", "100ms",
+		"-chaos", "slow=1ms,seed=1")
+	postOntology(t, base1, "corpus", onto)
+
+	ckfile := filepath.Join(ckdir, "corpus.ck")
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if _, err := os.Stat(ckfile); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			cmd1.Process.Kill()
+			t.Fatal("no checkpoint appeared")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	if err := cmd1.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	exited := make(chan error, 1)
+	go func() { exited <- cmd1.Wait() }()
+	select {
+	case err := <-exited:
+		if err != nil {
+			t.Fatalf("owld exited non-zero after SIGTERM: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		cmd1.Process.Kill()
+		t.Fatal("owld did not exit after SIGTERM")
+	}
+	if _, err := os.Stat(ckfile); err != nil {
+		t.Fatalf("drain removed the resumable checkpoint: %v", err)
+	}
+
+	// Daemon 2 over the same checkpoint dir: the resubmitted job resumes
+	// and the served taxonomy matches the owlclass reference bytes.
+	cmd2, base2 := startOwld(t, owld, "-checkpoint-dir", ckdir, "-workers", "4")
+	defer func() {
+		cmd2.Process.Signal(syscall.SIGTERM)
+		cmd2.Wait()
+	}()
+	postOntology(t, base2, "corpus", onto)
+	deadline = time.Now().Add(120 * time.Second)
+	var info map[string]any
+	for {
+		info = ontologyStatus(t, base2, "corpus")
+		if info["status"] == "classified" {
+			break
+		}
+		if info["status"] == "failed" || time.Now().After(deadline) {
+			t.Fatalf("resumed classification stuck: %v", info)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if resumed, _ := info["resumed"].(bool); !resumed {
+		t.Error("daemon 2 classified from scratch instead of resuming the drained checkpoint")
+	}
+
+	resp, err := http.Get(base2 + "/ontologies/corpus/taxonomy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(served) != string(refTaxonomy) {
+		t.Errorf("served taxonomy differs from owlclass output (%d vs %d bytes)", len(served), len(refTaxonomy))
+	}
+
+	// Query answers are byte-identical to `owlclass -query` on the same
+	// corpus: both front ends share one evaluator.
+	names := oboIDs(t, onto, 2)
+	spec := fmt.Sprintf("subsumes:%s,%s;ancestors:%s;descendants:%s;equivalents:%s;lca:%s,%s;depth:%s",
+		names[0], names[1], names[0], names[1], names[0], names[0], names[1], names[1])
+	cliOut, err := exec.Command(owlclass, "-workers", "4", "-query", spec, onto).Output()
+	if err != nil {
+		t.Fatalf("owlclass -query: %v", err)
+	}
+	resp, err = http.Get(base2 + "/ontologies/corpus/query?q=" + url.QueryEscape(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpOut, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query: HTTP %d: %s", resp.StatusCode, httpOut)
+	}
+	if string(httpOut) != string(cliOut) {
+		t.Errorf("daemon query answers differ from owlclass -query:\n got %q\nwant %q", httpOut, cliOut)
+	}
+}
+
+// oboIDs returns the first n term ids of an OBO file.
+func oboIDs(t *testing.T, path string, n int) []string {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	for _, line := range strings.Split(string(b), "\n") {
+		if strings.HasPrefix(line, "id: ") {
+			ids = append(ids, strings.TrimSpace(line[len("id: "):]))
+			if len(ids) == n {
+				return ids
+			}
+		}
+	}
+	t.Fatalf("only %d ids in %s, want %d", len(ids), path, n)
+	return nil
+}

@@ -4,23 +4,33 @@
 //
 // The package classifies an ontology's named concepts into a subsumption
 // taxonomy using a pool of workers over shared atomic data structures,
-// with any reasoner plugged in behind the sat?/subs? interface:
+// with any reasoner plugged in behind the sat?/subs? interface. The
+// public surface is handle-based: an Engine holds construction options
+// (reasoner selection, scheduling policy, base classification options)
+// and hands out Ontology handles carrying a loaded TBox plus its
+// classified state:
 //
-//	tbox, err := parowl.LoadFile("anatomy.obo")
+//	eng := parowl.NewEngine(parowl.WithWorkers(8))
+//	ont, err := eng.LoadFile("anatomy.obo")
 //	...
-//	res, err := parowl.Classify(tbox, parowl.Options{Workers: 8})
+//	res, err := ont.Classify(ctx)
 //	...
 //	fmt.Print(res.Taxonomy.Render())
+//	snap, _ := ont.Snapshot() // concurrent queries, swap-safe
+//	ok, _ := snap.Subsumes("Organ", "Heart")
+//
+// The pre-handle package-level helpers (Classify, LoadFile, …) remain as
+// deprecated shims over a default Engine; see deprecated.go.
 //
 // Three reasoner plug-ins ship with the package: a tableau reasoner for
 // ALCHQ with transitive roles (the default), an ELK-style saturation
 // reasoner for EL ontologies, and a deterministic oracle with a synthetic
 // cost model for scheduling experiments. See the examples directory and
-// cmd/benchfig for the reproduction of the paper's tables and figures.
+// cmd/benchfig for the reproduction of the paper's tables and figures;
+// cmd/owld serves classification and queries over HTTP.
 package parowl
 
 import (
-	"context"
 	"fmt"
 	"io"
 	"os"
@@ -31,7 +41,6 @@ import (
 	"parowl/internal/dl"
 	"parowl/internal/el"
 	"parowl/internal/manchester"
-	"parowl/internal/module"
 	"parowl/internal/obo"
 	"parowl/internal/ontogen"
 	"parowl/internal/owlfss"
@@ -61,7 +70,7 @@ type (
 	// dense node IDs plus ancestor/descendant closure matrices that serve
 	// Subsumes as one bit test and the set queries as word-parallel row
 	// operations. Compile with Taxonomy.CompileKernel, Options.CompileKernel,
-	// or CompileKernel; persist with WriteKernelFile/ReadKernelFile.
+	// or Snapshot.Kernel; persist with WriteKernelFile/ReadKernelFile.
 	TaxonomyKernel = taxonomy.Kernel
 	// Reasoner is the plug-in interface behind sat?() and subs?(). Both
 	// methods receive a context; plug-ins must return promptly (with an
@@ -79,7 +88,9 @@ type (
 	// Undecided is one reasoner test abandoned under the per-test budget
 	// (see Options.TestTimeout) or recovered from a plug-in panic.
 	Undecided = core.Undecided
-	// Options configures Classify; see the field docs in internal/core.
+	// Options configures a classification run; see the field docs in
+	// internal/core. An Engine holds the base template (Engine.Options)
+	// and Ontology.ClassifyWith takes a per-run value.
 	Options = core.Options
 	// Result is a classification outcome: taxonomy, stats and trace.
 	Result = core.Result
@@ -87,6 +98,9 @@ type (
 	Stats = core.Stats
 	// Trace is the per-cycle instrumentation record.
 	Trace = core.Trace
+	// Scheduling selects the worker pool's dispatch policy (RoundRobin,
+	// WorkSharing, or WorkStealing).
+	Scheduling = core.Scheduling
 	// Profile is a synthetic-corpus generator profile.
 	Profile = ontogen.Profile
 	// CostModel assigns virtual durations to oracle subsumption tests.
@@ -129,8 +143,12 @@ const (
 // NewTBox returns an empty TBox to build programmatically.
 func NewTBox(name string) *TBox { return dl.NewTBox(name) }
 
+// ParseScheduling maps a policy name ("roundrobin", "worksharing",
+// "workstealing", as printed by Scheduling.String) back to the constant.
+func ParseScheduling(name string) (Scheduling, error) { return core.ParseScheduling(name) }
+
 // Format identifies an ontology serialization syntax for Write/WriteFile
-// and LoadFile's extension dispatch.
+// and the Engine loaders' extension dispatch.
 type Format int
 
 // Supported serialization formats.
@@ -154,10 +172,26 @@ func (f Format) String() string {
 	}
 }
 
+// ParseFormat maps a format name (as printed by Format.String) back to
+// the constant; the owld daemon uses it for the submit endpoint's
+// ?format= parameter.
+func ParseFormat(name string) (Format, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "", "functional", "ofn", "owl":
+		return FormatFunctional, nil
+	case "obo":
+		return FormatOBO, nil
+	case "manchester", "omn":
+		return FormatManchester, nil
+	default:
+		return FormatFunctional, fmt.Errorf("parowl: unknown format %q (want functional, obo, or manchester)", name)
+	}
+}
+
 // DetectFormat maps a file path to the format implied by its extension:
 // .obo is FormatOBO, .omn and .manchester are FormatManchester, anything
-// else is FormatFunctional. LoadFile, WriteFile and the cmd/ tools all
-// dispatch through it, so the mapping is defined exactly once.
+// else is FormatFunctional. Engine.LoadFile, WriteFile and the cmd/
+// tools all dispatch through it, so the mapping is defined exactly once.
 func DetectFormat(path string) Format {
 	switch strings.ToLower(filepath.Ext(path)) {
 	case ".obo":
@@ -166,25 +200,6 @@ func DetectFormat(path string) Format {
 		return FormatManchester
 	default:
 		return FormatFunctional
-	}
-}
-
-// LoadFile loads an ontology from disk, dispatching on the extension via
-// DetectFormat.
-func LoadFile(path string) (*TBox, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
-	switch DetectFormat(path) {
-	case FormatOBO:
-		return obo.Parse(f, name)
-	case FormatManchester:
-		return manchester.Parse(f, name)
-	default:
-		return owlfss.Parse(f, name)
 	}
 }
 
@@ -216,62 +231,12 @@ func WriteFile(path string, t *TBox, f Format) error {
 	return out.Close()
 }
 
-// WriteFunctional writes the TBox as OWL functional-style syntax.
-//
-// Deprecated: use Write with FormatFunctional.
-func WriteFunctional(w io.Writer, t *TBox) error { return Write(w, t, FormatFunctional) }
-
-// WriteOBO writes an EL TBox as an OBO document.
-//
-// Deprecated: use Write with FormatOBO.
-func WriteOBO(w io.Writer, t *TBox) error { return Write(w, t, FormatOBO) }
-
-// WriteManchester writes the TBox in Manchester syntax.
-//
-// Deprecated: use Write with FormatManchester.
-func WriteManchester(w io.Writer, t *TBox) error { return Write(w, t, FormatManchester) }
-
-// WriteManchesterFile writes the TBox in Manchester syntax to a file.
-//
-// Deprecated: use WriteFile with FormatManchester.
-func WriteManchesterFile(path string, t *TBox) error {
-	return WriteFile(path, t, FormatManchester)
-}
-
-// WriteFunctionalFile writes the TBox as OWL functional-style syntax.
-//
-// Deprecated: use WriteFile with FormatFunctional.
-func WriteFunctionalFile(path string, t *TBox) error {
-	return WriteFile(path, t, FormatFunctional)
-}
-
-// WriteOBOFile writes an EL TBox as an OBO document.
-//
-// Deprecated: use WriteFile with FormatOBO.
-func WriteOBOFile(path string, t *TBox) error {
-	return WriteFile(path, t, FormatOBO)
-}
-
 // ComputeMetrics returns the ontology's metric row.
 func ComputeMetrics(t *TBox) Metrics { return dl.ComputeMetrics(t) }
-
-// ExtractModule computes the ⊥-locality module of t for the seed concept
-// names: the (usually much smaller) sub-ontology that preserves every
-// entailment between the seeds. Classify the module instead of the full
-// ontology when only a fragment's taxonomy is needed.
-func ExtractModule(t *TBox, seedConcepts []string) (*TBox, error) {
-	return module.Extract(t, seedConcepts)
-}
 
 // ErrBadKernel reports a taxonomy kernel frame that failed validation or
 // could not be adopted; see TaxonomyKernel.
 var ErrBadKernel = taxonomy.ErrBadKernel
-
-// CompileKernel compiles (and attaches) the bit-matrix query kernel for
-// an already-classified taxonomy, using one worker per CPU. Prefer
-// Options.CompileKernel to have Classify do this — and checkpoint the
-// result — automatically.
-func CompileKernel(t *Taxonomy) *TaxonomyKernel { return t.CompileKernel(0) }
 
 // WriteKernelFile persists a compiled kernel to path (atomic rename).
 func WriteKernelFile(path string, k *TaxonomyKernel) error {
@@ -312,7 +277,8 @@ func NewELReasoner(t *TBox) (Reasoner, error) {
 }
 
 // NewAutoReasoner picks the EL reasoner when the ontology fits the EL
-// fragment and the tableau otherwise.
+// fragment and the tableau otherwise. It is the default ReasonerFactory
+// of every Engine.
 func NewAutoReasoner(t *TBox) Reasoner {
 	if r, err := el.New(t, el.Options{}); err == nil {
 		return r
@@ -335,52 +301,6 @@ var (
 	HeavyTailCost = reasoner.HeavyTailCost
 )
 
-// Classify runs parallel TBox classification (paper Algorithm 1). If
-// opts.Reasoner is nil, NewAutoReasoner picks one.
-func Classify(t *TBox, opts Options) (*Result, error) {
-	return ClassifyContext(context.Background(), t, opts)
-}
-
-// ClassifyContext is Classify with cancellation support.
-func ClassifyContext(ctx context.Context, t *TBox, opts Options) (*Result, error) {
-	if opts.Reasoner == nil {
-		opts.Reasoner = NewAutoReasoner(t)
-	}
-	return core.ClassifyContext(ctx, t, opts)
-}
-
-// ClassifySequential is the brute-force sequential baseline (every pair
-// tested, one goroutine).
-func ClassifySequential(t *TBox, r Reasoner) (*Taxonomy, error) {
-	return ClassifySequentialContext(context.Background(), t, r)
-}
-
-// ClassifySequentialContext is ClassifySequential with cancellation: the
-// context reaches every reasoner call and is checked between pairs.
-func ClassifySequentialContext(ctx context.Context, t *TBox, r Reasoner) (*Taxonomy, error) {
-	if r == nil {
-		r = NewAutoReasoner(t)
-	}
-	return core.SequentialBruteForceContext(ctx, t, r)
-}
-
-// ClassifyEnhancedTraversal is the classical insertion-based sequential
-// algorithm used by Racer/FaCT++/HermiT (the paper's sequential
-// comparator).
-func ClassifyEnhancedTraversal(t *TBox, r Reasoner) (*Taxonomy, error) {
-	return ClassifyEnhancedTraversalContext(context.Background(), t, r)
-}
-
-// ClassifyEnhancedTraversalContext is ClassifyEnhancedTraversal with
-// cancellation: the context reaches every reasoner call and is checked
-// between concept insertions.
-func ClassifyEnhancedTraversalContext(ctx context.Context, t *TBox, r Reasoner) (*Taxonomy, error) {
-	if r == nil {
-		r = NewAutoReasoner(t)
-	}
-	return core.EnhancedTraversalContext(ctx, t, r)
-}
-
 // NewCachedReasoner wraps a plug-in with the sharded single-flight memo
 // table. A cached plug-in also gains the cache export/import capability
 // that lets classification checkpoints (Options.Checkpoint) persist
@@ -394,8 +314,8 @@ func NewCachedReasoner(r Reasoner) Reasoner { return reasoner.NewCached(r) }
 // reverse. Panics on invalid options.
 func NewChaosReasoner(r Reasoner, o ChaosOptions) Reasoner { return reasoner.NewChaos(r, o) }
 
-// ParseChaos parses the compact chaos spec used by owlclass's -chaos
-// flag, e.g. "err=0.01,panic=0.005,slow=2ms,seed=7".
+// ParseChaos parses the compact chaos spec used by the -chaos flag of
+// owlclass and owld, e.g. "err=0.01,panic=0.005,slow=2ms,seed=7".
 func ParseChaos(spec string) (ChaosOptions, error) { return reasoner.ParseChaos(spec) }
 
 // AdaptReasoner wraps a pre-context plug-in as a Reasoner. The adapter
@@ -412,7 +332,8 @@ func Profiles() []Profile {
 // ProfileByName looks up a Table IV/V profile.
 func ProfileByName(name string) (Profile, bool) { return ontogen.ByName(name) }
 
-// Generate builds a synthetic corpus from a profile.
+// Generate builds a synthetic corpus from a profile. Engine.Generate
+// wraps the result in an Ontology handle.
 func Generate(p Profile, seed int64) (*TBox, error) { return p.Generate(seed) }
 
 // MiniProfile scales a profile down by the given factor (for quick runs

@@ -1,0 +1,156 @@
+package parowl
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Query is one parsed taxonomy query of the mini-language shared by
+// `owlclass -query` and the owld daemon's /query endpoint:
+//
+//	subsumes:A,B       is B ⊑ A?
+//	ancestors:C        strict ancestors of C
+//	descendants:C      strict descendants of C
+//	equivalents:C      concepts equivalent to C
+//	lca:A,B            lowest common ancestor classes of A and B
+//	depth:C            longest ⊤-path length to C's class
+//
+// Several queries join with ';' into one spec (see ParseQueries). Both
+// front ends evaluate through Snapshot.Eval, so their answer lines are
+// byte-identical by construction.
+type Query struct {
+	Op   string   // subsumes | ancestors | descendants | equivalents | lca | depth
+	Args []string // concept names; arity fixed per op
+}
+
+// queryArity maps each query operation to its argument count.
+var queryArity = map[string]int{
+	"subsumes": 2, "lca": 2,
+	"ancestors": 1, "descendants": 1, "equivalents": 1, "depth": 1,
+}
+
+// ParseQuery parses a single "op:arg[,arg]" query.
+func ParseQuery(q string) (Query, error) {
+	opName, rest, _ := strings.Cut(q, ":")
+	opName = strings.TrimSpace(opName)
+	arity, ok := queryArity[opName]
+	if !ok {
+		return Query{}, fmt.Errorf("query: unknown op %q (want subsumes, ancestors, descendants, equivalents, lca, or depth)", opName)
+	}
+	parts := strings.Split(rest, ",")
+	if len(parts) != arity {
+		return Query{}, fmt.Errorf("query %q: %s takes %d argument(s)", q, opName, arity)
+	}
+	args := make([]string, arity)
+	for i, p := range parts {
+		args[i] = strings.TrimSpace(p)
+	}
+	return Query{Op: opName, Args: args}, nil
+}
+
+// ParseQueries parses a semicolon-separated query spec; empty segments
+// are skipped.
+func ParseQueries(spec string) ([]Query, error) {
+	var out []Query
+	for _, q := range strings.Split(spec, ";") {
+		q = strings.TrimSpace(q)
+		if q == "" {
+			continue
+		}
+		parsed, err := ParseQuery(q)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, parsed)
+	}
+	return out, nil
+}
+
+// Eval answers one query against this generation's compiled kernel and
+// returns the formatted result line (without a trailing newline).
+func (s *Snapshot) Eval(q Query) (string, error) {
+	arity, ok := queryArity[q.Op]
+	if !ok {
+		return "", fmt.Errorf("query: unknown op %q (want subsumes, ancestors, descendants, equivalents, lca, or depth)", q.Op)
+	}
+	if len(q.Args) != arity {
+		return "", fmt.Errorf("query %q: %s takes %d argument(s)", q.Op+":"+strings.Join(q.Args, ","), q.Op, arity)
+	}
+	args := make([]*Concept, arity)
+	for i, name := range q.Args {
+		c, ok := s.ont.Concept(name)
+		if !ok {
+			return "", fmt.Errorf("query %q: unknown concept %q", q.Op+":"+strings.Join(q.Args, ","), name)
+		}
+		args[i] = c
+	}
+	k := s.Kernel()
+	switch q.Op {
+	case "subsumes":
+		return fmt.Sprintf("subsumes(%s, %s) = %v", args[0], args[1], k.Subsumes(args[0], args[1])), nil
+	case "lca":
+		return fmt.Sprintf("lca(%s, %s) = %s", args[0], args[1], nodeList(k.LCA(args[0], args[1]))), nil
+	case "ancestors":
+		return fmt.Sprintf("ancestors(%s) = %s", args[0], nodeList(k.Ancestors(args[0]))), nil
+	case "descendants":
+		return fmt.Sprintf("descendants(%s) = %s", args[0], nodeList(k.Descendants(args[0]))), nil
+	case "equivalents":
+		return fmt.Sprintf("equivalents(%s) = %s", args[0], conceptList(k.Equivalents(args[0]))), nil
+	default: // depth; the arity table bounds the op set
+		return fmt.Sprintf("depth(%s) = %d", args[0], k.Depth(args[0])), nil
+	}
+}
+
+// EvalAll answers a batch of queries, one result line per query,
+// checking ctx between queries so a per-request deadline cuts a long
+// batch short with the context's error.
+func (s *Snapshot) EvalAll(ctx context.Context, qs []Query) ([]string, error) {
+	out := make([]string, 0, len(qs))
+	for _, q := range qs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		line, err := s.Eval(q)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, line)
+	}
+	return out, nil
+}
+
+// EvalSpec parses a semicolon-separated query spec and answers it; the
+// convenience form of ParseQueries + EvalAll.
+func (s *Snapshot) EvalSpec(ctx context.Context, spec string) ([]string, error) {
+	qs, err := ParseQueries(spec)
+	if err != nil {
+		return nil, err
+	}
+	return s.EvalAll(ctx, qs)
+}
+
+func nodeList(nodes []*TaxonomyNode) string {
+	if len(nodes) == 0 {
+		return "(none)"
+	}
+	out := make([]string, len(nodes))
+	for i, n := range nodes {
+		out[i] = n.Label()
+	}
+	sort.Strings(out)
+	return strings.Join(out, ", ")
+}
+
+func conceptList(cs []*Concept) string {
+	if len(cs) == 0 {
+		return "(none)"
+	}
+	out := make([]string, len(cs))
+	for i, c := range cs {
+		out[i] = c.String()
+	}
+	sort.Strings(out)
+	return strings.Join(out, ", ")
+}

@@ -1,0 +1,101 @@
+#!/bin/sh
+# serve_smoke.sh — end-to-end smoke test of the owld daemon, also
+# available as `make serve-smoke`: build owld/owlclass/ontogen, start the
+# daemon on a random port, classify two generated corpora through the
+# HTTP API, and assert the daemon's query answers and rendered taxonomy
+# are byte-identical to `owlclass` run directly on the same files.
+set -eu
+cd "$(dirname "$0")/.."
+
+WORK=$(mktemp -d)
+OWLD_PID=""
+cleanup() {
+    if [ -n "$OWLD_PID" ]; then
+        kill -TERM "$OWLD_PID" 2>/dev/null || true
+        wait "$OWLD_PID" 2>/dev/null || true
+    fi
+    rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+echo "== building owld, owlclass, ontogen"
+go build -o "$WORK/owld" ./cmd/owld
+go build -o "$WORK/owlclass" ./cmd/owlclass
+go build -o "$WORK/ontogen" ./cmd/ontogen
+
+echo "== generating two corpora"
+"$WORK/ontogen" -profile WBbt.obo -scale 80 -seed 11 -o "$WORK/anatomy.obo"
+"$WORK/ontogen" -profile obo.PREVIOUS -scale 20 -seed 12 -o "$WORK/previous.obo"
+
+echo "== starting owld"
+"$WORK/owld" -addr 127.0.0.1:0 -ready-file "$WORK/ready" \
+    -checkpoint-dir "$WORK/ck" >"$WORK/owld.log" 2>&1 &
+OWLD_PID=$!
+for _ in $(seq 1 100); do
+    [ -s "$WORK/ready" ] && break
+    kill -0 "$OWLD_PID" 2>/dev/null || { cat "$WORK/owld.log"; echo "serve-smoke: owld died at startup"; exit 1; }
+    sleep 0.1
+done
+BASE=$(cat "$WORK/ready")
+echo "   owld at $BASE"
+
+submit_and_wait() {
+    # submit_and_wait <id> <file>
+    code=$(curl -s -o "$WORK/submit.json" -w '%{http_code}' \
+        --data-binary @"$2" "$BASE/ontologies?format=obo&id=$1")
+    [ "$code" = 202 ] || { cat "$WORK/submit.json"; echo "serve-smoke: submit $1: HTTP $code"; exit 1; }
+    for _ in $(seq 1 600); do
+        status=$(curl -s "$BASE/ontologies/$1" | sed -n 's/.*"status":"\([a-z]*\)".*/\1/p')
+        case "$status" in
+        classified) return 0 ;;
+        failed) curl -s "$BASE/ontologies/$1"; echo; echo "serve-smoke: $1 failed"; exit 1 ;;
+        esac
+        sleep 0.1
+    done
+    echo "serve-smoke: $1 never classified"
+    exit 1
+}
+
+# first_ids <file> <n>: the first n OBO term ids, space-separated.
+first_ids() {
+    grep '^id: ' "$1" | head -n "$2" | sed 's/^id: //' | tr '\n' ' '
+}
+
+check_corpus() {
+    # check_corpus <id> <file>
+    id=$1
+    file=$2
+    submit_and_wait "$id" "$file"
+
+    set -- $(first_ids "$file" 2)
+    A=$1
+    B=$2
+    SPEC="subsumes:$A,$B;ancestors:$A;descendants:$B;equivalents:$A;lca:$A,$B;depth:$B"
+
+    "$WORK/owlclass" -query "$SPEC" "$file" >"$WORK/$id.cli" 2>/dev/null
+    curl -sG --data-urlencode "q=$SPEC" "$BASE/ontologies/$id/query" >"$WORK/$id.http"
+    if ! cmp -s "$WORK/$id.cli" "$WORK/$id.http"; then
+        echo "serve-smoke: $id: daemon query answers differ from owlclass -query:"
+        diff "$WORK/$id.cli" "$WORK/$id.http" || true
+        exit 1
+    fi
+
+    "$WORK/owlclass" "$file" >"$WORK/$id.render" 2>/dev/null
+    curl -s "$BASE/ontologies/$id/taxonomy" >"$WORK/$id.tax"
+    if ! cmp -s "$WORK/$id.render" "$WORK/$id.tax"; then
+        echo "serve-smoke: $id: daemon taxonomy differs from owlclass output"
+        exit 1
+    fi
+    echo "   $id: query + taxonomy byte-identical to owlclass"
+}
+
+echo "== classify and cross-check both corpora"
+check_corpus anatomy "$WORK/anatomy.obo"
+check_corpus previous "$WORK/previous.obo"
+
+echo "== graceful shutdown"
+kill -TERM "$OWLD_PID"
+wait "$OWLD_PID" || { cat "$WORK/owld.log"; echo "serve-smoke: owld exited non-zero on SIGTERM"; exit 1; }
+OWLD_PID=""
+
+echo "serve-smoke: OK"

@@ -24,6 +24,12 @@ echo "== query-kernel equivalence suite: kernel vs DAG answers + checkpoint fram
 go test -race -count=1 -run 'TestKernelEquivalenceRandom|TestKernelEquivalenceOntogen|TestKernelRoundTrip|TestKernelFileRoundTrip|TestKernelDecodeCorruption|TestAdoptKernelRejectsMismatch' ./internal/taxonomy/
 go test -race -count=1 -run 'TestKernelCheckpointRoundTrip|TestCheckpointKernelCorruptFrameFallsBack|TestCheckpointKernelMismatchRejected|TestCheckpointLegacyFileWithoutKernelSection|TestSnapshotKernelDecodeFuzz' ./internal/core/
 
+echo "== owld serving suite: registry + admission + drain (-race)"
+go test -race -count=1 ./internal/server/
+
+echo "== owld end-to-end smoke: daemon answers byte-identical to owlclass"
+sh scripts/serve_smoke.sh
+
 # Static analysis beyond vet, when the tools are installed. staticcheck
 # failures are hard errors; govulncheck needs the network for its vuln DB,
 # so an offline/transient failure only warns.
