@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify chaos serve-smoke bench bench-tableau bench-classify bench-sched bench-query
+.PHONY: build test verify chaos serve-smoke bench bench-tableau bench-classify bench-sched bench-async bench-query
 
 build:
 	$(GO) build ./...
@@ -40,12 +40,19 @@ bench-tableau:
 bench-classify:
 	sh scripts/bench_classify.sh
 
-# Scheduler-policy benchmark (round-robin vs work-sharing vs
-# work-stealing on a skewed corpus, real per-test durations), written to
-# BENCH_sched.json. Uses the same scripts/corpus.sh ontology as `make
-# chaos`; compares against the previous run via benchstat when available.
+# Scheduler-policy benchmark (all four pool policies on a skewed corpus,
+# real per-test durations), written to BENCH_sched.json. Uses the same
+# scripts/corpus.sh ontology as `make chaos`; compares against the
+# previous run via benchstat when available.
 bench-sched:
 	sh scripts/bench_sched.sh
+
+# Barrier-free scheduler benchmark (async vs work-stealing at 8 workers
+# on a skewed corpus, real per-test durations: wall clock, plug-in test
+# count, per-worker wait), written to BENCH_async.json; compares against
+# the previous run via benchstat when available.
+bench-async:
+	sh scripts/bench_async.sh
 
 # Taxonomy query benchmark (bit-matrix kernel vs pointer-DAG lookups on
 # full-size corpora, answers verified identical), written to

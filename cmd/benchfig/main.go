@@ -47,7 +47,7 @@ import (
 )
 
 var (
-	expFlag     = flag.String("exp", "all", "experiment: table4|table5|fig9a|fig9b|fig9c|fig10a|fig10b|fig11|balance|future|tableau|classify|sched|query|all")
+	expFlag     = flag.String("exp", "all", "experiment: table4|table5|fig9a|fig9b|fig9c|fig10a|fig10b|fig11|balance|future|tableau|classify|sched|async|query|all")
 	seedFlag    = flag.Int64("seed", 1, "corpus generation and shuffle seed")
 	scaleFlag   = flag.Int("scale", 4, "divide corpus sizes by this factor (1 = full size)")
 	cyclesFlag  = flag.Int("cycles", 2, "random-division cycles for speedup runs")
@@ -64,6 +64,11 @@ var (
 	schedScale   = flag.Int("schedscale", 12, "corpus scale divisor for -exp sched")
 	schedWorkers = flag.Int("schedworkers", 8, "worker count for -exp sched")
 	schedCorpus  = flag.String("schedcorpus", "", "classify this ontology file for -exp sched instead of a generated profile (see scripts/corpus.sh)")
+
+	asyncOut     = flag.String("asyncout", "BENCH_async.json", "output path for the -exp async results")
+	asyncScale   = flag.Int("asyncscale", 12, "corpus scale divisor for -exp async")
+	asyncWorkers = flag.Int("asyncworkers", 8, "worker count for -exp async")
+	asyncCorpus  = flag.String("asynccorpus", "", "classify this ontology file for -exp async instead of a generated profile")
 )
 
 func main() {
@@ -85,6 +90,7 @@ func main() {
 		"tableau":  tableauHot,    // not part of "all": hot-path microbenchmarks
 		"classify": classifyBench, // not part of "all": real end-to-end reasoning
 		"sched":    schedBench,    // not part of "all": wall-clock scheduler comparison
+		"async":    asyncBench,    // not part of "all": barrier-free vs workstealing
 		"query":    queryBench,    // not part of "all": kernel-vs-DAG query latency
 	}
 	order := []string{"table4", "table5", "fig9a", "fig9b", "fig9c", "fig10a", "fig10b", "fig11", "balance"}
@@ -769,7 +775,7 @@ type schedRun struct {
 	TaxonomyIdentical bool    `json:"taxonomy_identical"`
 }
 
-// schedBench compares the three pool scheduling policies on a skewed
+// schedBench compares the four pool scheduling policies on a skewed
 // corpus with real (slept) per-test durations: the oracle plug-in runs in
 // RealTime mode under a concept-correlated heavy-tail cost model, so the
 // pool's assignment decisions — not the reasoner — determine the
@@ -811,7 +817,7 @@ func schedBench() error {
 	if repeats < 1 {
 		repeats = 1
 	}
-	policies := []core.Scheduling{core.RoundRobin, core.WorkSharing, core.WorkStealing}
+	policies := []core.Scheduling{core.RoundRobin, core.WorkSharing, core.WorkStealing, core.Async}
 	fmt.Printf("sched: %s (%d concepts), %d workers, %d repeats, skewed real-time tests\n",
 		corpusName, tb.NumNamed(), *schedWorkers, repeats)
 	fmt.Printf("  %-14s %12s %12s %10s %12s\n", "policy", "wall", "imbalance", "steals", "vs roundrobin")
@@ -861,7 +867,12 @@ func schedBench() error {
 			return fmt.Errorf("%v: taxonomy differs from roundrobin", sched)
 		}
 	}
-	wsRow := rows[len(rows)-1]
+	var wsRow schedRun
+	for _, r := range rows {
+		if r.Policy == core.WorkStealing.String() {
+			wsRow = r
+		}
+	}
 	gainPct := 100 * (1 - wsRow.WallMS/rrWall)
 	fmt.Printf("  workstealing vs roundrobin: %.1f%% wall-clock reduction, imbalance %.2f -> %.2f\n",
 		gainPct, rows[0].Imbalance, wsRow.Imbalance)
@@ -898,6 +909,151 @@ func schedBench() error {
 		return err
 	}
 	fmt.Printf("wrote %s and %s\n", *schedOut, benchPath)
+	return nil
+}
+
+// asyncRun is one policy's row in BENCH_async.json.
+type asyncRun struct {
+	Policy            string  `json:"policy"`
+	WallMS            float64 `json:"wall_ms"`
+	Tests             int64   `json:"plugin_tests"`
+	TotalWaitMS       float64 `json:"total_wait_ms"`
+	MeanWaitPerWorker float64 `json:"mean_wait_per_worker_ms"`
+	Imbalance         float64 `json:"imbalance_max_over_mean"`
+	TaxonomyIdentical bool    `json:"taxonomy_identical"`
+}
+
+// asyncBench compares the barrier-free Async policy against WorkStealing
+// (its barrier-mode twin on the same deques) on the skewed real-time
+// corpus of -exp sched. Three claims are measured: the total plug-in test
+// count (async's bounded waves are cut from live state already thinned by
+// earlier pruning, so work a barrier cycle would dispatch is never
+// submitted), the per-worker parked time (no rendezvous, no straggler
+// tail), and wall clock. Taxonomies must stay byte-identical — the
+// stale-K reads only ever prune, never settle. Writes BENCH_async.json
+// plus a benchstat twin (rotate with scripts/bench_async.sh).
+func asyncBench() error {
+	var (
+		tb  *dl.TBox
+		err error
+	)
+	corpusName := *asyncCorpus
+	if corpusName != "" {
+		tb, err = parowl.LoadFile(corpusName)
+	} else {
+		p, ok := ontogen.ByName("ncitations_functional")
+		if !ok {
+			return fmt.Errorf("ncitations profile missing")
+		}
+		if *asyncScale > 1 {
+			p = ontogen.Mini(p, *asyncScale)
+		}
+		corpusName = p.Name
+		tb, err = p.Generate(*seedFlag)
+	}
+	if err != nil {
+		return err
+	}
+	oracle := reasoner.NewOracle(tb, reasoner.OracleOptions{
+		SubsCost: schedSkewCost(40*time.Microsecond, 0.05, 60, uint64(*seedFlag)),
+		SatCost:  20 * time.Microsecond,
+		RealTime: true,
+	})
+	repeats := *repeatsFlag
+	if repeats < 1 {
+		repeats = 1
+	}
+	fmt.Printf("async: %s (%d concepts), %d workers, %d repeats, skewed real-time tests\n",
+		corpusName, tb.NumNamed(), *asyncWorkers, repeats)
+	fmt.Printf("  %-14s %12s %10s %14s %12s\n", "policy", "wall", "tests", "wait/worker", "imbalance")
+	var (
+		rows    []asyncRun
+		wantTax string
+	)
+	for _, sched := range []core.Scheduling{core.WorkStealing, core.Async} {
+		var row asyncRun
+		row.Policy = sched.String()
+		var wall, wait time.Duration
+		var imbalance float64
+		for rep := 0; rep < repeats; rep++ {
+			start := time.Now()
+			res, err := core.Classify(tb, core.Options{
+				Reasoner: oracle, Workers: *asyncWorkers, RandomCycles: 2,
+				Seed: *seedFlag + int64(rep), Scheduling: sched, CollectTrace: true,
+			})
+			if err != nil {
+				return fmt.Errorf("%v: %w", sched, err)
+			}
+			wall += time.Since(start)
+			wait += res.Trace.TotalWait()
+			imbalance += res.Trace.OverallImbalance()
+			row.Tests += res.Stats.SubsTests + res.Stats.SatTests
+			if rep == 0 {
+				tax := res.Taxonomy.Render()
+				if wantTax == "" {
+					wantTax = tax
+				}
+				row.TaxonomyIdentical = tax == wantTax
+			}
+		}
+		row.WallMS = float64(wall) / float64(repeats) / 1e6
+		row.TotalWaitMS = float64(wait) / float64(repeats) / 1e6
+		row.MeanWaitPerWorker = row.TotalWaitMS / float64(*asyncWorkers)
+		row.Imbalance = imbalance / float64(repeats)
+		row.Tests /= int64(repeats)
+		rows = append(rows, row)
+		fmt.Printf("  %-14s %10.1fms %10d %12.1fms %12.2f\n",
+			row.Policy, row.WallMS, row.Tests, row.MeanWaitPerWorker, row.Imbalance)
+		if !row.TaxonomyIdentical {
+			return fmt.Errorf("%v: taxonomy differs from workstealing", sched)
+		}
+	}
+	ws, as := rows[0], rows[1]
+	testDeltaPct := 100 * (1 - float64(as.Tests)/float64(ws.Tests))
+	waitDeltaPct := 100 * (1 - as.TotalWaitMS/ws.TotalWaitMS)
+	wallDeltaPct := 100 * (1 - as.WallMS/ws.WallMS)
+	fmt.Printf("  async vs workstealing: tests %.1f%% fewer, wait %.1f%% less, wall %+.1f%%\n",
+		testDeltaPct, waitDeltaPct, wallDeltaPct)
+	if as.Tests > ws.Tests {
+		fmt.Printf("  WARNING: async dispatched more plug-in tests than workstealing\n")
+	}
+	if as.TotalWaitMS > ws.TotalWaitMS {
+		fmt.Printf("  WARNING: async workers waited longer than workstealing workers\n")
+	}
+
+	report := struct {
+		Corpus       string     `json:"corpus"`
+		Concepts     int        `json:"concepts"`
+		Workers      int        `json:"workers"`
+		Repeats      int        `json:"repeats"`
+		Seed         int64      `json:"seed"`
+		TestDeltaPct float64    `json:"async_tests_vs_workstealing_pct"`
+		WaitDeltaPct float64    `json:"async_wait_vs_workstealing_pct"`
+		WallDeltaPct float64    `json:"async_wall_vs_workstealing_pct"`
+		Policies     []asyncRun `json:"policies"`
+	}{
+		Corpus: corpusName, Concepts: tb.NumNamed(), Workers: *asyncWorkers,
+		Repeats: repeats, Seed: *seedFlag,
+		TestDeltaPct: testDeltaPct, WaitDeltaPct: waitDeltaPct, WallDeltaPct: wallDeltaPct,
+		Policies: rows,
+	}
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*asyncOut, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	benchPath := strings.TrimSuffix(*asyncOut, ".json") + ".bench"
+	var bench strings.Builder
+	for _, r := range rows {
+		fmt.Fprintf(&bench, "BenchmarkAsync/policy=%s 1 %.0f ns/op %d tests %.0f wait-ns %.3f imbalance\n",
+			r.Policy, r.WallMS*1e6, r.Tests, r.TotalWaitMS*1e6, r.Imbalance)
+	}
+	if err := os.WriteFile(benchPath, []byte(bench.String()), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s and %s\n", *asyncOut, benchPath)
 	return nil
 }
 

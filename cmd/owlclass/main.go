@@ -28,7 +28,7 @@ var (
 	cycles   = flag.Int("cycles", 2, "random-division cycles")
 	seed     = flag.Int64("seed", 1, "shuffle / generation seed")
 	mode     = flag.String("mode", "optimized", "optimized | basic")
-	sched    = flag.String("sched", "roundrobin", "roundrobin | worksharing | workstealing")
+	sched    = flag.String("sched", "roundrobin", "roundrobin | worksharing | workstealing | async")
 	plugin   = flag.String("reasoner", "auto", "auto | tableau | tableau-mm | el")
 	profile  = flag.String("profile", "", "generate this Table IV/V profile instead of reading a file")
 	scale    = flag.Int("scale", 1, "shrink the generated profile by this factor")

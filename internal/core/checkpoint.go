@@ -22,11 +22,14 @@ import (
 // boundaries, and Options.ResumeFrom restores them so a re-run skips all
 // settled work and converges to the same taxonomy.
 //
-// Consistency: a snapshot is taken only between pool barriers, when every
-// worker is quiescent — at that instant every claimed pair (a cleared P
-// bit in optimized mode, a set tested bit in basic mode) has its outcome
-// fully recorded in K or in the undecided list, so restoring the snapshot
-// can never lose a claim's answer. A poisoned run (s.failed()) is never
+// Consistency: a snapshot is taken only at pool quiescence — under the
+// barrier policies between batch barriers, under Async at an epoch edge
+// (the pending-task counter at zero). In either case every claimed pair
+// (a cleared P bit in optimized mode, a set tested bit in basic mode) has
+// its outcome fully recorded in K or in the undecided list, so restoring
+// the snapshot can never lose a claim's answer. Each quiescence point
+// closes an epoch, and the snapshot records the epoch count it was cut
+// at (monotonic across resumes). A poisoned run (s.failed()) is never
 // snapshotted: its workers may have claimed pairs whose outcome was
 // abandoned mid-flight.
 //
@@ -49,6 +52,9 @@ import (
 //	uint32   subs cache count; per entry: uint64 key, uint8 val
 //	uint8    hasKernel (optional section; absent in pre-kernel files);
 //	         if 1, a taxonomy kernel frame (versioned, self-checksummed)
+//	uint8    epoch marker (1; optional section, absent in pre-epoch
+//	         files); then uint64 epoch — the quiescence count the
+//	         snapshot was cut at
 //	uint32   CRC-32 (IEEE) of everything above
 //
 // The trailing whole-file checksum catches truncation; the per-bitset
@@ -56,7 +62,9 @@ import (
 // section is doubly optional: files written before it existed decode
 // fine (no trailing bytes after the caches), and a kernel frame that
 // fails its own validation only degrades the resume to recompilation —
-// the classification state in P/K is never rejected because of it.
+// the classification state in P/K is never rejected because of it. The
+// epoch section follows the same trailing-optional pattern one position
+// later: legacy files simply end earlier and restore with epoch 0.
 
 // checkpointMagic identifies parowl checkpoint files.
 var checkpointMagic = [8]byte{'P', 'A', 'R', 'O', 'W', 'L', 'C', 'K'}
@@ -123,6 +131,9 @@ type snapshot struct {
 	// valid — resume just recompiles).
 	kernel    *taxonomy.Kernel
 	kernelErr error
+	// epoch is the quiescence count the snapshot was cut at (0 for files
+	// written before the epoch section existed).
+	epoch int64
 }
 
 // undecidedRef is an Undecided entry with concepts replaced by their
@@ -136,7 +147,7 @@ type undecidedRef struct {
 // barriers on a non-failed run; see the consistency note above. kern,
 // when non-nil, is appended as the optional kernel section so a resume
 // of a completed run skips recompiling the query kernel.
-func (s *state) encodeSnapshot(phase Phase, cache reasoner.CacheSnapshot, kern *taxonomy.Kernel) []byte {
+func (s *state) encodeSnapshot(phase Phase, cache reasoner.CacheSnapshot, kern *taxonomy.Kernel, epoch int64) []byte {
 	phaseByte := byte(0)
 	if phase == PhaseGroup {
 		phaseByte = 1
@@ -209,6 +220,8 @@ func (s *state) encodeSnapshot(phase Phase, cache reasoner.CacheSnapshot, kern *
 	} else {
 		b = append(b, 0)
 	}
+	b = append(b, 1) // epoch marker
+	b = binary.LittleEndian.AppendUint64(b, uint64(epoch))
 	return binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b))
 }
 
@@ -415,6 +428,20 @@ func decodeSnapshot(data []byte) (*snapshot, error) {
 			return nil, fmt.Errorf("%w: unknown kernel marker", ErrBadSnapshot)
 		}
 	}
+	// Optional epoch section, same trailing pattern one position later:
+	// files written before epochs existed end at the caches or the kernel
+	// frame and restore with epoch 0. (A corrupt kernel frame drops the
+	// trailing bytes above, taking the epoch with it — losing a counter,
+	// not classification state.)
+	if len(r.data) > 0 {
+		if m := r.u8(); m != 1 {
+			return nil, fmt.Errorf("%w: unknown epoch marker %d", ErrBadSnapshot, m)
+		}
+		snap.epoch = int64(r.u64())
+		if r.err != nil {
+			return nil, r.err
+		}
+	}
 	if len(r.data) != 0 {
 		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadSnapshot, len(r.data))
 	}
@@ -458,6 +485,7 @@ func (s *state) restoreSnapshot(snap *snapshot) error {
 	s.recovered.Store(snap.counters[7])
 	s.nodeBudget.Store(snap.counters[8])
 	s.branchBudget.Store(snap.counters[9])
+	s.epochBase = snap.epoch
 	s.undecided = s.undecided[:0]
 	for _, u := range snap.undecided {
 		var sup *dl.Concept
@@ -525,19 +553,32 @@ type checkpointer struct {
 
 // maybeWrite snapshots the state if the interval has elapsed (an interval
 // ≤ 0 writes at every boundary). force overrides the interval for
-// phase-final snapshots. Failed runs are never snapshotted.
-func (c *checkpointer) maybeWrite(s *state, phase Phase, force bool) {
-	c.write(s, phase, force, nil)
+// phase-final snapshots. Failed runs are never snapshotted. epoch is the
+// quiescence count the caller is at; it is recorded in the snapshot.
+func (c *checkpointer) maybeWrite(s *state, phase Phase, force bool, epoch int64) {
+	c.write(s, phase, force, nil, epoch)
 }
 
 // writeKernel force-writes a final snapshot that also carries the
 // compiled taxonomy kernel, so a resume (or server restart) of a
 // completed run skips recompilation.
-func (c *checkpointer) writeKernel(s *state, kern *taxonomy.Kernel) {
-	c.write(s, PhaseGroup, true, kern)
+func (c *checkpointer) writeKernel(s *state, kern *taxonomy.Kernel, epoch int64) {
+	c.write(s, PhaseGroup, true, kern, epoch)
 }
 
-func (c *checkpointer) write(s *state, phase Phase, force bool, kern *taxonomy.Kernel) {
+// due reports whether the next maybeWrite would pass the interval gate.
+// The Async driver asks before paying for a quiescence epoch: with
+// checkpointing off (nil receiver) or the interval not yet elapsed, it
+// keeps streaming instead of draining the pool for a snapshot nobody
+// would write.
+func (c *checkpointer) due() bool {
+	if c == nil {
+		return false
+	}
+	return c.interval <= 0 || c.last.IsZero() || time.Since(c.last) >= c.interval
+}
+
+func (c *checkpointer) write(s *state, phase Phase, force bool, kern *taxonomy.Kernel, epoch int64) {
 	if c == nil || s.failed() {
 		return
 	}
@@ -548,7 +589,7 @@ func (c *checkpointer) write(s *state, phase Phase, force bool, kern *taxonomy.K
 	if c.porter != nil {
 		cache = c.porter.ExportCache()
 	}
-	if err := writeFileAtomic(c.path, s.encodeSnapshot(phase, cache, kern)); err != nil {
+	if err := writeFileAtomic(c.path, s.encodeSnapshot(phase, cache, kern, epoch)); err != nil {
 		if c.err == nil {
 			c.err = fmt.Errorf("core: checkpoint write: %w", err)
 		}

@@ -52,9 +52,11 @@ type Options struct {
 	// Mode selects Optimized (default) or Basic.
 	Mode Mode
 	// Scheduling selects RoundRobin (default, the paper's policy),
-	// WorkSharing, or WorkStealing (Chase–Lev deques with
-	// hardness-ordered LPT dispatch; see pool.go). The taxonomy is
-	// identical under every policy.
+	// WorkSharing, WorkStealing (Chase–Lev deques with hardness-ordered
+	// LPT dispatch; see pool.go), or Async (barrier-free: the coordinator
+	// streams work continuously and quiesces only at phase edges and due
+	// checkpoints; see async.go). The taxonomy is identical under every
+	// policy.
 	Scheduling Scheduling
 	// CollectTrace records per-cycle statistics and task durations.
 	CollectTrace bool
@@ -154,7 +156,9 @@ func (o *Options) Validate() error {
 	if o.Mode != Optimized && o.Mode != Basic {
 		return fmt.Errorf("core: unknown Options.Mode %d", o.Mode)
 	}
-	if o.Scheduling != RoundRobin && o.Scheduling != WorkSharing && o.Scheduling != WorkStealing {
+	switch o.Scheduling {
+	case RoundRobin, WorkSharing, WorkStealing, Async:
+	default:
 		return fmt.Errorf("core: unknown Options.Scheduling %d", o.Scheduling)
 	}
 	if o.MinCycleGain < 0 || o.MinCycleGain >= 1 {
@@ -198,7 +202,7 @@ type Stats struct {
 	NodeBudget   int64
 	BranchBudget int64
 	// Steals counts tasks that executed on a different worker than they
-	// were queued to (Scheduling == WorkStealing only; zero otherwise).
+	// were queued to (WorkStealing and Async only; zero otherwise).
 	// Deliberately not part of checkpoint snapshots: it describes a
 	// particular run's scheduling, not the classification state.
 	Steals int64
@@ -278,7 +282,7 @@ func ClassifyContext(ctx context.Context, t *dl.TBox, opts Options) (*Result, er
 	if opts.ModelFilter {
 		s.filter = reasoner.AsModelFilter(opts.Reasoner)
 	}
-	if opts.Scheduling == WorkStealing {
+	if opts.Scheduling.stealing() {
 		// Per-concept hardness EWMAs drive the LPT submission order; the
 		// slice stays nil under the other policies so their dispatch is
 		// byte-for-byte the seed behaviour.
@@ -341,36 +345,46 @@ func ClassifyContext(ctx context.Context, t *dl.TBox, opts Options) (*Result, er
 	}
 	defer p.close()
 
+	// epoch is the monotonic quiescence count snapshots are tagged with:
+	// the epochs this run's pool has passed on top of whatever a resumed
+	// snapshot had already accumulated.
+	epoch := func() int64 { return s.epochBase + p.epoch.Load() }
+
 	// A snapshot whose prepass already ran restored its seeded facts;
 	// re-running the prepass over a resumed state would be sound (claims
 	// no-op) but wasted.
 	if opts.ELPrepass && !s.prepassed && !s.failed() {
 		s.runPrepass(p, workers, trace)
-		ck.maybeWrite(s, PhaseRandom, false)
+		ck.maybeWrite(s, PhaseRandom, false, epoch())
 	}
 
 	rng := rand.New(rand.NewSource(opts.Seed))
 	initial := s.remainingPossible()
 	// A snapshot taken during the group phase proves the random phase
 	// finished; re-running it would only no-op on claimed pairs.
-	if !(resumed && resumePhase == PhaseGroup) {
-		for cycle := 1; cycle <= cycles && !s.failed(); cycle++ {
-			before := s.remainingPossible()
-			s.runRandomCycle(p, rng, workers, cycle, trace)
-			ck.maybeWrite(s, PhaseRandom, false)
-			if opts.AdaptiveCycles && initial > 0 {
-				gain := float64(before-s.remainingPossible()) / float64(initial)
-				if gain < minGain {
-					break // the group-division phase finishes the rest
+	skipRandom := resumed && resumePhase == PhaseGroup
+	if opts.Scheduling == Async {
+		s.runAsync(p, rng, workers, cycles, minGain, initial, opts, ck, trace, skipRandom)
+	} else {
+		if !skipRandom {
+			for cycle := 1; cycle <= cycles && !s.failed(); cycle++ {
+				before := s.remainingPossible()
+				s.runRandomCycle(p, rng, workers, cycle, trace)
+				ck.maybeWrite(s, PhaseRandom, false, epoch())
+				if opts.AdaptiveCycles && initial > 0 {
+					gain := float64(before-s.remainingPossible()) / float64(initial)
+					if gain < minGain {
+						break // the group-division phase finishes the rest
+					}
 				}
 			}
 		}
-	}
-	for iter := 1; !s.failed(); iter++ {
-		if !s.runGroupCycle(p, iter, trace) {
-			break
+		for iter := 1; !s.failed(); iter++ {
+			if !s.runGroupCycle(p, iter, trace) {
+				break
+			}
+			ck.maybeWrite(s, PhaseGroup, false, epoch())
 		}
-		ck.maybeWrite(s, PhaseGroup, false)
 	}
 	if err := s.errOrNil(); err != nil {
 		return nil, fmt.Errorf("core: classification failed: %w", err)
@@ -379,7 +393,7 @@ func ClassifyContext(ctx context.Context, t *dl.TBox, opts Options) (*Result, er
 		return nil, fmt.Errorf("core: internal error: %d possible pairs left after group phase", rem)
 	}
 	// Final snapshot: resuming from a completed run converges immediately.
-	ck.maybeWrite(s, PhaseGroup, true)
+	ck.maybeWrite(s, PhaseGroup, true, epoch())
 
 	tax, err := s.buildTaxonomy(p, trace)
 	if err != nil {
@@ -405,7 +419,7 @@ func ClassifyContext(ctx context.Context, t *dl.TBox, opts Options) (*Result, er
 		}
 		// Rewrite the final snapshot with the kernel aboard so the next
 		// resume (or server restart) skips recompilation.
-		ck.writeKernel(s, tax.Kernel())
+		ck.writeKernel(s, tax.Kernel(), epoch())
 	}
 	if trace != nil {
 		trace.WallElapsed = time.Since(start)
@@ -458,6 +472,7 @@ func (s *state) record(trace *Trace, phase Phase, index int, before counterSnaps
 		WorkerLoads:       rep.loads,
 		Steals:            rep.steals,
 		StolenFrom:        rep.stolenFrom,
+		WaitNanos:         rep.waits,
 		SubsTests:         now.subs - before.subs,
 		SatTests:          now.sat - before.sat,
 		Pruned:            now.pruned - before.pruned,
@@ -473,9 +488,18 @@ func (s *state) record(trace *Trace, phase Phase, index int, before counterSnaps
 // all pairs within each group.
 func (s *state) runRandomCycle(p *pool, rng *rand.Rand, workers, cycle int, trace *Trace) {
 	before := s.snapshot()
+	s.submitRandomCycle(p, rng, workers)
+	s.record(trace, PhaseRandom, cycle, before, p.barrier())
+}
+
+// submitRandomCycle dispatches one random-division cycle's groups without
+// waiting for them: the shuffle and split depend only on the rng, never
+// on test results, so the Async driver streams several cycles into the
+// pool back to back.
+func (s *state) submitRandomCycle(p *pool, rng *rand.Rand, workers int) {
 	perm := rng.Perm(s.n)
 	groups := splitGroups(perm, workers)
-	if p.scheduling == WorkStealing {
+	if p.scheduling.stealing() {
 		// LPT: hardest groups dispatch first so stealing mops up the
 		// cheap tail. The estimate is the pair count (groups are nearly
 		// equal-sized, so this only breaks ties in cycle 1) refined by
@@ -483,7 +507,7 @@ func (s *state) runRandomCycle(p *pool, rng *rand.Rand, workers, cycle int, trac
 		lptOrder(groups, func(g []int) int64 {
 			c := int64(len(g)) * int64(len(g)-1) / 2
 			for _, x := range g {
-				c += s.hard[x].Load()
+				c += s.hardLoad(x)
 			}
 			return c
 		})
@@ -492,7 +516,6 @@ func (s *state) runRandomCycle(p *pool, rng *rand.Rand, workers, cycle int, trac
 		g := g
 		p.submit(func() time.Duration { return s.randomDivisionSubsTest(g) })
 	}
-	s.record(trace, PhaseRandom, cycle, before, p.barrier())
 }
 
 // lptOrder sorts tasks by descending estimated cost (longest processing
@@ -551,15 +574,18 @@ func (s *state) randomDivisionSubsTest(g []int) time.Duration {
 	return cost
 }
 
-// runGroupCycle is one pass of phase 2 (Algorithm 3): every concept X
-// with P_X ≠ ∅ contributes a group G_X = P_X, dispatched round-robin.
-// It reports whether any group was dispatched.
-func (s *state) runGroupCycle(p *pool, iter int, trace *Trace) bool {
-	before := s.snapshot()
-	type groupTask struct {
-		x int
-		g []int
-	}
+// groupTask is one phase-2 dispatch unit: test every y ∈ g against x.
+type groupTask struct {
+	x int
+	g []int
+}
+
+// cutGroupTasks builds phase 2's task list from the current P sets: every
+// concept X with P_X ≠ ∅ contributes a group G_X = P_X (split per
+// maxGroupSize). Under a barrier policy P is quiescent here; under Async
+// it may shrink concurrently, which only makes some tasks find their
+// pairs already claimed.
+func (s *state) cutGroupTasks() []groupTask {
 	var tasks []groupTask
 	for x := 0; x < s.n; x++ {
 		g := s.P[x].Members()
@@ -581,25 +607,44 @@ func (s *state) runGroupCycle(p *pool, iter int, trace *Trace) bool {
 			tasks = append(tasks, groupTask{x, chunk})
 		}
 	}
+	return tasks
+}
+
+// lptGroupTasks orders phase-2 tasks hardest-first: group size is the
+// zero-knowledge cost estimate (the paper's Sec. V-C observation that
+// G_X sizes drive phase-2 imbalance), refined by the hardness EWMAs
+// phase 1 collected.
+func (s *state) lptGroupTasks(tasks []groupTask) {
+	lptOrder(tasks, func(t groupTask) int64 {
+		hx := s.hardLoad(t.x)
+		c := int64(len(t.g))
+		for _, y := range t.g {
+			c += hx + s.hardLoad(y)
+		}
+		return c
+	})
+}
+
+// submitGroupTask dispatches one phase-2 group.
+func (s *state) submitGroupTask(p *pool, t groupTask) {
+	x, chunk := t.x, t.g
+	p.submit(func() time.Duration { return s.groupDivisionSubsTest(x, chunk) })
+}
+
+// runGroupCycle is one pass of phase 2 (Algorithm 3): every concept X
+// with P_X ≠ ∅ contributes a group G_X = P_X, dispatched round-robin.
+// It reports whether any group was dispatched.
+func (s *state) runGroupCycle(p *pool, iter int, trace *Trace) bool {
+	before := s.snapshot()
+	tasks := s.cutGroupTasks()
 	if len(tasks) == 0 {
 		return false
 	}
-	if p.scheduling == WorkStealing {
-		// LPT: group size is the zero-knowledge cost estimate (the
-		// paper's Sec. V-C observation that G_X sizes drive phase-2
-		// imbalance), refined by the hardness EWMAs phase 1 collected.
-		lptOrder(tasks, func(t groupTask) int64 {
-			hx := s.hard[t.x].Load()
-			c := int64(len(t.g))
-			for _, y := range t.g {
-				c += hx + s.hard[y].Load()
-			}
-			return c
-		})
+	if p.scheduling.stealing() {
+		s.lptGroupTasks(tasks)
 	}
 	for _, t := range tasks {
-		x, chunk := t.x, t.g
-		p.submit(func() time.Duration { return s.groupDivisionSubsTest(x, chunk) })
+		s.submitGroupTask(p, t)
 	}
 	s.record(trace, PhaseGroup, iter, before, p.barrier())
 	return true

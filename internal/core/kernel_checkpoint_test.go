@@ -162,8 +162,10 @@ func TestCheckpointKernelMismatchRejected(t *testing.T) {
 }
 
 // TestCheckpointLegacyFileWithoutKernelSection: files written before the
-// kernel section existed end right after the cache entries; they must
-// still decode and resume, with the kernel compiled fresh.
+// kernel section existed end right after the cache entries, and files
+// written before the epoch section end right after the kernel marker;
+// both must still decode (with epoch 0) and resume, with the kernel
+// compiled fresh.
 func TestCheckpointLegacyFileWithoutKernelSection(t *testing.T) {
 	tb := exampleTBox()
 	path := ckPath(t)
@@ -172,18 +174,34 @@ func TestCheckpointLegacyFileWithoutKernelSection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// A kernel-less modern file ends with hasKernel=0 then the CRC; strip
-	// the marker byte to reconstruct the legacy layout.
-	if data[len(data)-5] != 0 {
-		t.Fatal("expected hasKernel=0 before trailing CRC")
+	// A kernel-less modern file ends with hasKernel=0, the epoch section
+	// (marker=1 + uint64), then the CRC; strip backwards to reconstruct
+	// the two historical layouts.
+	const tail = 1 + 9 + 4 // hasKernel marker + epoch section + CRC
+	if data[len(data)-tail] != 0 {
+		t.Fatal("expected hasKernel=0 before the epoch section")
 	}
-	legacy := resealSnapshot(append(append([]byte(nil), data[:len(data)-5]...), 0, 0, 0, 0))
+	if data[len(data)-tail+1] != 1 {
+		t.Fatal("expected epoch marker after hasKernel=0")
+	}
+	// Pre-epoch layout: ends right after the hasKernel marker.
+	preEpoch := resealSnapshot(append(append([]byte(nil), data[:len(data)-13]...), 0, 0, 0, 0))
+	if snap, err := decodeSnapshot(preEpoch); err != nil {
+		t.Fatalf("pre-epoch layout rejected: %v", err)
+	} else if snap.epoch != 0 {
+		t.Fatalf("pre-epoch layout decoded epoch %d, want 0", snap.epoch)
+	}
+	// Pre-kernel layout: ends right after the cache entries.
+	legacy := resealSnapshot(append(append([]byte(nil), data[:len(data)-tail]...), 0, 0, 0, 0))
 	snap, err := decodeSnapshot(legacy)
 	if err != nil {
 		t.Fatalf("legacy layout rejected: %v", err)
 	}
 	if snap.kernel != nil || snap.kernelErr != nil {
 		t.Fatalf("legacy layout produced kernel=%v err=%v", snap.kernel, snap.kernelErr)
+	}
+	if snap.epoch != 0 {
+		t.Fatalf("legacy layout decoded epoch %d, want 0", snap.epoch)
 	}
 	if err := os.WriteFile(path, legacy, 0o644); err != nil {
 		t.Fatal(err)
@@ -217,7 +235,14 @@ func TestSnapshotKernelDecodeFuzz(t *testing.T) {
 	if err != nil || snap.kernel == nil {
 		t.Fatalf("pristine kernel snapshot rejected: %v (kernel %v)", err, snap != nil && snap.kernel != nil)
 	}
-	for i := idx; i < len(good)-4; i++ {
+	// The epoch section (marker + uint64) trails the kernel frame; sweep
+	// mutations over the kernel frame only and cover the epoch bytes
+	// separately below.
+	end := len(good) - 13 // epoch marker position
+	if good[end] != 1 {
+		t.Fatal("expected epoch marker after the kernel frame")
+	}
+	for i := idx; i < end; i++ {
 		bad := append([]byte(nil), good...)
 		bad[i] ^= 0x08
 		snap, err := decodeSnapshot(resealSnapshot(bad))
@@ -233,5 +258,22 @@ func TestSnapshotKernelDecodeFuzz(t *testing.T) {
 		if !errors.Is(snap.kernelErr, ErrBadSnapshot) {
 			t.Fatalf("byte %d: kernelErr = %v, want ErrBadSnapshot", i, snap.kernelErr)
 		}
+	}
+	// A damaged epoch marker must reject the file outright...
+	bad := append([]byte(nil), good...)
+	bad[end] ^= 0x08
+	if _, err := decodeSnapshot(resealSnapshot(bad)); !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("epoch marker flip: error = %v, want ErrBadSnapshot", err)
+	}
+	// ...while a flipped epoch value is simply a different (valid) epoch:
+	// the field is a counter, not classification state.
+	bad = append([]byte(nil), good...)
+	bad[end+1] ^= 0x08
+	flipped, err := decodeSnapshot(resealSnapshot(bad))
+	if err != nil || flipped.kernel == nil {
+		t.Fatalf("epoch value flip rejected the snapshot: %v (kernel %v)", err, flipped != nil && flipped.kernel != nil)
+	}
+	if flipped.epoch == snap.epoch {
+		t.Fatal("epoch value flip did not change the decoded epoch")
 	}
 }

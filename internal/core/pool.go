@@ -28,6 +28,16 @@ const (
 	// paper's Sec. V-C identifies exactly this skew — per-test cost, not
 	// test count — as the limit on speedup.
 	WorkStealing
+	// Async is barrier-free classification: workers consume from the same
+	// Chase–Lev deques as WorkStealing, but the coordinator streams work
+	// continuously instead of rendezvousing after every cycle. Full
+	// quiescence (the pending-task counter reaching zero) is reached only
+	// at phase edges and when a checkpoint is due; each quiescence point
+	// closes an epoch, and snapshots are cut exactly there, so they stay
+	// as consistent as barrier-mode snapshots. Between epochs the group
+	// phase refills bounded waves from the live P sets, so later waves are
+	// cut from state already thinned by earlier pruning.
+	Async
 )
 
 func (s Scheduling) String() string {
@@ -36,8 +46,17 @@ func (s Scheduling) String() string {
 		return "worksharing"
 	case WorkStealing:
 		return "workstealing"
+	case Async:
+		return "async"
 	}
 	return "roundrobin"
+}
+
+// stealing reports whether the policy runs workers on the Chase–Lev
+// deque/steal loop (WorkStealing and Async) rather than the plain queue
+// loop.
+func (s Scheduling) stealing() bool {
+	return s == WorkStealing || s == Async
 }
 
 // ParseScheduling maps a policy name (as printed by String) back to the
@@ -50,8 +69,10 @@ func ParseScheduling(name string) (Scheduling, error) {
 		return WorkSharing, nil
 	case "workstealing":
 		return WorkStealing, nil
+	case "async":
+		return Async, nil
 	}
-	return 0, fmt.Errorf("core: unknown scheduling policy %q (want roundrobin, worksharing, or workstealing)", name)
+	return 0, fmt.Errorf("core: unknown scheduling policy %q (want roundrobin, worksharing, workstealing, or async)", name)
 }
 
 // task is one unit of pool work; it returns its charged duration.
@@ -148,17 +169,20 @@ func (wq *workerQueue) reset() {
 
 // batchReport is what barrier returns for one barrier-delimited batch:
 // per-task charged durations and executing workers in dispatch order,
-// per-worker charged loads, and — under WorkStealing — per-worker steal
-// counts.
+// per-worker charged loads, and — under WorkStealing/Async — per-worker
+// steal counts.
 type batchReport struct {
 	durs    []time.Duration
 	workers []int
 	loads   []time.Duration
 	// steals[w] counts tasks worker w took from other workers' queues;
 	// stolenFrom[w] counts tasks thieves took from worker w's queues.
-	// Both nil unless the pool runs WorkStealing.
+	// Both nil unless the pool runs a stealing policy.
 	steals     []int64
 	stolenFrom []int64
+	// waits[w] is the time worker w spent parked waiting for work during
+	// the batch, in nanoseconds (every policy).
+	waits []int64
 }
 
 // pool is the fixed worker pool of Algorithm 1 (createWorkerPool). It is
@@ -168,8 +192,11 @@ type batchReport struct {
 // Under RoundRobin each worker owns a queue and a wake channel, so a
 // wakeup can never be consumed by a worker whose queue is empty; under
 // WorkSharing all workers drain queue 0 and share wake channel 0; under
-// WorkStealing each worker drains its round-robin-fed queue into a
-// private Chase–Lev deque and steals from random victims when idle. Each
+// WorkStealing and Async each worker drains its round-robin-fed queue
+// into a private Chase–Lev deque and steals from random victims when
+// idle (Async differs only in how the coordinator feeds and paces the
+// pool: continuous waves bounded by waitLow instead of batch+barrier,
+// see async.go). Each
 // queue has its own lock and completed tasks record their duration with
 // an atomic store into a pre-assigned chunk slot, so the only shared
 // lock left (submitMu) is taken by the submitting goroutine alone.
@@ -178,7 +205,7 @@ type pool struct {
 	scheduling Scheduling
 
 	queues []workerQueue
-	deques []wsDeque // non-nil only under WorkStealing
+	deques []wsDeque // non-nil only under WorkStealing/Async
 
 	// Batch bookkeeping, guarded by submitMu. Only the submitter takes
 	// this lock: tasks store durations straight into their chunk slot,
@@ -195,11 +222,29 @@ type pool struct {
 	busy []time.Duration
 
 	// steals/stolenFrom are this batch's per-worker steal counters
-	// (WorkStealing only); totalSteals accumulates across the whole run
-	// for Stats.
+	// (stealing policies only); totalSteals accumulates across the whole
+	// run for Stats.
 	steals      []atomic.Int64
 	stolenFrom  []atomic.Int64
 	totalSteals atomic.Int64
+
+	// waits[w] accumulates the nanoseconds worker w spent parked on its
+	// wake channel this batch; the barrier swaps them out. This is the
+	// straggler-tail measurement: under a barrier policy an early
+	// finisher parks until the next batch wakes it, under Async it is
+	// re-fed before it parks.
+	waits []atomic.Int64
+
+	// pending counts submitted-but-unfinished tasks; together with
+	// taskDone it is the quiescence detector the Async driver paces on:
+	// waitLow blocks until the backlog drains below a watermark, and
+	// pending == 0 is full quiescence (every claimed pair's outcome is
+	// recorded), the only state snapshots are cut in. epoch counts
+	// quiescence points passed (every barrier closes one epoch); it is
+	// what checkpoint snapshots are tagged with.
+	pending  atomic.Int64
+	taskDone chan struct{}
+	epoch    atomic.Int64
 
 	inflight sync.WaitGroup
 	wake     []chan struct{}
@@ -221,10 +266,12 @@ func newPool(w int, sched Scheduling) *pool {
 		scheduling: sched,
 		queues:     make([]workerQueue, w),
 		busy:       make([]time.Duration, w),
+		waits:      make([]atomic.Int64, w),
 		wake:       make([]chan struct{}, w),
 		quit:       make(chan struct{}),
+		taskDone:   make(chan struct{}, 1),
 	}
-	if sched == WorkStealing {
+	if sched.stealing() {
 		p.deques = make([]wsDeque, w)
 		p.steals = make([]atomic.Int64, w)
 		p.stolenFrom = make([]atomic.Int64, w)
@@ -256,6 +303,7 @@ func (p *pool) slotFor() int {
 // greedy earliest-idle under the stealing policy).
 func (p *pool) submit(t task) {
 	p.inflight.Add(1)
+	p.pending.Add(1)
 	p.submitMu.Lock()
 	slot := p.slotFor()
 	idx := p.count
@@ -309,7 +357,7 @@ func (p *pool) barrier() batchReport {
 	for i := range p.queues {
 		p.queues[i].reset()
 	}
-	if p.scheduling == WorkStealing {
+	if p.scheduling.stealing() {
 		// Checkpoints are taken at barriers on the strength of this
 		// invariant: every task of the batch has run, so no deque may
 		// still hold one. The deque indices themselves are monotonic and
@@ -327,9 +375,30 @@ func (p *pool) barrier() batchReport {
 			rep.stolenFrom[i] = p.stolenFrom[i].Swap(0)
 		}
 	}
+	rep.waits = make([]int64, p.workers)
+	for i := 0; i < p.workers; i++ {
+		rep.waits[i] = p.waits[i].Swap(0)
+	}
 	rep.loads = p.busy
 	p.busy = make([]time.Duration, p.workers)
+	// Every barrier pass is a quiescence point: all submitted work has
+	// completed and recorded its outcome. Closing an epoch here gives
+	// snapshots (and the Async driver) a monotonic consistency marker.
+	p.epoch.Add(1)
 	return rep
+}
+
+// pendingTasks reports the submitted-but-unfinished task count.
+func (p *pool) pendingTasks() int64 { return p.pending.Load() }
+
+// waitLow blocks until at most low submitted tasks remain unfinished.
+// This is the Async driver's pacing primitive: instead of a barrier it
+// waits only until enough of the pool has gone idle to be worth feeding
+// again, while stragglers keep running. Only the coordinator calls it.
+func (p *pool) waitLow(low int64) {
+	for p.pending.Load() > low {
+		<-p.taskDone
+	}
 }
 
 // close stops the workers; call only after a final barrier.
@@ -348,7 +417,7 @@ func (p *pool) take(id int) (*poolTask, bool) {
 
 func (p *pool) worker(id int) {
 	defer p.done.Done()
-	if p.scheduling == WorkStealing {
+	if p.scheduling.stealing() {
 		p.stealWorker(id)
 		return
 	}
@@ -356,14 +425,29 @@ func (p *pool) worker(id int) {
 	for {
 		t, ok := p.take(id)
 		if !ok {
-			select {
-			case <-wake:
-				continue
-			case <-p.quit:
+			if !p.park(id, wake) {
 				return
 			}
+			continue
 		}
 		p.runTask(id, t)
+	}
+}
+
+// park blocks worker id on its wake channel, charging the parked time to
+// the worker's wait counter; it returns false when the pool is closing.
+// Parked time is the per-worker straggler-tail metric surfaced as
+// Trace.Cycle.WaitNanos: under barrier policies every early finisher
+// parks here until the whole batch completes and the next one is
+// submitted.
+func (p *pool) park(id int, wake chan struct{}) bool {
+	start := time.Now()
+	select {
+	case <-wake:
+		p.waits[id].Add(int64(time.Since(start)))
+		return true
+	case <-p.quit:
+		return false
 	}
 }
 
@@ -393,9 +477,7 @@ func (p *pool) stealWorker(id int) {
 			p.runTask(id, t)
 			continue
 		}
-		select {
-		case <-wake:
-		case <-p.quit:
+		if !p.park(id, wake) {
 			return
 		}
 	}
@@ -459,6 +541,13 @@ func (p *pool) recordSteal(thief, victim int) {
 // the barrier always completes.
 func (p *pool) runTask(id int, t *poolTask) {
 	defer p.inflight.Done()
+	defer func() {
+		p.pending.Add(-1)
+		select {
+		case p.taskDone <- struct{}{}:
+		default:
+		}
+	}()
 	defer func() {
 		if r := recover(); r != nil {
 			if p.onPanic != nil {

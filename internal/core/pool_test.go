@@ -7,7 +7,7 @@ import (
 	"time"
 )
 
-var allSchedulings = []Scheduling{RoundRobin, WorkSharing, WorkStealing}
+var allSchedulings = []Scheduling{RoundRobin, WorkSharing, WorkStealing, Async}
 
 // TestPoolDurationsInDispatchOrder submits more tasks than one duration
 // chunk holds and checks the barrier reports every charged duration in
@@ -54,7 +54,7 @@ func TestPoolDurationsInDispatchOrder(t *testing.T) {
 		if fromDurs != fromLoads {
 			t.Errorf("%v: loads sum to %v, durations to %v", sched, fromLoads, fromDurs)
 		}
-		if sched == WorkStealing {
+		if sched.stealing() {
 			var steals, stolen int64
 			for w := 0; w < 4; w++ {
 				steals += rep.steals[w]
@@ -65,6 +65,9 @@ func TestPoolDurationsInDispatchOrder(t *testing.T) {
 			}
 		} else if rep.steals != nil || rep.stolenFrom != nil {
 			t.Errorf("%v: steal counters reported for a non-stealing pool", sched)
+		}
+		if len(rep.waits) != 4 {
+			t.Errorf("%v: %d wait records, want 4", sched, len(rep.waits))
 		}
 		p.close()
 	}

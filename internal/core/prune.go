@@ -60,6 +60,69 @@ func (s *state) resolvePair(u, v int) time.Duration {
 	return c1 + c2
 }
 
+// prunePass re-applies Situation 2.3 pruning across the whole K relation
+// with the knowledge available NOW. pruneAfter is one-shot: it prunes
+// with K_sub as of the moment its test result lands, so a subsumee fact
+// y ⊑ sub that arrives later never yields its prune {sup, y} — under any
+// policy. The async driver runs this sweep on the coordinator when it
+// closes an epoch, converting the epoch's late-arriving K facts into P
+// clears before the next cut claims them; it costs bitset operations,
+// never a reasoner call.
+//
+// MUST only run at pool quiescence (pending == 0). The claim of pair
+// {sup, y} resolves its reverse direction sup ⊑ y false, which is sound
+// only for a STRICT sub ⊏ sup, and strictness is only decidable from K
+// when no resolvePair is mid-flight between recording its two
+// directions. At quiescence, sub ∈ K_sup with the pair {sub, sup}
+// claimed and no mutual K edge implies strictness: a tested pair decided
+// both directions (one positive), a pruned pair asserted strictness when
+// claimed, and the prepass claims a half-proven pair only for
+// equivalences (mutual K) or the ⊤-trivial case. An UNclaimed pair with
+// a one-sided K edge is a prepass half-seed whose converse is still
+// open — skipped.
+//
+// Unlike pruneAfter, the sweep deliberately does NOT clear K_sup edges.
+// pruneAfter's 2.3.1 deletion is safe there only because a prune CLAIMS
+// the sibling pair, which prevents the symmetric pruneAfter call from
+// ever running; a sweep revisiting both members of an equivalence class
+// below sup would otherwise delete each member's K edge justified by the
+// other's — severing sup's reachability to the whole class. Keeping the
+// edges is always sound (they are entailed facts; the phase-3 transitive
+// reduction removes indirect ones), and it keeps K rows fat, so both
+// later sweep iterations and the workers' own pruneAfter calls see more
+// subsumees to prune through — the sweep is transitive for free.
+func (s *state) prunePass() {
+	if !s.optimized {
+		return // basic mode never prunes (Algorithm 4 tests everything)
+	}
+	for sup := 0; sup < s.n && !s.failed(); sup++ {
+		if sup == s.top || s.satState[sup].Load() != satYes {
+			continue
+		}
+		s.K[sup].ForEach(func(sub int) bool {
+			if sub == sup || sub == s.top || s.satState[sub].Load() != satYes {
+				return true
+			}
+			if a, b := order(sub, sup); s.P[a].Test(b) {
+				return true // pair still open: strictness undecided
+			}
+			if s.K[sub].Test(sup) {
+				return true // known equivalence: Situation 2.2, no pruning
+			}
+			s.K[sub].ForEach(func(y int) bool {
+				if y == sup || y == sub {
+					return true
+				}
+				if s.claimPair(sup, y) {
+					s.pruned.Add(1)
+				}
+				return true
+			})
+			return true
+		})
+	}
+}
+
 // pruneAfter applies Situations 2.3.1 and 2.3.2 after establishing
 // sub ⊑ sup (strictly, since the reverse test failed): every y ∈ K_sub is
 // also a subsumee of sup but not a direct one, so

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"parowl/internal/dl"
 	"parowl/internal/ontogen"
@@ -217,5 +218,110 @@ func TestKillAndResumeWorkStealing(t *testing.T) {
 		if len(final.Undecided) != 0 {
 			t.Errorf("seed %d: undecided after resume: %v", seed, final.Undecided)
 		}
+	}
+}
+
+// TestKillAndResumeAsync is the same crash loop under the barrier-free
+// driver: its snapshots are cut at quiescence epochs rather than batch
+// barriers, and runs crashed at arbitrary points and resumed must still
+// converge to the taxonomy of an uninterrupted round-robin run.
+func TestKillAndResumeAsync(t *testing.T) {
+	seeds := []int64{21, 22, 23}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		rng := rand.New(rand.NewSource(seed))
+		tb := randomMixedTBox(rng, 8+rng.Intn(10))
+		workers := 2 + rng.Intn(7)
+		opts := Options{
+			Workers: workers, Mode: Optimized, Seed: seed,
+			Scheduling: Async, ELPrepass: rng.Intn(2) == 0,
+		}
+		refOpts := opts
+		refOpts.Scheduling = RoundRobin
+		ref := classify(t, tb, refOpts)
+		totalCalls := ref.Stats.SatTests + ref.Stats.SubsTests
+		path := ckPath(t)
+
+		var final *Result
+		var lastEpoch int64
+		for attempt := 0; ; attempt++ {
+			if attempt > 50 {
+				t.Fatalf("seed %d: no run survived after %d crashes", seed, attempt)
+			}
+			var left atomic.Int64
+			left.Store(rng.Int63n(totalCalls + 1))
+			o := opts
+			o.Reasoner = countdownReasoner{Interface: tableauFactory(tb), left: &left}
+			o.Checkpoint = path
+			if _, err := os.Stat(path); err == nil {
+				o.ResumeFrom = path
+			}
+			res, err := Classify(tb, o)
+			if snap, serr := readSnapshotFile(path); serr == nil {
+				// Epochs must stay monotonic across crashes and resumes:
+				// every snapshot carries the quiescence count it was cut at,
+				// seeded from the snapshot it restored.
+				if snap.epoch < lastEpoch {
+					t.Fatalf("seed %d attempt %d: snapshot epoch went backwards (%d < %d)",
+						seed, attempt, snap.epoch, lastEpoch)
+				}
+				lastEpoch = snap.epoch
+			}
+			if err != nil {
+				if !errors.Is(err, reasoner.ErrInjected) {
+					t.Fatalf("seed %d attempt %d: unexpected failure: %v", seed, attempt, err)
+				}
+				continue
+			}
+			if res.ResumeError != nil {
+				t.Fatalf("seed %d attempt %d: snapshot rejected: %v", seed, attempt, res.ResumeError)
+			}
+			final = res
+			break
+		}
+		if lastEpoch == 0 {
+			t.Errorf("seed %d: no snapshot recorded a nonzero epoch", seed)
+		}
+		if got, want := final.Taxonomy.Render(), ref.Taxonomy.Render(); got != want {
+			t.Errorf("seed %d (workers %d): resumed async taxonomy differs from round-robin reference:\n got:\n%s\nwant:\n%s",
+				seed, workers, got, want)
+		}
+		if len(final.Undecided) != 0 {
+			t.Errorf("seed %d: undecided after resume: %v", seed, final.Undecided)
+		}
+	}
+}
+
+// TestAsyncQuiescesLessThanBarrierMode pins the policy's point: with
+// checkpointing off, an async run closes far fewer epochs (quiescence
+// rendezvous) than a barrier-mode run of the same corpus, which pays one
+// per cycle.
+func TestAsyncQuiescesLessThanBarrierMode(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tb := randomTaxonomyTBox(rng, 60)
+	path := ckPath(t)
+	// CheckpointInterval is left at an hour so only the forced phase-final
+	// snapshot is written; its epoch field records the total quiescence
+	// count of the run.
+	epochs := func(sched Scheduling) int64 {
+		t.Helper()
+		o := Options{
+			Reasoner: tableauFactory(tb), Workers: 4, Seed: 7,
+			Scheduling: sched, RandomCycles: 4,
+			Checkpoint: path, CheckpointInterval: time.Hour,
+		}
+		classify(t, tb, o)
+		snap, err := readSnapshotFile(path)
+		if err != nil {
+			t.Fatalf("%v: %v", sched, err)
+		}
+		return snap.epoch
+	}
+	async := epochs(Async)
+	barrier := epochs(RoundRobin)
+	if async >= barrier {
+		t.Errorf("async run closed %d epochs, barrier run %d; async should quiesce less", async, barrier)
 	}
 }

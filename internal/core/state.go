@@ -97,12 +97,18 @@ type state struct {
 	// K-shortcircuit in testDirected; when off the hot path pays nothing.
 	prepassed bool
 
-	// hard[x] is an EWMA (α = 1/4, nanoseconds) of the charged cost of
-	// plug-in tests involving concept x; non-nil only under WorkStealing,
-	// where it orders each batch's submission hardest-first (LPT). Updates
-	// are racy plain load/store by design: a lost update costs a little
-	// smoothing accuracy on a scheduling heuristic, never correctness.
+	// hard[x] is an EWMA (α = 1/4) of the charged cost of plug-in tests
+	// involving concept x, stored as fixed-point nanoseconds shifted left
+	// by hardShift; non-nil only under WorkStealing and Async, where it
+	// orders each batch's submission hardest-first (LPT). The blend is a
+	// CAS loop (see observeHard), so concurrent updates from async
+	// workers never lose an observation; read through hardLoad.
 	hard []atomic.Int64
+
+	// epochBase is the epoch count restored from a resumed snapshot; the
+	// pool's own epoch counter (reset to zero per run) is added to it when
+	// tagging new snapshots, so epochs stay monotonic across resumes.
+	epochBase int64
 
 	// counters for statistics
 	satTests   atomic.Int64
@@ -379,21 +385,39 @@ func (s *state) testDirected(x, y int) (bool, time.Duration) {
 	return res, cost
 }
 
+// hardShift scales the hardness EWMAs to fixed point: the stored value is
+// nanoseconds << hardShift, giving the α = 1/4 blend 8 fractional bits so
+// repeated small observations are not rounded away. Headroom is ample: an
+// hour-long test is ~2^60 after the shift.
+const hardShift = 8
+
 // observeHard folds one finished directed test's cost into both concepts'
 // hardness EWMAs. First observation seeds the average; later ones blend
-// with α = 1/4. No-op unless the run scheduled with WorkStealing.
+// with α = 1/4 through a CAS loop, so concurrent observers (async workers
+// publish continuously) each land their update instead of overwriting one
+// another. No-op unless the run scheduled with WorkStealing or Async.
 func (s *state) observeHard(x, y int, cost time.Duration) {
 	if s.hard == nil || cost <= 0 {
 		return
 	}
+	v := int64(cost) << hardShift
 	for _, c := range [2]int{x, y} {
-		old := s.hard[c].Load()
-		if old == 0 {
-			s.hard[c].Store(int64(cost))
-		} else {
-			s.hard[c].Store(old + (int64(cost)-old)/4)
+		for {
+			old := s.hard[c].Load()
+			nw := v
+			if old != 0 {
+				nw = old + (v-old)>>2
+			}
+			if s.hard[c].CompareAndSwap(old, nw) {
+				break
+			}
 		}
 	}
+}
+
+// hardLoad returns concept c's hardness EWMA in whole nanoseconds.
+func (s *state) hardLoad(c int) int64 {
+	return s.hard[c].Load() >> hardShift
 }
 
 // filterDisproves asks the ModelFilter whether y ⊑ x is impossible. A

@@ -40,11 +40,18 @@ type Cycle struct {
 	TaskWorkers []int
 
 	// Steals and StolenFrom are per-worker steal counters for the cycle
-	// (index = worker id; nil unless the run used WorkStealing):
+	// (index = worker id; nil unless the run used WorkStealing or Async):
 	// Steals[w] counts tasks worker w took from other workers' queues,
 	// StolenFrom[w] counts tasks thieves took from worker w's queues.
 	Steals     []int64
 	StolenFrom []int64
+
+	// WaitNanos[w] is the time worker w spent parked waiting for work
+	// during the cycle, in nanoseconds (every policy). Under a barrier
+	// policy this is the straggler tail: an early finisher parks until
+	// the batch's last task completes and the next batch wakes it. Async
+	// exists to shrink exactly this number.
+	WaitNanos []int64
 
 	// WorkerLoads is the charged load each pool worker carried during
 	// the cycle (index = worker id); the paper's Sec. V-C load-balancing
@@ -159,6 +166,29 @@ func (t *Trace) TotalSteals() int64 {
 	return n
 }
 
+// WorkerWaits aggregates the time each worker spent parked waiting for
+// work over the whole run.
+func (t *Trace) WorkerWaits() []time.Duration {
+	waits := make([]time.Duration, t.Workers)
+	for _, c := range t.Cycles {
+		for w, ns := range c.WaitNanos {
+			if w >= 0 && w < len(waits) {
+				waits[w] += time.Duration(ns)
+			}
+		}
+	}
+	return waits
+}
+
+// TotalWait sums the parked time across all workers and cycles.
+func (t *Trace) TotalWait() time.Duration {
+	var total time.Duration
+	for _, w := range t.WorkerWaits() {
+		total += w
+	}
+	return total
+}
+
 // WorkerTotals aggregates the charged load each worker carried over the
 // whole run.
 func (t *Trace) WorkerTotals() []time.Duration {
@@ -193,11 +223,14 @@ func (t *Trace) OverallImbalance() float64 {
 	return float64(max) / (float64(sum) / float64(len(loads)))
 }
 
-// LoadSummary renders the per-worker load and steal-count table for the
-// whole run (the paper's Sec. V-C load-balancing table, extended with the
-// stealing counters when the run used WorkStealing).
+// LoadSummary renders the per-worker load, wait, and steal-count table
+// for the whole run (the paper's Sec. V-C load-balancing table, extended
+// with the stealing counters when the run used WorkStealing or Async).
+// The wait column is each worker's parked time — the straggler tail the
+// barrier-free Async policy is built to shrink.
 func (t *Trace) LoadSummary() string {
 	loads := t.WorkerTotals()
+	waits := t.WorkerWaits()
 	steals := make([]int64, t.Workers)
 	stolen := make([]int64, t.Workers)
 	haveSteals := false
@@ -216,13 +249,13 @@ func (t *Trace) LoadSummary() string {
 	}
 	var b strings.Builder
 	for w, l := range loads {
-		fmt.Fprintf(&b, "worker %2d load=%-12v", w, l)
+		fmt.Fprintf(&b, "worker %2d load=%-12v wait=%-12v", w, l, waits[w])
 		if haveSteals {
 			fmt.Fprintf(&b, " steals=%-5d stolenFrom=%-5d", steals[w], stolen[w])
 		}
 		b.WriteByte('\n')
 	}
-	fmt.Fprintf(&b, "imbalance (max/mean): %.2f", t.OverallImbalance())
+	fmt.Fprintf(&b, "imbalance (max/mean): %.2f, total wait: %v", t.OverallImbalance(), t.TotalWait())
 	if haveSteals {
 		fmt.Fprintf(&b, ", total steals: %d", t.TotalSteals())
 	}

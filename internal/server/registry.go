@@ -44,6 +44,7 @@ type entry struct {
 	serving    *parowl.Ontology   // last good handle; nil until first success
 	cancel     context.CancelFunc // cancels the in-flight classify job
 	checkpoint string             // checkpoint path of the last job, if any
+	scheduling string             // scheduling policy of the last started job
 	resumed    bool               // last run restored from a checkpoint
 	generation uint64
 	concepts   int
@@ -67,6 +68,7 @@ type StatusInfo struct {
 	Classes     int           `json:"classes,omitempty"`
 	Undecided   int           `json:"undecided,omitempty"`
 	Generation  uint64        `json:"generation"`
+	Scheduling  string        `json:"scheduling,omitempty"`
 	Resumed     bool          `json:"resumed,omitempty"`
 	Checkpoint  string        `json:"checkpoint,omitempty"`
 	Stats       *parowl.Stats `json:"stats,omitempty"`
@@ -88,6 +90,7 @@ func (e *entry) info() StatusInfo {
 		Classes:     e.classes,
 		Undecided:   e.undecided,
 		Generation:  e.generation,
+		Scheduling:  e.scheduling,
 		Resumed:     e.resumed,
 		Checkpoint:  e.checkpoint,
 		SubmittedAt: e.submitted,
@@ -136,11 +139,12 @@ func (e *entry) queuedLocked(name string) {
 	e.started, e.finished = time.Time{}, time.Time{}
 }
 
-func (e *entry) markClassifying(cancel context.CancelFunc, checkpoint string) {
+func (e *entry) markClassifying(cancel context.CancelFunc, checkpoint, scheduling string) {
 	e.mu.Lock()
 	e.status = StatusClassifying
 	e.cancel = cancel
 	e.checkpoint = checkpoint
+	e.scheduling = scheduling
 	e.started = time.Now()
 	e.mu.Unlock()
 }

@@ -64,7 +64,9 @@ type Config struct {
 // warm classified state. Create with New, serve with net/http, stop with
 // Drain.
 //
-//	POST /ontologies?id=ID&format=obo      submit (body = ontology text)
+//	POST /ontologies?id=ID&format=obo      submit (body = ontology text;
+//	                                       &sched= overrides the scheduling
+//	                                       policy for this job)
 //	GET  /ontologies                       list
 //	GET  /ontologies/{id}                  status + stats
 //	GET  /ontologies/{id}/taxonomy         rendered taxonomy (text)
@@ -88,6 +90,10 @@ type job struct {
 	entry   *entry
 	ont     *parowl.Ontology
 	timeout time.Duration
+	// sched overrides the Engine's scheduling policy for this job when
+	// schedSet is true (the submit carried a ?sched= parameter).
+	sched    parowl.Scheduling
+	schedSet bool
 }
 
 // New builds a Server and starts its classify workers.
@@ -227,6 +233,9 @@ func (s *Server) runJob(j *job) {
 
 	opts := s.cfg.Engine.Options()
 	opts.CompileKernel = true // the query surface serves from the kernel
+	if j.schedSet {
+		opts.Scheduling = j.sched
+	}
 	var ck string
 	if s.cfg.CheckpointDir != "" {
 		ck = filepath.Join(s.cfg.CheckpointDir, j.entry.id+".ck")
@@ -236,8 +245,8 @@ func (s *Server) runJob(j *job) {
 			opts.ResumeFrom = ck
 		}
 	}
-	j.entry.markClassifying(cancel, ck)
-	s.cfg.Logf("owld: classify %s: started (resume=%v)", j.entry.id, opts.ResumeFrom != "")
+	j.entry.markClassifying(cancel, ck, opts.Scheduling.String())
+	s.cfg.Logf("owld: classify %s: started (sched=%v resume=%v)", j.entry.id, opts.Scheduling, opts.ResumeFrom != "")
 
 	start := time.Now()
 	res, err := j.ont.ClassifyWith(ctx, opts)
@@ -292,6 +301,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	var sched parowl.Scheduling
+	schedSet := false
+	if v := r.FormValue("sched"); v != "" {
+		sched, err = parowl.ParseScheduling(v)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		schedSet = true
+	}
 	id := r.FormValue("id")
 	if id == "" {
 		h := fnv.New64a()
@@ -325,7 +344,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// same id cannot both be admitted, and a worker dequeuing this job
 	// blocks on e.mu until the queued state is visible.
 	select {
-	case s.queue <- &job{entry: e, ont: ont, timeout: timeout}:
+	case s.queue <- &job{entry: e, ont: ont, timeout: timeout, sched: sched, schedSet: schedSet}:
 		e.queuedLocked(name)
 		e.mu.Unlock()
 	default:

@@ -617,3 +617,54 @@ func TestDrainFlushesQueuedJobs(t *testing.T) {
 		t.Errorf("parked job after drain = %s, want interrupted", got)
 	}
 }
+
+// TestSubmitSchedulingOverride: a submit's ?sched= parameter overrides
+// the engine's policy for that one job, the effective policy is surfaced
+// in the status JSON, an async-scheduled job serves the identical
+// taxonomy, and unknown policy names are rejected at admission.
+func TestSubmitSchedulingOverride(t *testing.T) {
+	t.Parallel()
+	text := genOBO(t, 9, 50)
+	ref := refSnapshot(t, text)
+
+	_, ts := newTestServer(t, Config{})
+
+	resp, err := http.Post(ts.URL+"/ontologies?format=obo&id=asy&sched=async",
+		"text/plain", strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit with sched=async: HTTP %d", resp.StatusCode)
+	}
+	info := waitStatus(t, ts, "asy", StatusClassified)
+	if info.Scheduling != "async" {
+		t.Errorf("status scheduling = %q, want %q", info.Scheduling, "async")
+	}
+	code, _, body := get(t, ts.URL+"/ontologies/asy/taxonomy")
+	if code != http.StatusOK {
+		t.Fatalf("taxonomy: HTTP %d: %s", code, body)
+	}
+	if want := ref.Taxonomy().Render(); body != want {
+		t.Errorf("async-scheduled taxonomy differs from reference:\n got:\n%s\nwant:\n%s", body, want)
+	}
+
+	// Without ?sched= the engine's default policy is used and reported.
+	if code, b := submit(t, ts, "plain", "", text); code != http.StatusAccepted {
+		t.Fatalf("plain submit: HTTP %d: %s", code, b)
+	}
+	if info := waitStatus(t, ts, "plain", StatusClassified); info.Scheduling != "roundrobin" {
+		t.Errorf("default scheduling = %q, want roundrobin", info.Scheduling)
+	}
+
+	resp, err = http.Post(ts.URL+"/ontologies?format=obo&id=bad&sched=lifo",
+		"text/plain", strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("sched=lifo: HTTP %d, want 400", resp.StatusCode)
+	}
+}

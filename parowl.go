@@ -99,7 +99,7 @@ type (
 	// Trace is the per-cycle instrumentation record.
 	Trace = core.Trace
 	// Scheduling selects the worker pool's dispatch policy (RoundRobin,
-	// WorkSharing, or WorkStealing).
+	// WorkSharing, WorkStealing, or Async).
 	Scheduling = core.Scheduling
 	// Profile is a synthetic-corpus generator profile.
 	Profile = ontogen.Profile
@@ -123,6 +123,14 @@ const (
 	// workers steal queued tasks from busy ones, with batches submitted
 	// hardest-first (LPT).
 	WorkStealing = core.WorkStealing
+	// Async runs classification barrier-free on the stealing pool:
+	// workers publish results continuously, random-division cycles are
+	// pipelined, group-division work is re-cut from the live shared
+	// state below a backlog watermark, and the run quiesces only at
+	// phase edges and due checkpoints (epoch-consistent snapshots),
+	// where a coordinator prune sweep converts the epoch's late-arriving
+	// subsumptions into reasoner-free pair resolutions.
+	Async = core.Async
 )
 
 // Concept constructor kinds (re-exported for plug-in authors inspecting
@@ -144,7 +152,8 @@ const (
 func NewTBox(name string) *TBox { return dl.NewTBox(name) }
 
 // ParseScheduling maps a policy name ("roundrobin", "worksharing",
-// "workstealing", as printed by Scheduling.String) back to the constant.
+// "workstealing", "async", as printed by Scheduling.String) back to the
+// constant.
 func ParseScheduling(name string) (Scheduling, error) { return core.ParseScheduling(name) }
 
 // Format identifies an ontology serialization syntax for Write/WriteFile

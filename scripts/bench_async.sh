@@ -1,0 +1,36 @@
+#!/bin/sh
+# bench_async.sh — barrier-free scheduler benchmark with commit-over-commit
+# comparison, also available as `make bench-async`.
+#
+# Runs `benchfig -exp async` (barrier-free async vs work-stealing at 8
+# workers on a skewed corpus with real per-test durations), rotating the
+# previous BENCH_async.json/.bench to *.prev first. When benchstat is
+# installed and a previous run exists, the benchstat-format twins are
+# compared; otherwise the raw rows are printed side by side. Extra
+# arguments are passed to benchfig (e.g. `scripts/bench_async.sh
+# -asyncworkers 4`).
+set -eu
+cd "$(dirname "$0")/.."
+
+OUT=BENCH_async.json
+BENCH=BENCH_async.bench
+for f in "$OUT" "$BENCH"; do
+    if [ -f "$f" ]; then
+        mv "$f" "$f.prev"
+    fi
+done
+
+go run ./cmd/benchfig -exp async -asyncout "$OUT" "$@"
+
+if [ -f "$BENCH.prev" ]; then
+    if command -v benchstat >/dev/null 2>&1; then
+        echo "== benchstat vs previous run"
+        benchstat "$BENCH.prev" "$BENCH"
+    else
+        echo "== benchstat not installed; previous vs current:"
+        echo "-- $BENCH.prev"
+        cat "$BENCH.prev"
+        echo "-- $BENCH"
+        cat "$BENCH"
+    fi
+fi

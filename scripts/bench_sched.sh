@@ -2,8 +2,9 @@
 # bench_sched.sh — scheduler-policy benchmark with commit-over-commit
 # comparison, also available as `make bench-sched`.
 #
-# Runs `benchfig -exp sched` (round-robin vs work-sharing vs
-# work-stealing on a skewed corpus with real per-test durations),
+# Runs `benchfig -exp sched` (all four pool policies — round-robin,
+# work-sharing, work-stealing, async — on a skewed corpus with real
+# per-test durations),
 # rotating the previous BENCH_sched.json/.bench to *.prev first. The
 # corpus comes from scripts/corpus.sh so it is the byte-identical file
 # `make chaos` tortures. When benchstat is installed and a previous run
