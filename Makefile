@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify chaos serve-smoke bench bench-tableau bench-classify bench-sched bench-async bench-query
+.PHONY: build test verify chaos serve-smoke serve-chaos bench bench-tableau bench-classify bench-sched bench-async bench-query
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,14 @@ chaos:
 # scripts/serve_smoke.sh.
 serve-smoke:
 	sh scripts/serve_smoke.sh
+
+# Durable-registry torture drill: SIGKILL the daemon, restart it under a
+# fail-everything chaos reasoner (proving re-adoption reclassifies
+# nothing), then restart under a tight memory budget and check evicted
+# entries demand-reload byte-identical answers. See
+# scripts/serve_chaos.sh.
+serve-chaos:
+	sh scripts/serve_chaos.sh
 
 bench:
 	$(GO) test -bench . -benchmem -run xxx ./...

@@ -16,6 +16,14 @@
 // -drain-grace to finish, are then cancelled, and their phase-boundary
 // checkpoints (under -checkpoint-dir) make a resubmission after restart
 // resume instead of restarting from scratch.
+//
+// With -checkpoint-dir the registry itself is durable: a versioned,
+// checksummed registry.json manifest records every entry, and a restart
+// (graceful or SIGKILL) re-adopts classified ontologies from their
+// checkpoints with zero reclassification — /readyz reports 503 until
+// re-adoption finishes. -max-resident-bytes bounds warm memory: cold
+// classified entries are evicted to disk and transparently reloaded on
+// their next query (the first such query pays the checkpoint decode).
 package main
 
 import (
@@ -43,6 +51,10 @@ var (
 	classifyTimeout    = flag.Duration("classify-timeout", 0, "wall-time cap per classification job (0 = none)")
 	requestTimeout     = flag.Duration("request-timeout", 30*time.Second, "default deadline per query request")
 	drainGrace         = flag.Duration("drain-grace", 5*time.Second, "how long a drain lets in-flight jobs finish before cancelling them")
+	maxResidentBytes   = flag.Int64("max-resident-bytes", 0, "memory budget for warm classified state; LRU entries beyond it are evicted to their checkpoints and reloaded on demand (0 = unlimited; requires -checkpoint-dir)")
+	retryBudget        = flag.Int("retry", 2, "automatic retries for transiently-failed classify jobs (chaos faults, job timeouts), with exponential backoff (0 = none)")
+	retryBase          = flag.Duration("retry-base", 500*time.Millisecond, "first retry backoff delay; doubles per attempt")
+	retryMax           = flag.Duration("retry-max", 30*time.Second, "backoff cap for classify retries")
 
 	workers = flag.Int("workers", 0, "classification worker pool size (0 = GOMAXPROCS)")
 	cycles  = flag.Int("cycles", 2, "random-division cycles")
@@ -121,6 +133,10 @@ func run() error {
 		ClassifyTimeout:    *classifyTimeout,
 		RequestTimeout:     *requestTimeout,
 		DrainGrace:         *drainGrace,
+		MaxResidentBytes:   *maxResidentBytes,
+		RetryBudget:        *retryBudget,
+		RetryBaseDelay:     *retryBase,
+		RetryMaxDelay:      *retryMax,
 		Logf:               log.Printf,
 	})
 	if err != nil {

@@ -1,0 +1,63 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// flightGroup coalesces identical in-flight /query evaluations: requests
+// sharing a key — (ontology id, generation, spec) — ride one kernel row
+// sweep instead of each paying their own. It is the string-keyed sibling
+// of the reasoner cache's single-flight (internal/reasoner/cache.go) and
+// follows the same leader-cancellation discipline: a leader that dies of
+// its OWN context deadline must not poison the waiters, so a follower
+// whose context is still live retries as the new leader.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	done  chan struct{}
+	lines []string
+	err   error
+}
+
+// do runs fn once per key among concurrent callers. The boolean reports
+// whether this caller shared another caller's execution (true) or ran fn
+// itself (false). A waiting caller whose own ctx expires returns its ctx
+// error immediately; the in-flight execution keeps running for the rest.
+func (g *flightGroup) do(ctx context.Context, key string, fn func() ([]string, error)) ([]string, error, bool) {
+	for {
+		g.mu.Lock()
+		if g.m == nil {
+			g.m = make(map[string]*flightCall)
+		}
+		if c, ok := g.m[key]; ok {
+			g.mu.Unlock()
+			select {
+			case <-c.done:
+				if c.err != nil && (errors.Is(c.err, context.Canceled) || errors.Is(c.err, context.DeadlineExceeded)) && ctx.Err() == nil {
+					// The leader's own deadline killed the evaluation; this
+					// follower is still live, so it retries as leader.
+					continue
+				}
+				return c.lines, c.err, true
+			case <-ctx.Done():
+				return nil, ctx.Err(), true
+			}
+		}
+		c := &flightCall{done: make(chan struct{})}
+		g.m[key] = c
+		g.mu.Unlock()
+
+		c.lines, c.err = fn()
+
+		g.mu.Lock()
+		delete(g.m, key)
+		g.mu.Unlock()
+		close(c.done)
+		return c.lines, c.err, false
+	}
+}

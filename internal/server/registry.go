@@ -21,11 +21,12 @@ type Status string
 // reclassification in flight (queued/classifying) or failed does not
 // take the query surface down.
 const (
-	StatusQueued      Status = "queued"      // admitted, waiting for a classify slot
+	StatusQueued      Status = "queued"      // admitted, waiting for a classify slot (or a retry backoff)
 	StatusClassifying Status = "classifying" // a classify job is running
 	StatusClassified  Status = "classified"  // taxonomy ready; queries served
 	StatusFailed      Status = "failed"      // last classify attempt errored
 	StatusInterrupted Status = "interrupted" // drained mid-classify; resumable from checkpoint
+	StatusAdopting    Status = "adopting"    // restart re-adoption from the manifest in progress
 )
 
 // entry is one registered ontology: its lifecycle state plus the warm
@@ -37,11 +38,16 @@ const (
 type entry struct {
 	id string
 
+	// reloadMu serializes demand reloads of an evicted entry so a
+	// thundering herd of queries pays the checkpoint decode once. It is
+	// taken before mu and never while holding mu.
+	reloadMu sync.Mutex
+
 	mu         sync.Mutex
 	name       string
 	status     Status
 	errMsg     string
-	serving    *parowl.Ontology   // last good handle; nil until first success
+	serving    *parowl.Ontology   // last good handle; nil until first success or while evicted
 	cancel     context.CancelFunc // cancels the in-flight classify job
 	checkpoint string             // checkpoint path of the last job, if any
 	scheduling string             // scheduling policy of the last started job
@@ -55,54 +61,103 @@ type entry struct {
 	started    time.Time
 	finished   time.Time
 	elapsed    time.Duration
+
+	// Durable-registry state (persistent manifest, PR 9).
+	format      parowl.Format // source syntax, for restart re-parse
+	fingerprint uint64        // source fingerprint, pairs manifest with checkpoint
+	srcPath     string        // persisted source document under the checkpoint dir
+	kernelPath  string        // standalone kernel file of the last success
+	readopted   bool          // serving state re-adopted at boot, zero reclassification
+
+	// Retry-with-backoff state.
+	attempts  int       // failed attempts of the current submission
+	nextRetry time.Time // when the next attempt is scheduled (zero when none)
+
+	// Memory-accounting state.
+	resident int64     // bytes charged while the serving handle is warm
+	lastUsed time.Time // last query touch, drives LRU eviction
+	reloads  int64     // demand reloads this entry has paid after eviction
 }
 
 // StatusInfo is the JSON shape of one entry, returned by the status and
 // list endpoints.
 type StatusInfo struct {
-	ID          string        `json:"id"`
-	Name        string        `json:"name"`
-	Status      Status        `json:"status"`
-	Error       string        `json:"error,omitempty"`
-	Concepts    int           `json:"concepts"`
-	Classes     int           `json:"classes,omitempty"`
-	Undecided   int           `json:"undecided,omitempty"`
-	Generation  uint64        `json:"generation"`
-	Scheduling  string        `json:"scheduling,omitempty"`
-	Resumed     bool          `json:"resumed,omitempty"`
-	Checkpoint  string        `json:"checkpoint,omitempty"`
-	Stats       *parowl.Stats `json:"stats,omitempty"`
-	SubmittedAt time.Time     `json:"submitted_at,omitempty"`
-	StartedAt   time.Time     `json:"started_at,omitempty"`
-	FinishedAt  time.Time     `json:"finished_at,omitempty"`
-	ElapsedMS   int64         `json:"elapsed_ms,omitempty"`
+	ID         string        `json:"id"`
+	Name       string        `json:"name"`
+	Status     Status        `json:"status"`
+	Error      string        `json:"error,omitempty"`
+	Concepts   int           `json:"concepts"`
+	Classes    int           `json:"classes,omitempty"`
+	Undecided  int           `json:"undecided,omitempty"`
+	Generation uint64        `json:"generation"`
+	Scheduling string        `json:"scheduling,omitempty"`
+	Resumed    bool          `json:"resumed,omitempty"`
+	Checkpoint string        `json:"checkpoint,omitempty"`
+	Stats      *parowl.Stats `json:"stats,omitempty"`
+	// Readopted reports the serving state was restored from the manifest
+	// and checkpoint at daemon startup without any reclassification.
+	Readopted bool `json:"readopted,omitempty"`
+	// Attempts counts failed classify attempts of the current submission;
+	// NextRetryAt is when the next backoff retry fires (zero when none is
+	// scheduled).
+	Attempts    int        `json:"attempts,omitempty"`
+	NextRetryAt *time.Time `json:"next_retry_at,omitempty"`
+	// Resident reports whether the classified state is warm in memory;
+	// false for a classified entry means it was evicted under the
+	// -max-resident-bytes budget and the next query pays a demand reload.
+	Resident      bool      `json:"resident"`
+	ResidentBytes int64     `json:"resident_bytes,omitempty"`
+	Reloads       int64     `json:"reloads,omitempty"`
+	SubmittedAt   time.Time `json:"submitted_at,omitempty"`
+	StartedAt     time.Time `json:"started_at,omitempty"`
+	FinishedAt    time.Time `json:"finished_at,omitempty"`
+	ElapsedMS     int64     `json:"elapsed_ms,omitempty"`
 }
 
 func (e *entry) info() StatusInfo {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	info := StatusInfo{
-		ID:          e.id,
-		Name:        e.name,
-		Status:      e.status,
-		Error:       e.errMsg,
-		Concepts:    e.concepts,
-		Classes:     e.classes,
-		Undecided:   e.undecided,
-		Generation:  e.generation,
-		Scheduling:  e.scheduling,
-		Resumed:     e.resumed,
-		Checkpoint:  e.checkpoint,
-		SubmittedAt: e.submitted,
-		StartedAt:   e.started,
-		FinishedAt:  e.finished,
-		ElapsedMS:   e.elapsed.Milliseconds(),
+		ID:            e.id,
+		Name:          e.name,
+		Status:        e.status,
+		Error:         e.errMsg,
+		Concepts:      e.concepts,
+		Classes:       e.classes,
+		Undecided:     e.undecided,
+		Generation:    e.generation,
+		Scheduling:    e.scheduling,
+		Resumed:       e.resumed,
+		Checkpoint:    e.checkpoint,
+		Readopted:     e.readopted,
+		Attempts:      e.attempts,
+		Resident:      e.serving != nil,
+		ResidentBytes: e.resident,
+		Reloads:       e.reloads,
+		SubmittedAt:   e.submitted,
+		StartedAt:     e.started,
+		FinishedAt:    e.finished,
+		ElapsedMS:     e.elapsed.Milliseconds(),
+	}
+	if !e.nextRetry.IsZero() {
+		next := e.nextRetry
+		info.NextRetryAt = &next
 	}
 	if e.generation > 0 {
 		stats := e.stats
 		info.Stats = &stats
 	}
 	return info
+}
+
+// gen returns the entry's classification generation. It survives daemon
+// restarts (restored from the manifest) and evict/reload cycles, which is
+// why the HTTP X-Parowl-Generation header is served from it rather than
+// from the per-handle Snapshot generation.
+func (e *entry) gen() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.generation
 }
 
 // snapshot returns the serving generation for queries, or
@@ -119,12 +174,17 @@ func (e *entry) snapshot() (*parowl.Snapshot, error) {
 	return ont.Snapshot()
 }
 
-// inFlight reports whether a classify job for this entry is admitted or
-// running (at most one per entry at a time).
+// inFlight reports whether a classify job for this entry is admitted,
+// running, waiting out a retry backoff, or being re-adopted at boot (at
+// most one per entry at a time).
 func (e *entry) inFlight() bool {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.status == StatusQueued || e.status == StatusClassifying
+	return e.inFlightLocked()
+}
+
+func (e *entry) inFlightLocked() bool {
+	return e.status == StatusQueued || e.status == StatusClassifying || e.status == StatusAdopting
 }
 
 // queuedLocked marks the entry admitted; e.mu must be held. The caller
@@ -145,17 +205,38 @@ func (e *entry) markClassifying(cancel context.CancelFunc, checkpoint, schedulin
 	e.cancel = cancel
 	e.checkpoint = checkpoint
 	e.scheduling = scheduling
+	e.nextRetry = time.Time{}
 	e.started = time.Now()
+	e.mu.Unlock()
+}
+
+// markRetryWait parks the entry between failed classify attempts: it
+// stays StatusQueued (so duplicate submissions keep getting 409 and a
+// later drain can flush it), records the failure and the backoff
+// schedule, and keeps serving any previous good generation.
+func (e *entry) markRetryWait(err error, attempts int, next time.Time) {
+	e.mu.Lock()
+	e.status = StatusQueued
+	e.errMsg = err.Error()
+	e.attempts = attempts
+	e.nextRetry = next
+	e.cancel = nil
+	e.finished = time.Now()
+	if !e.started.IsZero() {
+		e.elapsed = e.finished.Sub(e.started)
+	}
 	e.mu.Unlock()
 }
 
 // markDone records a finished classify job. On success the serving
 // handle is swapped to the job's ontology; on failure the previous
-// serving state (if any) stays live.
-func (e *entry) markDone(ont *parowl.Ontology, res *parowl.Result, err error, interrupted bool) {
+// serving state (if any) stays live. footprint is the new generation's
+// resident cost in bytes (success only).
+func (e *entry) markDone(ont *parowl.Ontology, res *parowl.Result, footprint int64, err error, interrupted bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.cancel = nil
+	e.nextRetry = time.Time{}
 	e.finished = time.Now()
 	if !e.started.IsZero() {
 		e.elapsed = e.finished.Sub(e.started)
@@ -173,11 +254,38 @@ func (e *entry) markDone(ont *parowl.Ontology, res *parowl.Result, err error, in
 	e.errMsg = ""
 	e.serving = ont
 	e.resumed = res.Resumed
+	e.readopted = false
+	e.attempts = 0
 	e.generation++
 	e.concepts = ont.TBox().NumNamed()
 	e.classes = res.Taxonomy.NumClasses()
 	e.undecided = len(res.Undecided)
 	e.stats = res.Stats
+	e.resident = footprint
+	e.lastUsed = time.Now()
+}
+
+// markAdopted installs a serving state re-adopted from the manifest and
+// checkpoint at boot: the generation is RESTORED (not incremented) so
+// clients observe a continuous generation sequence across restarts, and
+// readopted proves no reclassification ran.
+func (e *entry) markAdopted(ont *parowl.Ontology, res *parowl.Result, generation uint64, footprint int64, elapsed time.Duration) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.status = StatusClassified
+	e.errMsg = ""
+	e.serving = ont
+	e.resumed = true
+	e.readopted = true
+	e.generation = generation
+	e.concepts = ont.TBox().NumNamed()
+	e.classes = res.Taxonomy.NumClasses()
+	e.undecided = len(res.Undecided)
+	e.stats = res.Stats
+	e.resident = footprint
+	e.lastUsed = time.Now()
+	e.finished = time.Now()
+	e.elapsed = elapsed
 }
 
 // abort cancels the entry's in-flight classify job, if any.
@@ -258,6 +366,36 @@ func (r *registry) removeIfEmpty(id string) {
 			break
 		}
 	}
+}
+
+// remove unconditionally drops an entry from the table (DELETE surface).
+// The caller is responsible for the entry's on-disk artifacts.
+func (r *registry) remove(id string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.entries[id]; !ok {
+		return
+	}
+	delete(r.entries, id)
+	for i, x := range r.order {
+		if x == id {
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// all returns every live entry (for eviction scans and manifest writes).
+func (r *registry) all() []*entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*entry, 0, len(r.order))
+	for _, id := range r.order {
+		if e, ok := r.entries[id]; ok {
+			out = append(out, e)
+		}
+	}
+	return out
 }
 
 // abortAll cancels every in-flight classify job (drain path).

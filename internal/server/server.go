@@ -55,6 +55,22 @@ type Config struct {
 	DrainGrace time.Duration
 	// MaxBodyBytes bounds submitted ontology documents. 0 means 64 MiB.
 	MaxBodyBytes int64
+	// MaxResidentBytes budgets the summed MemoryFootprint of warm
+	// classified state. When exceeded, least-recently-queried entries are
+	// evicted to their on-disk checkpoints and transparently re-adopted on
+	// the next query (see memory.go). 0 means unlimited. Requires
+	// CheckpointDir (eviction without a reload path would break queries).
+	MaxResidentBytes int64
+	// RetryBudget is how many times a transiently-failed classify job
+	// (chaos fault, job timeout — not a parse or validation error) is
+	// automatically requeued with exponential backoff before the entry is
+	// marked failed. 0 disables retries.
+	RetryBudget int
+	// RetryBaseDelay is the first backoff delay; attempt i waits
+	// RetryBaseDelay·2^i, capped at RetryMaxDelay. 0 means 500ms.
+	RetryBaseDelay time.Duration
+	// RetryMaxDelay caps the exponential backoff. 0 means 30s.
+	RetryMaxDelay time.Duration
 	// Logf receives operational log lines; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -72,7 +88,10 @@ type Config struct {
 //	GET  /ontologies/{id}/taxonomy         rendered taxonomy (text)
 //	GET  /ontologies/{id}/query?q=SPEC     evaluate query spec (text)
 //	POST /ontologies/{id}/subsumes         batched subsumption pairs (JSON)
-//	GET  /healthz                          liveness + queue state
+//	DELETE /ontologies/{id}                remove entry + on-disk artifacts
+//	GET  /healthz                          liveness + queue/memory state
+//	GET  /readyz                           readiness (503 while draining or
+//	                                       before manifest re-adoption ends)
 type Server struct {
 	cfg Config
 	mux *http.ServeMux
@@ -83,6 +102,28 @@ type Server struct {
 	wg       sync.WaitGroup
 	draining atomic.Bool
 	drained  sync.Once
+
+	// ready flips once boot-time manifest re-adoption has finished;
+	// /readyz serves 503 before that (and while draining).
+	ready atomic.Bool
+	// manifestMu serializes manifest rewrites (see manifest.go).
+	manifestMu sync.Mutex
+	// evictMu serializes eviction scans (see memory.go).
+	evictMu sync.Mutex
+
+	// retryMu guards the pending retry timers keyed by ontology id.
+	retryMu sync.Mutex
+	retries map[string]*time.Timer
+
+	// flights coalesces identical in-flight /query evaluations.
+	flights flightGroup
+	// onQueryEval, when non-nil, runs inside the coalescing leader before
+	// the evaluation (test hook; set only from in-package tests).
+	onQueryEval func(key string)
+
+	evictions atomic.Int64
+	reloads   atomic.Int64
+	coalesced atomic.Int64
 }
 
 // job is one admitted classification request.
@@ -94,6 +135,9 @@ type job struct {
 	// schedSet is true (the submit carried a ?sched= parameter).
 	sched    parowl.Scheduling
 	schedSet bool
+	// attempt counts prior transient failures of this submission; it
+	// drives the exponential backoff and the retry budget.
+	attempt int
 }
 
 // New builds a Server and starts its classify workers.
@@ -113,6 +157,12 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 64 << 20
 	}
+	if cfg.RetryBaseDelay <= 0 {
+		cfg.RetryBaseDelay = 500 * time.Millisecond
+	}
+	if cfg.RetryMaxDelay <= 0 {
+		cfg.RetryMaxDelay = 30 * time.Second
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
@@ -121,17 +171,23 @@ func New(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("server: checkpoint dir: %w", err)
 		}
 	}
+	if cfg.MaxResidentBytes > 0 && cfg.CheckpointDir == "" {
+		cfg.Logf("owld: -max-resident-bytes ignored without a checkpoint dir (no reload path for evicted entries)")
+	}
 	s := &Server{
-		cfg:   cfg,
-		mux:   http.NewServeMux(),
-		reg:   newRegistry(),
-		queue: make(chan *job, cfg.QueueDepth),
-		quit:  make(chan struct{}),
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+		reg:     newRegistry(),
+		queue:   make(chan *job, cfg.QueueDepth),
+		quit:    make(chan struct{}),
+		retries: make(map[string]*time.Timer),
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /readyz", s.handleReady)
 	s.mux.HandleFunc("POST /ontologies", s.handleSubmit)
 	s.mux.HandleFunc("GET /ontologies", s.handleList)
 	s.mux.HandleFunc("GET /ontologies/{id}", s.handleStatus)
+	s.mux.HandleFunc("DELETE /ontologies/{id}", s.handleDelete)
 	s.mux.HandleFunc("GET /ontologies/{id}/taxonomy", s.handleTaxonomy)
 	s.mux.HandleFunc("GET /ontologies/{id}/query", s.handleQuery)
 	s.mux.HandleFunc("POST /ontologies/{id}/query", s.handleQuery)
@@ -139,6 +195,24 @@ func New(cfg Config) (*Server, error) {
 	for i := 0; i < cfg.ClassifyJobs; i++ {
 		s.wg.Add(1)
 		go s.worker()
+	}
+	// Boot-time re-adoption: replay the durable manifest, restoring warm
+	// classified state from checkpoints with zero reclassification. Any
+	// manifest problem degrades (per entry where possible) — a daemon
+	// never fails to boot because of its own durable state.
+	var manifest []manifestEntry
+	if cfg.CheckpointDir != "" {
+		var err error
+		manifest, err = loadManifest(filepath.Join(cfg.CheckpointDir, manifestName))
+		if err != nil {
+			cfg.Logf("owld: manifest unusable, booting with an empty registry: %v", err)
+		}
+	}
+	if len(manifest) == 0 {
+		s.ready.Store(true)
+	} else {
+		cfg.Logf("owld: re-adopting %d registry entries from manifest", len(manifest))
+		go s.readoptAll(manifest)
 	}
 	return s, nil
 }
@@ -158,6 +232,20 @@ func (s *Server) Drain(ctx context.Context) error {
 	var err error
 	s.drained.Do(func() {
 		close(s.quit)
+		// Pending backoff retries: stop their timers and mark the entries
+		// interrupted (their checkpoints, if any, stay resumable). A timer
+		// that already fired is handling the drain itself in enqueueRetry.
+		s.retryMu.Lock()
+		timers := s.retries
+		s.retries = make(map[string]*time.Timer)
+		s.retryMu.Unlock()
+		for id, t := range timers {
+			if t.Stop() {
+				if e := s.reg.get(id); e != nil {
+					e.markDone(nil, nil, 0, errors.New("server drained before retry"), true)
+				}
+			}
+		}
 		// Queued jobs that never started: hand back their admission
 		// slots and mark them interrupted (no checkpoint yet — a
 		// resubmission simply classifies from scratch).
@@ -165,7 +253,7 @@ func (s *Server) Drain(ctx context.Context) error {
 		for {
 			select {
 			case j := <-s.queue:
-				j.entry.markDone(nil, nil, errors.New("server drained before classification started"), true)
+				j.entry.markDone(nil, nil, 0, errors.New("server drained before classification started"), true)
 			default:
 				break flush
 			}
@@ -192,6 +280,9 @@ func (s *Server) Drain(ctx context.Context) error {
 		case <-ctx.Done():
 			err = ctx.Err()
 		}
+		// Final manifest: record the drained states so the next boot
+		// re-adopts classified entries and resumes interrupted ones.
+		s.persist()
 	})
 	return err
 }
@@ -246,13 +337,28 @@ func (s *Server) runJob(j *job) {
 		}
 	}
 	j.entry.markClassifying(cancel, ck, opts.Scheduling.String())
-	s.cfg.Logf("owld: classify %s: started (sched=%v resume=%v)", j.entry.id, opts.Scheduling, opts.ResumeFrom != "")
+	s.persist()
+	s.cfg.Logf("owld: classify %s: started (sched=%v resume=%v attempt=%d)", j.entry.id, opts.Scheduling, opts.ResumeFrom != "", j.attempt+1)
 
 	start := time.Now()
 	res, err := j.ont.ClassifyWith(ctx, opts)
 	if err != nil {
 		interrupted := errors.Is(err, context.Canceled) || s.draining.Load()
-		j.entry.markDone(nil, nil, err, interrupted)
+		if !interrupted && transientClassifyErr(err) && j.attempt < s.cfg.RetryBudget {
+			attempt := j.attempt + 1
+			j.attempt = attempt
+			delay := retryBackoff(s.cfg, attempt)
+			j.entry.markRetryWait(err, attempt, time.Now().Add(delay))
+			s.persist()
+			s.cfg.Logf("owld: classify %s: transient failure (attempt %d/%d), retrying in %v: %v",
+				j.entry.id, attempt, s.cfg.RetryBudget+1, delay, err)
+			// Last touch of j: once the timer is armed another worker may
+			// own the job.
+			s.scheduleRetry(j, delay)
+			return
+		}
+		j.entry.markDone(nil, nil, 0, err, interrupted)
+		s.persist()
 		s.cfg.Logf("owld: classify %s: %s: %v", j.entry.id, map[bool]string{true: "interrupted", false: "failed"}[interrupted], err)
 		return
 	}
@@ -262,9 +368,84 @@ func (s *Server) runJob(j *job) {
 	if res.CheckpointError != nil {
 		s.cfg.Logf("owld: classify %s: checkpoint writes failed: %v", j.entry.id, res.CheckpointError)
 	}
-	j.entry.markDone(j.ont, res, nil, false)
+	var footprint int64
+	if snap, err := j.ont.Snapshot(); err == nil {
+		footprint = snap.MemoryFootprint()
+	}
+	j.entry.markDone(j.ont, res, footprint, nil, false)
+	// Persist the compiled kernel standalone as well (the checkpoint
+	// already embeds it): the manifest records both artifacts, and the
+	// kernel file is what eviction conceptually pages out to.
+	if s.cfg.CheckpointDir != "" {
+		if k := res.Taxonomy.Kernel(); k != nil {
+			kf := filepath.Join(s.cfg.CheckpointDir, j.entry.id+".kf")
+			if err := parowl.WriteKernelFile(kf, k); err != nil {
+				s.cfg.Logf("owld: classify %s: kernel file write failed: %v", j.entry.id, err)
+			} else {
+				j.entry.mu.Lock()
+				j.entry.kernelPath = kf
+				j.entry.mu.Unlock()
+			}
+		}
+	}
+	s.persist()
+	s.maybeEvict()
 	s.cfg.Logf("owld: classify %s: done in %v (%d classes, %d subs tests, resumed=%v)",
 		j.entry.id, time.Since(start).Round(time.Millisecond), res.Taxonomy.NumClasses(), res.Stats.SubsTests, res.Resumed)
+}
+
+// transientClassifyErr reports whether a classify failure is worth an
+// automatic retry: injected chaos faults and job deadline expiries are
+// transient; everything else (validation errors, genuine plug-in
+// failures) fails the entry immediately. Parse errors never get here —
+// submission parses synchronously before admission.
+func transientClassifyErr(err error) bool {
+	return errors.Is(err, parowl.ErrChaosFault) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// retryBackoff is the capped exponential schedule: attempt i (1-based)
+// waits RetryBaseDelay·2^(i-1), capped at RetryMaxDelay.
+func retryBackoff(cfg Config, attempt int) time.Duration {
+	d := cfg.RetryBaseDelay
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= cfg.RetryMaxDelay {
+			return cfg.RetryMaxDelay
+		}
+	}
+	return min(d, cfg.RetryMaxDelay)
+}
+
+// scheduleRetry arms the backoff timer that requeues j. Drain stops
+// pending timers and marks their entries interrupted.
+func (s *Server) scheduleRetry(j *job, delay time.Duration) {
+	s.retryMu.Lock()
+	defer s.retryMu.Unlock()
+	if s.draining.Load() {
+		j.entry.markDone(nil, nil, 0, errors.New("server drained before retry"), true)
+		return
+	}
+	s.retries[j.entry.id] = time.AfterFunc(delay, func() { s.enqueueRetry(j) })
+}
+
+// enqueueRetry moves a backoff-expired job back into the admission
+// queue. A full queue re-arms the timer without consuming an attempt; a
+// draining server marks the entry interrupted.
+func (s *Server) enqueueRetry(j *job) {
+	s.retryMu.Lock()
+	delete(s.retries, j.entry.id)
+	s.retryMu.Unlock()
+	if s.draining.Load() {
+		j.entry.markDone(nil, nil, 0, errors.New("server drained before retry"), true)
+		s.persist()
+		return
+	}
+	select {
+	case s.queue <- j:
+	default:
+		s.cfg.Logf("owld: classify %s: admission queue full at retry time, backing off again", j.entry.id)
+		s.scheduleRetry(j, retryBackoff(s.cfg, j.attempt))
+	}
 }
 
 // idPattern bounds submitted ontology IDs: they name checkpoint files.
@@ -334,7 +515,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	e := s.reg.getOrCreate(id)
 	e.mu.Lock()
-	if e.status == StatusQueued || e.status == StatusClassifying {
+	if e.inFlightLocked() {
 		e.mu.Unlock()
 		writeErr(w, http.StatusConflict, "classification already in flight for "+id)
 		return
@@ -346,6 +527,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	select {
 	case s.queue <- &job{entry: e, ont: ont, timeout: timeout, sched: sched, schedSet: schedSet}:
 		e.queuedLocked(name)
+		e.format = format
+		e.fingerprint = ont.Fingerprint()
 		e.mu.Unlock()
 	default:
 		e.mu.Unlock()
@@ -357,9 +540,73 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("classify queue full (%d queued)", len(s.queue)))
 		return
 	}
+	// Persist the source document beside the checkpoint: restarts and
+	// demand reloads re-parse it and fingerprint-check it against the
+	// manifest before adopting the checkpoint. A write failure only costs
+	// durability for this entry (logged), never the admission.
+	if s.cfg.CheckpointDir != "" {
+		srcPath := filepath.Join(s.cfg.CheckpointDir, id+".src")
+		if err := writeFileAtomic(srcPath, body); err != nil {
+			s.cfg.Logf("owld: submit %s: source persist failed (entry will not survive a restart): %v", id, err)
+		} else {
+			e.mu.Lock()
+			e.srcPath = srcPath
+			e.mu.Unlock()
+		}
+	}
+	s.persist()
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusAccepted)
 	json.NewEncoder(w).Encode(e.info())
+}
+
+// handleDelete removes an ontology from the registry along with its
+// on-disk artifacts (checkpoint, kernel file, persisted source). An
+// in-flight entry must finish (or be drained) first: 409.
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	e := s.reg.get(id)
+	if e == nil {
+		writeErr(w, http.StatusNotFound, "unknown ontology "+id)
+		return
+	}
+	e.mu.Lock()
+	if e.inFlightLocked() {
+		e.mu.Unlock()
+		writeErr(w, http.StatusConflict, "classification in flight for "+id+"; retry after it finishes")
+		return
+	}
+	paths := []string{e.checkpoint, e.kernelPath, e.srcPath}
+	e.mu.Unlock()
+	s.reg.remove(id)
+	for _, p := range paths {
+		if p == "" {
+			continue
+		}
+		if err := os.Remove(p); err != nil && !os.IsNotExist(err) {
+			s.cfg.Logf("owld: delete %s: removing %s: %v", id, p, err)
+		}
+	}
+	s.persist()
+	s.cfg.Logf("owld: delete %s: entry and artifacts removed", id)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleReady is the readiness probe: 503 before boot-time manifest
+// re-adoption finishes and while draining, 200 otherwise. Liveness
+// (/healthz) stays 200 through both — the process is healthy, it just
+// should not receive traffic yet/anymore.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	ready := s.ready.Load() && !s.draining.Load()
+	if !ready {
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	writeJSON(w, map[string]any{
+		"ready":    ready,
+		"adopting": !s.ready.Load(),
+		"draining": s.draining.Load(),
+	})
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
@@ -381,22 +628,29 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, map[string]any{
-		"status":     "ok",
-		"draining":   s.draining.Load(),
-		"queued":     len(s.queue),
-		"ontologies": len(s.reg.list()),
+		"status":             "ok",
+		"ready":              s.ready.Load() && !s.draining.Load(),
+		"draining":           s.draining.Load(),
+		"queued":             len(s.queue),
+		"ontologies":         len(s.reg.list()),
+		"resident_bytes":     s.residentBytes(),
+		"max_resident_bytes": s.cfg.MaxResidentBytes,
+		"evictions":          s.evictions.Load(),
+		"reloads":            s.reloads.Load(),
+		"coalesced_queries":  s.coalesced.Load(),
 	})
 }
 
 // servingSnapshot resolves an id to its query-ready generation, writing
-// the HTTP error itself when there is none yet.
+// the HTTP error itself when there is none yet. Evicted entries pay a
+// demand reload here (see memory.go).
 func (s *Server) servingSnapshot(w http.ResponseWriter, id string) (*parowl.Snapshot, *entry, bool) {
 	e := s.reg.get(id)
 	if e == nil {
 		writeErr(w, http.StatusNotFound, "unknown ontology "+id)
 		return nil, nil, false
 	}
-	snap, err := e.snapshot()
+	snap, err := s.residentSnapshot(e)
 	if err != nil {
 		// Classified state does not exist yet (first classification still
 		// queued, running, failed, or interrupted): tell the client to
@@ -410,12 +664,12 @@ func (s *Server) servingSnapshot(w http.ResponseWriter, id string) (*parowl.Snap
 }
 
 func (s *Server) handleTaxonomy(w http.ResponseWriter, r *http.Request) {
-	snap, _, ok := s.servingSnapshot(w, r.PathValue("id"))
+	snap, e, ok := s.servingSnapshot(w, r.PathValue("id"))
 	if !ok {
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	w.Header().Set("X-Parowl-Generation", strconv.FormatUint(snap.Generation(), 10))
+	w.Header().Set("X-Parowl-Generation", strconv.FormatUint(e.gen(), 10))
 	io.WriteString(w, snap.Taxonomy().Render())
 }
 
@@ -453,7 +707,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "empty query spec (use ?q=subsumes:A,B;ancestors:C)")
 		return
 	}
-	snap, _, ok := s.servingSnapshot(w, r.PathValue("id"))
+	snap, e, ok := s.servingSnapshot(w, r.PathValue("id"))
 	if !ok {
 		return
 	}
@@ -462,7 +716,21 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer cancel()
-	lines, err := snap.EvalSpec(ctx, spec)
+	// Coalesce identical in-flight evaluations: requests for the same
+	// (ontology, generation, spec) ride one kernel sweep. The generation
+	// in the key is the entry generation — stable across evict/reload, so
+	// coalesced answers are byte-identical by construction.
+	gen := e.gen()
+	key := r.PathValue("id") + "\x00" + strconv.FormatUint(gen, 10) + "\x00" + spec
+	lines, err, shared := s.flights.do(ctx, key, func() ([]string, error) {
+		if s.onQueryEval != nil {
+			s.onQueryEval(key)
+		}
+		return snap.EvalSpec(ctx, spec)
+	})
+	if shared {
+		s.coalesced.Add(1)
+	}
 	switch {
 	case err == nil:
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
@@ -473,7 +741,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	w.Header().Set("X-Parowl-Generation", strconv.FormatUint(snap.Generation(), 10))
+	w.Header().Set("X-Parowl-Generation", strconv.FormatUint(gen, 10))
 	io.WriteString(w, strings.Join(lines, "\n")+"\n")
 }
 
@@ -496,7 +764,7 @@ func (s *Server) handleSubsumes(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, `empty batch (want {"pairs": [["Sup","Sub"], ...]})`)
 		return
 	}
-	snap, _, ok := s.servingSnapshot(w, r.PathValue("id"))
+	snap, e, ok := s.servingSnapshot(w, r.PathValue("id"))
 	if !ok {
 		return
 	}
@@ -514,7 +782,7 @@ func (s *Server) handleSubsumes(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	w.Header().Set("X-Parowl-Generation", strconv.FormatUint(snap.Generation(), 10))
+	w.Header().Set("X-Parowl-Generation", strconv.FormatUint(e.gen(), 10))
 	writeJSON(w, map[string]any{"results": results})
 }
 

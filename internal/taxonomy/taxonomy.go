@@ -230,6 +230,25 @@ func (t *Taxonomy) Descendants(c *dl.Concept) []*Node {
 // NumClasses returns the number of nodes (including ⊤ and ⊥).
 func (t *Taxonomy) NumClasses() int { return len(t.nodes) }
 
+// MemoryFootprint estimates the resident size of the DAG in bytes: node
+// structs, their concept/parent/child slices, and the concept index map.
+// The attached query kernel is NOT included — callers accounting for a
+// whole classified ontology (the owld eviction budget does) add
+// Kernel().MemoryFootprint() separately, since the kernel dominates on
+// large ontologies and is what eviction actually releases.
+func (t *Taxonomy) MemoryFootprint() int {
+	const (
+		ptrSize      = 8
+		nodeSize     = 3 * 3 * ptrSize // three slice headers
+		mapEntrySize = 3 * ptrSize     // key, value, bucket overhead, roughly
+	)
+	total := len(t.byConcept)*mapEntrySize + len(t.nodes)*ptrSize
+	for _, n := range t.nodes {
+		total += nodeSize + (len(n.Concepts)+len(n.parents)+len(n.children))*ptrSize
+	}
+	return total
+}
+
 // Render writes the taxonomy as an indented tree rooted at ⊤, with nodes
 // reachable through several parents printed once per parent. The output is
 // deterministic.

@@ -142,6 +142,40 @@ func (o *Ontology) Resume(ctx context.Context, checkpoint string) (*Result, erro
 	return o.ClassifyWith(ctx, opts)
 }
 
+// Adopt restores a COMPLETED classification from a checkpoint file
+// without invoking any reasoner, swapping the rebuilt taxonomy in as the
+// current generation. This is the restart path of a serving daemon: the
+// taxonomy is rebuilt from the snapshot's K sets (byte-identical to the
+// original run's) and the checkpointed kernel frame is adopted, so the
+// cost is file decode plus hierarchy reconstruction — zero sat?/subs?
+// calls, with the run's original Stats restored to prove it.
+//
+// Unlike Resume, a missing/corrupt/mismatched snapshot (wrapping
+// ErrBadSnapshot) or an unfinished one (wrapping ErrIncompleteSnapshot)
+// is returned as an error and the handle is left untouched — Adopt never
+// falls back to reclassifying; the caller owns that decision.
+func (o *Ontology) Adopt(ctx context.Context, checkpoint string) (*Result, error) {
+	o.classifyMu.Lock()
+	defer o.classifyMu.Unlock()
+	res, err := core.Adopt(ctx, o.tbox, core.AdoptOptions{
+		Snapshot: checkpoint,
+		Workers:  o.eng.Options().Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	snap := &Snapshot{ont: o, tax: res.Taxonomy, res: res, gen: o.gen.Add(1)}
+	o.state.Store(snap)
+	return res, nil
+}
+
+// Fingerprint hashes the ontology content checkpoint snapshots depend on
+// (named-concept sequence and axioms). Two loads of the same source
+// fingerprint equal; any change invalidates old checkpoints. The owld
+// registry manifest records it to pair persisted entries with their
+// source across restarts.
+func (o *Ontology) Fingerprint() uint64 { return core.FingerprintTBox(o.tbox) }
+
 // ClassifySequential runs the brute-force sequential baseline (every
 // pair tested, one goroutine) without touching the handle's current
 // generation. A nil reasoner gets the Engine's selection.
@@ -213,6 +247,20 @@ func (s *Snapshot) Complete() bool { return len(s.res.Undecided) == 0 }
 // Kernel returns the generation's compiled bit-matrix query kernel,
 // compiling and attaching it on first use (idempotent, concurrency-safe).
 func (s *Snapshot) Kernel() *TaxonomyKernel { return s.tax.CompileKernel(0) }
+
+// MemoryFootprint estimates the generation's resident cost in bytes: the
+// taxonomy DAG plus the compiled query kernel's closure matrices (the
+// dominant term — 2·n² bits — on large ontologies). A kernel that has not
+// been compiled yet contributes nothing; the owld daemon always serves
+// kernel-compiled snapshots, so for its eviction budget this is the real
+// reclaimable size.
+func (s *Snapshot) MemoryFootprint() int64 {
+	total := int64(s.tax.MemoryFootprint())
+	if k := s.tax.Kernel(); k != nil {
+		total += int64(k.MemoryFootprint())
+	}
+	return total
+}
 
 // concept resolves a name or reports ErrUnknownConcept.
 func (s *Snapshot) concept(name string) (*Concept, error) {

@@ -1,0 +1,221 @@
+package parowl_test
+
+// Kill-and-re-adopt drivers for the owld daemon's durable registry: the
+// daemon is SIGKILLed (no drain, no goodbye) and a fresh daemon over the
+// same checkpoint directory must re-adopt classified ontologies from the
+// manifest with ZERO reclassification — proven by running the second
+// daemon under `-chaos err=1`, where any actual reasoner call fails the
+// job — and must surface mid-classify kills as resumable interruptions.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// waitOwldReady polls /readyz until it reports 200 (boot re-adoption
+// finished).
+func waitOwldReady(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		resp, err := http.Get(base + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("/readyz never turned 200")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// manifestStatus reads an entry's status straight from registry.json.
+func manifestStatus(t *testing.T, ckdir, id string) string {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join(ckdir, "registry.json"))
+	if err != nil {
+		return ""
+	}
+	var mf struct {
+		Entries []struct {
+			ID     string `json:"id"`
+			Status string `json:"status"`
+		} `json:"entries"`
+	}
+	if err := json.Unmarshal(data, &mf); err != nil {
+		return ""
+	}
+	for _, me := range mf.Entries {
+		if me.ID == id {
+			return me.Status
+		}
+	}
+	return ""
+}
+
+func TestOwldSigkillReadopt(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess daemon test is slow")
+	}
+	dir := t.TempDir()
+	owld := buildCmd(t, dir, "owld")
+	owlclass := buildCmd(t, dir, "owlclass")
+	ontogen := buildCmd(t, dir, "ontogen")
+
+	onto := filepath.Join(dir, "corpus.obo")
+	if out, err := exec.Command(ontogen, "-profile", "WBbt.obo", "-scale", "80", "-seed", "5", "-o", onto).CombinedOutput(); err != nil {
+		t.Fatalf("ontogen: %v\n%s", err, out)
+	}
+	refTaxonomy, err := exec.Command(owlclass, "-workers", "4", onto).Output()
+	if err != nil {
+		t.Fatalf("owlclass reference run: %v", err)
+	}
+
+	// Daemon 1 classifies the corpus, then dies by SIGKILL — no drain, so
+	// only the continuously-persisted manifest survives.
+	ckdir := filepath.Join(dir, "ck")
+	cmd1, base1 := startOwld(t, owld, "-checkpoint-dir", ckdir, "-workers", "4")
+	postOntology(t, base1, "corpus", onto)
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		info := ontologyStatus(t, base1, "corpus")
+		if info["status"] == "classified" && manifestStatus(t, ckdir, "corpus") == "classified" {
+			break
+		}
+		if info["status"] == "failed" || time.Now().After(deadline) {
+			cmd1.Process.Kill()
+			t.Fatalf("classification never landed durably: %v", info)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	cmd1.Process.Signal(syscall.SIGKILL)
+	cmd1.Wait()
+
+	// Daemon 2 re-adopts under err=1 chaos: every reasoner call fails, so
+	// a classified+readopted entry proves zero reclassification ran.
+	cmd2, base2 := startOwld(t, owld, "-checkpoint-dir", ckdir, "-workers", "4", "-chaos", "err=1,seed=1")
+	defer func() {
+		cmd2.Process.Signal(syscall.SIGTERM)
+		cmd2.Wait()
+	}()
+	waitOwldReady(t, base2)
+	info := ontologyStatus(t, base2, "corpus")
+	if info["status"] != "classified" {
+		t.Fatalf("post-kill status = %v (error %v), want classified", info["status"], info["error"])
+	}
+	if readopted, _ := info["readopted"].(bool); !readopted {
+		t.Error("entry not flagged readopted after the restart")
+	}
+
+	resp, err := http.Get(base2 + "/ontologies/corpus/taxonomy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(served) != string(refTaxonomy) {
+		t.Errorf("re-adopted taxonomy differs from owlclass output (%d vs %d bytes)", len(served), len(refTaxonomy))
+	}
+
+	names := oboIDs(t, onto, 2)
+	spec := fmt.Sprintf("subsumes:%s,%s;ancestors:%s;descendants:%s;lca:%s,%s;depth:%s",
+		names[0], names[1], names[0], names[1], names[0], names[1], names[1])
+	cliOut, err := exec.Command(owlclass, "-workers", "4", "-query", spec, onto).Output()
+	if err != nil {
+		t.Fatalf("owlclass -query: %v", err)
+	}
+	resp, err = http.Get(base2 + "/ontologies/corpus/query?q=" + url.QueryEscape(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpOut, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query after re-adoption: HTTP %d: %s", resp.StatusCode, httpOut)
+	}
+	if string(httpOut) != string(cliOut) {
+		t.Errorf("re-adopted query answers differ from owlclass -query:\n got %q\nwant %q", httpOut, cliOut)
+	}
+}
+
+func TestOwldSigkillMidClassify(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess daemon test is slow")
+	}
+	dir := t.TempDir()
+	owld := buildCmd(t, dir, "owld")
+	ontogen := buildCmd(t, dir, "ontogen")
+
+	onto := filepath.Join(dir, "corpus.obo")
+	if out, err := exec.Command(ontogen, "-profile", "WBbt.obo", "-scale", "100", "-seed", "7", "-o", onto).CombinedOutput(); err != nil {
+		t.Fatalf("ontogen: %v\n%s", err, out)
+	}
+
+	// Daemon 1: chaos slow-down stretches the job; SIGKILL lands after
+	// the first phase-boundary checkpoint, mid-classification.
+	ckdir := filepath.Join(dir, "ck")
+	cmd1, base1 := startOwld(t, owld,
+		"-checkpoint-dir", ckdir, "-checkpoint-interval", "0",
+		"-workers", "4", "-cycles", "6", "-chaos", "slow=1ms,seed=2")
+	postOntology(t, base1, "corpus", onto)
+	ckfile := filepath.Join(ckdir, "corpus.ck")
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		if _, err := os.Stat(ckfile); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			cmd1.Process.Kill()
+			t.Fatal("no checkpoint appeared")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	cmd1.Process.Signal(syscall.SIGKILL)
+	cmd1.Wait()
+
+	// Daemon 2 finds the kill in the manifest: the entry is restored as
+	// interrupted (not lost, not stuck in-flight) and a resubmission
+	// resumes from the surviving checkpoint.
+	cmd2, base2 := startOwld(t, owld, "-checkpoint-dir", ckdir, "-workers", "4")
+	defer func() {
+		cmd2.Process.Signal(syscall.SIGTERM)
+		cmd2.Wait()
+	}()
+	waitOwldReady(t, base2)
+	info := ontologyStatus(t, base2, "corpus")
+	if info["status"] != "interrupted" {
+		t.Fatalf("mid-classify kill surfaced as %v, want interrupted", info["status"])
+	}
+	if msg, _ := info["error"].(string); !strings.Contains(msg, "resubmit") {
+		t.Errorf("interrupted entry should tell the operator to resubmit, got %q", msg)
+	}
+
+	postOntology(t, base2, "corpus", onto)
+	deadline = time.Now().Add(120 * time.Second)
+	for {
+		info = ontologyStatus(t, base2, "corpus")
+		if info["status"] == "classified" {
+			break
+		}
+		if info["status"] == "failed" || time.Now().After(deadline) {
+			t.Fatalf("resumed classification stuck: %v", info)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if resumed, _ := info["resumed"].(bool); !resumed {
+		t.Error("daemon 2 classified from scratch instead of resuming the killed job's checkpoint")
+	}
+}

@@ -247,6 +247,22 @@ func ComputeMetrics(t *TBox) Metrics { return dl.ComputeMetrics(t) }
 // could not be adopted; see TaxonomyKernel.
 var ErrBadKernel = taxonomy.ErrBadKernel
 
+// ErrBadSnapshot reports a checkpoint file that is truncated, corrupted,
+// of an unknown version, or inconsistent with the ontology it is being
+// restored into. Ontology.Adopt returns errors wrapping it.
+var ErrBadSnapshot = core.ErrBadSnapshot
+
+// ErrIncompleteSnapshot reports an Ontology.Adopt of a checkpoint whose
+// classification had not finished; resume it with Ontology.Resume
+// instead.
+var ErrIncompleteSnapshot = core.ErrIncompleteSnapshot
+
+// ErrChaosFault marks a failure injected by the Chaos reasoner decorator
+// rather than a genuine reasoner error. Callers running fault-injection
+// campaigns (and owld's classify retry policy) match it with errors.Is
+// to tell transient injected faults from real failures.
+var ErrChaosFault = reasoner.ErrInjected
+
 // WriteKernelFile persists a compiled kernel to path (atomic rename).
 func WriteKernelFile(path string, k *TaxonomyKernel) error {
 	return taxonomy.WriteKernelFile(path, k)

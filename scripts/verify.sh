@@ -32,6 +32,9 @@ go test -race -count=1 ./internal/server/
 echo "== owld end-to-end smoke: daemon answers byte-identical to owlclass"
 sh scripts/serve_smoke.sh
 
+echo "== owld durable-registry drill: SIGKILL + chaos re-adoption + eviction"
+sh scripts/serve_chaos.sh
+
 # Static analysis beyond vet, when the tools are installed. staticcheck
 # failures are hard errors; govulncheck needs the network for its vuln DB,
 # so an offline/transient failure only warns.
